@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation study of the CASH runtime's design choices (the knobs
+ * DESIGN.md calls out beyond the paper's equations): what each
+ * mechanism buys on a phase-heavy throughput workload.
+ *
+ * Variants, cumulative against the full runtime:
+ *   full          — everything on (the shipped defaults)
+ *   no-deadband   — controller reacts to every wiggle
+ *   no-damping    — pure deadbeat gain (the paper's literal Eqn 2);
+ *                   with a one-quantum delay this rings
+ *   no-stickiness — near-tie schedule changes allowed every quantum
+ *   no-exploration— epsilon = 0
+ *   no-guardband  — setpoint exactly 1.0
+ *   coarse-quantum/fine-quantum — tau sensitivity
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cash;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    RuntimeParams params;
+};
+
+} // namespace
+
+int
+main()
+{
+    ConfigSpace space;
+    CostModel cost;
+    ExperimentParams ep = bench::benchParams();
+    AppModel app = scalePhases(appByName("x264"), ep.phaseScale);
+    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
+                                   bench::benchProfile());
+    std::printf("=== Ablation: CASH runtime design choices on "
+                "x264 (target %.4f IPC) ===\n\n", prof.qosTarget);
+
+    RuntimeParams base;
+    std::vector<Variant> variants;
+    variants.push_back({"full", base});
+    {
+        RuntimeParams p = base;
+        p.deadband = 0.0;
+        variants.push_back({"no-deadband", p});
+    }
+    {
+        RuntimeParams p = base;
+        p.controlGain = 1.0;
+        variants.push_back({"no-damping", p});
+    }
+    {
+        RuntimeParams p = base;
+        p.stickiness = 0.0;
+        variants.push_back({"no-stickiness", p});
+    }
+    {
+        RuntimeParams p = base;
+        p.epsilon = 0.0;
+        variants.push_back({"no-exploration", p});
+    }
+    {
+        RuntimeParams p = base;
+        p.guardBand = 1.0;
+        variants.push_back({"no-guardband", p});
+    }
+
+    bench::CsvSink csv("ablation",
+                       {"variant", "cost_rate", "viol_pct",
+                        "mean_qos", "reconfigs"});
+
+    std::printf("%-16s %12s %10s %10s %10s\n", "variant",
+                "rate $/hr", "viol %", "mean QoS", "reconfigs");
+    for (const Variant &v : variants) {
+        ExperimentParams run = ep;
+        run.runtime = v.params;
+        RunOutput out = runPolicy(app, prof, PolicyKind::Cash,
+                                  space, cost, run);
+        double hours =
+            static_cast<double>(out.stats.cycles) / 1e9 / 3600.0;
+        double rate = hours > 0 ? out.stats.cost / hours : 0.0;
+        std::printf("%-16s %12.4f %10.1f %10.2f %10u\n", v.name,
+                    rate, out.stats.violationPct(),
+                    out.stats.meanQos(), out.stats.reconfigs);
+        csv.row({v.name, CsvWriter::num(rate, 5),
+                 CsvWriter::num(out.stats.violationPct(), 2),
+                 CsvWriter::num(out.stats.meanQos(), 3),
+                 std::to_string(out.stats.reconfigs)});
+        std::fflush(stdout);
+    }
+
+    // Quantum sensitivity.
+    std::printf("\nquantum (tau) sensitivity:\n");
+    for (Cycle q : {Cycle{500'000}, Cycle{1'000'000},
+                    Cycle{2'000'000}, Cycle{4'000'000}}) {
+        ExperimentParams run = ep;
+        run.quantum = q;
+        RunOutput out = runPolicy(app, prof, PolicyKind::Cash,
+                                  space, cost, run);
+        double hours =
+            static_cast<double>(out.stats.cycles) / 1e9 / 3600.0;
+        std::printf("  tau=%4lluK: rate $%.4f/hr, viol %5.1f%%, "
+                    "reconfigs %u\n",
+                    static_cast<unsigned long long>(q / 1000),
+                    out.stats.cost / hours,
+                    out.stats.violationPct(), out.stats.reconfigs);
+        std::fflush(stdout);
+    }
+    return 0;
+}

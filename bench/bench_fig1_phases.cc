@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Paper Fig 1 (a-k): x264's per-phase performance over every virtual
+ * core built from 1..8 Slices and 64 KB..8 MB of L2.
+ *
+ * Prints one IPC table per phase (the data behind each contour
+ * plot), marks the global optimum (*) and strict local optima (+),
+ * and ends with the Fig 1k phase-breakdown summary. The paper's
+ * headline properties are checked: at least six of ten phases have
+ * local optima distinct from the global one, and no two consecutive
+ * phases share an optimal configuration.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/profile.hh"
+#include "bench_util.hh"
+#include "core/config_space.hh"
+#include "workload/apps.hh"
+
+using namespace cash;
+
+namespace
+{
+
+bool
+isLocalOptimum(const ConfigSpace &space,
+               const std::vector<double> &perf, std::size_t k,
+               std::size_t global)
+{
+    if (k == global || perf[k] >= perf[global] * 0.95)
+        return false;
+    for (std::size_t n : space.neighbours(k)) {
+        if (perf[n] > perf[k] * 1.02)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    ConfigSpace space; // 8 slices x 8 cache steps = 64 configs
+    const AppModel &x264 = appByName("x264");
+    ProfileParams pp = bench::benchProfile();
+
+    std::printf("=== Fig 1: phases of x264 on the CASH "
+                "architecture ===\n");
+    std::printf("IPC per (Slices, L2) configuration; "
+                "* = phase optimum, + = local optimum\n\n");
+
+    bench::CsvSink csv("fig1_phases",
+                       {"phase", "slices", "banks", "ipc"});
+
+    std::vector<std::size_t> best_of_phase;
+    std::vector<int> locals_per_phase;
+
+    for (std::size_t ph = 0; ph < x264.phases.size(); ++ph) {
+        const PhaseParams &phase = x264.phases[ph];
+        std::vector<double> perf(space.size());
+        for (std::size_t k = 0; k < space.size(); ++k) {
+            perf[k] = measurePhaseIpc(
+                phase, space.at(k), FabricParams{}, SimParams{},
+                pp.warmupInsts, pp.measureInsts, 77 + ph);
+            csv.row({std::to_string(ph),
+                     std::to_string(space.at(k).slices),
+                     std::to_string(space.at(k).banks),
+                     CsvWriter::num(perf[k], 4)});
+        }
+        std::size_t global = static_cast<std::size_t>(
+            std::max_element(perf.begin(), perf.end())
+            - perf.begin());
+        best_of_phase.push_back(global);
+
+        std::printf("--- Phase %zu (%s) ---\n", ph + 1,
+                    phase.name.c_str());
+        std::printf("%8s", "L2\\S");
+        for (std::uint32_t s = 1; s <= 8; ++s)
+            std::printf("%9u", s);
+        std::printf("\n");
+        int locals = 0;
+        for (std::uint32_t b = 1; b <= 128; b *= 2) {
+            std::printf("%6uKB", b * 64);
+            for (std::uint32_t s = 1; s <= 8; ++s) {
+                std::size_t k = space.indexOf({s, b});
+                char mark = ' ';
+                if (k == global) {
+                    mark = '*';
+                } else if (isLocalOptimum(space, perf, k, global)) {
+                    mark = '+';
+                    ++locals;
+                }
+                std::printf("  %6.3f%c", perf[k], mark);
+            }
+            std::printf("\n");
+        }
+        locals_per_phase.push_back(locals);
+        std::printf("optimum: %s   local optima: %d\n\n",
+                    space.at(global).str().c_str(), locals);
+    }
+
+    // ---- Fig 1k: phase breakdown summary.
+    std::printf("=== Fig 1k: phase breakdown ===\n");
+    std::printf("%-6s %-12s %-10s %s\n", "phase", "name",
+                "optimum", "local optima");
+    int phases_with_locals = 0;
+    int optimum_moves = 0;
+    for (std::size_t ph = 0; ph < best_of_phase.size(); ++ph) {
+        std::printf("%-6zu %-12s %-10s %d\n", ph + 1,
+                    x264.phases[ph].name.c_str(),
+                    space.at(best_of_phase[ph]).str().c_str(),
+                    locals_per_phase[ph]);
+        phases_with_locals += locals_per_phase[ph] > 0;
+        if (ph > 0)
+            optimum_moves += best_of_phase[ph]
+                != best_of_phase[ph - 1];
+    }
+    std::printf("\nphases with local optima: %d / %zu "
+                "(paper: 6 / 10)\n",
+                phases_with_locals, best_of_phase.size());
+    std::printf("consecutive-phase optimum moves: %d / %zu "
+                "(paper: 9 / 9, \"no two consecutive phases have "
+                "the same optimal configuration\")\n",
+                optimum_moves, best_of_phase.size() - 1);
+    return 0;
+}

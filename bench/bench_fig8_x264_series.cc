@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Paper Fig 8: time-series behaviour on x264 — ConvexOpt vs
+ * Race-to-idle vs CASH cost rate and normalized performance.
+ *
+ * The paper's narrative: around phase 3 the true optimum is
+ * expensive; convex optimization reaches it but then stays in the
+ * costly configuration, while CASH detects the phase change and
+ * releases the resources.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cash;
+
+int
+main()
+{
+    ConfigSpace space;
+    CostModel cost;
+    ExperimentParams ep = bench::seriesParams();
+    AppModel app = scalePhases(appByName("x264"), ep.phaseScale);
+    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
+                                   bench::benchProfile());
+
+    std::printf("=== Fig 8: time series for x264 (target %.4f "
+                "IPC) ===\n\n", prof.qosTarget);
+
+    bench::CsvSink csv("fig8_x264",
+                       {"policy", "mcycles", "cost_rate", "qos",
+                        "config"});
+
+    std::vector<RunOutput> runs;
+    for (PolicyKind k : {PolicyKind::ConvexOpt,
+                         PolicyKind::RaceToIdle, PolicyKind::Cash}) {
+        runs.push_back(runPolicy(app, prof, k, space, cost, ep));
+        for (const SeriesPoint &pt : runs.back().series) {
+            csv.row({runs.back().policy,
+                     CsvWriter::num(pt.cycle / 1e6, 2),
+                     CsvWriter::num(pt.costRate, 5),
+                     CsvWriter::num(pt.qos, 4),
+                     space.at(pt.config).str()});
+        }
+    }
+
+    std::printf("%-9s", "Mcycles");
+    for (const RunOutput &r : runs)
+        std::printf(" %9s$/hr %7sQoS %10scfg", r.policy.c_str(),
+                    r.policy.c_str(), r.policy.c_str());
+    std::printf("\n");
+    std::size_t points = runs[2].series.size();
+    for (std::size_t i = 0; i < points; i += 3) {
+        std::printf("%-9.0f", runs[2].series[i].cycle / 1e6);
+        for (const RunOutput &r : runs) {
+            const SeriesPoint &pt =
+                r.series[std::min(i, r.series.size() - 1)];
+            std::printf(" %12.4f %10.3f %13s", pt.costRate, pt.qos,
+                        space.at(pt.config).str().c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nsummary:\n");
+    for (const RunOutput &r : runs) {
+        double hours =
+            static_cast<double>(r.stats.cycles) / 1e9 / 3600.0;
+        std::printf("  %-11s rate $%.4f/hr, violations %.1f%%, "
+                    "reconfigs %u\n",
+                    r.policy.c_str(), r.stats.cost / hours,
+                    r.stats.violationPct(), r.stats.reconfigs);
+    }
+    std::printf("\npaper reference: CASH tracks phases and "
+                "releases the expensive phase-3 configuration; "
+                "convex stays stuck in it until ~144 Mcycles.\n");
+    return 0;
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Paper Sec VI-A: architectural and runtime reconfiguration
+ * overheads, plus the Table I / Table II input parameters.
+ *
+ * Architectural overheads are measured directly from SSim's
+ * reconfiguration engine: Slice expansion (pipeline flush), Slice
+ * contraction (+ register flush, bounded by the global register
+ * count), and L2 flush cycles as a function of dirty state (the
+ * paper's worst case: a fully dirty 64 KB bank over a 64-bit
+ * network, which it quotes as ~8000 cycles).
+ *
+ * Runtime overhead is reported two ways: wall-clock nanoseconds per
+ * CashRuntime decision (the O(1) claim), and modeled cycles for
+ * Algorithm 1's operation mix executed on 1/2/3-Slice virtual cores
+ * (the paper measures ~2000 / 1100 / 977 cycles).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/runtime.hh"
+#include "workload/trace_gen.hh"
+
+using namespace cash;
+
+namespace
+{
+
+void
+printInputTables()
+{
+    SliceParams s;
+    CacheParams c;
+    std::printf("=== Table I: base Slice configuration ===\n");
+    std::printf("functional units/Slice   %u\n", s.functionalUnits);
+    std::printf("physical registers       %u\n", s.physRegs);
+    std::printf("local registers/Slice    %u\n", s.localRegs);
+    std::printf("issue window             %u\n", s.issueWindow);
+    std::printf("load/store queue         %u\n", s.lsqSize);
+    std::printf("ROB size                 %u\n", s.robSize);
+    std::printf("store buffer             %u\n", s.storeBuffer);
+    std::printf("max in-flight loads      %u\n",
+                s.maxInflightLoads);
+    std::printf("memory delay             %u\n\n", c.memLat);
+    std::printf("=== Table II: base cache configuration ===\n");
+    std::printf("L1D %lluKB/%uB/%u-way, hit %u\n",
+                static_cast<unsigned long long>(c.l1dSize / 1024),
+                c.blockSize, c.l1Assoc, c.l1HitLat);
+    std::printf("L1I %lluKB/%uB/%u-way, hit %u\n",
+                static_cast<unsigned long long>(c.l1iSize / 1024),
+                c.blockSize, c.l1Assoc, c.l1HitLat);
+    std::printf("L2 %lluKB banks/%uB/%u-way, hit = dist*%u + %u\n\n",
+                static_cast<unsigned long long>(c.l2BankSize / 1024),
+                c.blockSize, c.l2Assoc, c.l2DistFactor,
+                c.l2BaseLat);
+}
+
+PhaseParams
+runtimeKernelPhase()
+{
+    // Algorithm 1's body compiled down: table scans (sequential
+    // loads, highly cacheable), scalar arithmetic, a few branches.
+    PhaseParams p;
+    p.name = "algorithm1";
+    p.ilpMeanDist = 6;
+    p.memFrac = 0.35;
+    p.storeFrac = 0.25;
+    p.fpFrac = 0.30;
+    p.branchFrac = 0.12;
+    p.branchBias = 0.95;
+    p.workingSet = 8 * kiB; // K=64 table of a few doubles each
+    p.seqFrac = 0.8;
+    p.codeFootprint = 4 * kiB;
+    p.lengthInsts = 1'000'000;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    printInputTables();
+
+    // ---------------- Architectural overheads ----------------
+    std::printf("=== Sec VI-A: architectural reconfiguration "
+                "overheads ===\n");
+    bench::CsvSink csv("overhead",
+                       {"operation", "cycles", "detail"});
+    {
+        SSim sim;
+        auto id = *sim.createVCore(1, 1);
+        PhaseParams p = runtimeKernelPhase();
+        p.workingSet = 64 * kiB;
+        PhasedTraceSource src({p}, 5, true, 0);
+        sim.vcore(id).bindSource(&src);
+        sim.vcore(id).runUntil(50'000);
+        auto expand = *sim.command(id, 2, 1);
+        std::printf("Slice expansion: pipeline flush %llu "
+                    "(paper: ~15), command delivery %llu, "
+                    "LS-repartition L1 flush %llu "
+                    "(this model's addition), total %llu\n",
+                    static_cast<unsigned long long>(
+                        expand.pipelineFlush),
+                    static_cast<unsigned long long>(
+                        expand.commandLatency),
+                    static_cast<unsigned long long>(
+                        expand.l1FlushCycles),
+                    static_cast<unsigned long long>(
+                        expand.totalStall()));
+        csv.row({"slice_expand",
+                 std::to_string(expand.totalStall()), "1->2"});
+
+        sim.vcore(id).runUntil(150'000);
+        auto shrink = *sim.command(id, 1, 1);
+        std::printf("Slice contraction: register flush %llu "
+                    "cycles for %u registers (paper: at most 64 "
+                    "cycles), pipeline flush %llu, LS-repartition "
+                    "L1 flush %llu, total %llu\n",
+                    static_cast<unsigned long long>(
+                        shrink.regFlushCycles),
+                    shrink.regsFlushed,
+                    static_cast<unsigned long long>(
+                        shrink.pipelineFlush),
+                    static_cast<unsigned long long>(
+                        shrink.l1FlushCycles),
+                    static_cast<unsigned long long>(
+                        shrink.totalStall()));
+        csv.row({"slice_contract",
+                 std::to_string(shrink.totalStall()),
+                 std::to_string(shrink.regsFlushed) + " regs"});
+    }
+
+    // L2 flush cost as a function of dirtiness.
+    std::printf("\nL2 contraction flush (8 banks -> 1):\n");
+    std::printf("%-14s %14s %14s\n", "store frac", "dirty lines",
+                "flush cycles");
+    for (double store_frac : {0.1, 0.4, 0.8}) {
+        SSim sim;
+        auto id = *sim.createVCore(1, 8);
+        PhaseParams p = runtimeKernelPhase();
+        p.memFrac = 0.5;
+        p.storeFrac = store_frac;
+        p.workingSet = 512 * kiB;
+        p.seqFrac = 0.0;
+        PhasedTraceSource src({p}, 5, true, 0);
+        sim.vcore(id).bindSource(&src);
+        sim.vcore(id).runUntil(800'000);
+        auto cost = *sim.command(id, 1, 1);
+        std::printf("%-14.1f %14llu %14llu\n", store_frac,
+                    static_cast<unsigned long long>(
+                        cost.l2DirtyFlushed),
+                    static_cast<unsigned long long>(
+                        cost.l2FlushCycles));
+        csv.row({"l2_flush", std::to_string(cost.l2FlushCycles),
+                 CsvWriter::num(store_frac, 2)});
+    }
+    std::printf("worst case: one fully dirty 64KB bank = "
+                "65536B / 8B = 8192 cycles (paper rounds to "
+                "8000)\n\n");
+
+    // ---------------- Runtime overhead ----------------
+    std::printf("=== Sec VI-A: runtime overhead ===\n");
+    {
+        // Wall-clock cost of one decision (the O(1) claim): run
+        // Algorithm 1 against a chip and time only the decision
+        // maths by measuring many steps of a tiny quantum.
+        ConfigSpace space;
+        CostModel cost;
+        SSim sim;
+        auto id = *sim.createVCore(1, 1);
+        PhasedTraceSource inner({runtimeKernelPhase()}, 5, true, 0);
+        PacedSource paced(inner, 0.3);
+        sim.vcore(id).bindSource(&paced);
+        RuntimeParams rp;
+        rp.quantum = 50'000;
+        CashRuntime rt(sim, id, QosKind::Throughput, 0.3, space,
+                       cost, rp, 7);
+        const int iters = 1000;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            rt.step();
+        auto t1 = std::chrono::steady_clock::now();
+        double ns = std::chrono::duration<double, std::nano>(
+                        t1 - t0)
+                        .count()
+            / iters;
+        std::printf("host wall clock per quantum (decision + "
+                    "simulation of the quantum): %.0f ns\n", ns);
+    }
+    {
+        // Modeled cycles: Algorithm 1's instruction mix (~1800
+        // dynamic instructions per iteration for K=64) on 1/2/3
+        // Slice virtual cores.
+        std::printf("modeled cycles per runtime iteration "
+                    "(paper: 2000 / 1100 / 977):\n");
+        const InstCount algo_insts = 1800;
+        for (std::uint32_t slices : {1u, 2u, 3u}) {
+            SSim sim;
+            auto id = *sim.createVCore(slices, 1);
+            PhasedTraceSource warm({runtimeKernelPhase()}, 5, true,
+                                   0);
+            CappedSource warm_cap(warm, 20'000);
+            sim.vcore(id).bindSource(&warm_cap);
+            sim.vcore(id).runUntil(~Cycle(0) / 2);
+            Cycle c0 = sim.vcore(id).now();
+            PhasedTraceSource body({runtimeKernelPhase()}, 6, true,
+                                   0);
+            CappedSource cap(body, algo_insts * 100);
+            sim.vcore(id).bindSource(&cap);
+            sim.vcore(id).runUntil(~Cycle(0) / 2);
+            Cycle per_iter =
+                (sim.vcore(id).now() - c0) / 100;
+            std::printf("  %u Slice%s: %llu cycles\n", slices,
+                        slices > 1 ? "s" : " ",
+                        static_cast<unsigned long long>(per_iter));
+            csv.row({"runtime_iteration",
+                     std::to_string(per_iter),
+                     std::to_string(slices) + " slices"});
+        }
+    }
+    return 0;
+}

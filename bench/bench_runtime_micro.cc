@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the CASH runtime's decision
+ * components — the pieces whose O(1)/O(K) cost underwrites the
+ * paper's "low overhead" claim (Sec VI-A).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/config_space.hh"
+#include "core/controller.hh"
+#include "core/kalman.hh"
+#include "core/optimizer.hh"
+#include "core/qlearn.hh"
+
+namespace cash
+{
+namespace
+{
+
+const ConfigSpace &
+space()
+{
+    static ConfigSpace s;
+    return s;
+}
+
+const CostModel &
+costModel()
+{
+    static CostModel c;
+    return c;
+}
+
+void
+BM_ControllerStep(benchmark::State &state)
+{
+    DeadbeatController ctrl;
+    double q = 0.9;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctrl.step(q, 1.0));
+        q = q > 1.0 ? 0.9 : 1.1;
+    }
+}
+BENCHMARK(BM_ControllerStep);
+
+void
+BM_KalmanUpdate(benchmark::State &state)
+{
+    KalmanEstimator kalman;
+    double q = 0.5;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kalman.update(q, 1.2));
+        q += 0.001;
+        if (q > 2.0)
+            q = 0.5;
+    }
+}
+BENCHMARK(BM_KalmanUpdate);
+
+void
+BM_LearnerUpdate(benchmark::State &state)
+{
+    SpeedupLearner learner(space(), 0.3);
+    std::size_t k = 0;
+    for (auto _ : state) {
+        learner.update(k, 1.0 + 0.01 * static_cast<double>(k));
+        k = (k + 1) % space().size();
+    }
+}
+BENCHMARK(BM_LearnerUpdate);
+
+void
+BM_OptimizerSolve(benchmark::State &state)
+{
+    TwoConfigOptimizer opt(space(), costModel());
+    auto table = [](std::size_t k) {
+        return 0.3 + 0.05 * static_cast<double>(k);
+    };
+    double demand = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            opt.solve(demand, 1'000'000, table));
+        demand = demand > 2.5 ? 1.0 : demand + 0.1;
+    }
+}
+BENCHMARK(BM_OptimizerSolve);
+
+void
+BM_FullDecision(benchmark::State &state)
+{
+    // Controller + Kalman + optimizer scan: everything Algorithm 1
+    // computes per quantum besides the hardware interaction.
+    DeadbeatController ctrl;
+    KalmanEstimator kalman;
+    SpeedupLearner learner(space(), 0.3);
+    TwoConfigOptimizer opt(space(), costModel());
+    double q = 0.9;
+    for (auto _ : state) {
+        double b = kalman.update(q, 1.0);
+        double demand = ctrl.step(q, std::clamp(b, 0.25, 4.0));
+        QuantumSchedule sched = opt.solve(
+            demand, 1'000'000,
+            [&](std::size_t k) { return learner.qhat(k); });
+        learner.update(sched.over, q);
+        benchmark::DoNotOptimize(sched);
+        q = q > 1.0 ? 0.93 : 1.07;
+    }
+}
+BENCHMARK(BM_FullDecision);
+
+} // namespace
+} // namespace cash
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * google-benchmark measurement of SSim's simulation throughput
+ * across virtual-core sizes — the practical budget behind the
+ * oracle's exhaustive sweeps. Each iteration advances the vcore by
+ * a fixed 100K-cycle window on a looping x264 stream;
+ * items_per_second reports simulated instructions per host second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/ssim.hh"
+#include "workload/apps.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+void
+BM_SimulateInstructions(benchmark::State &state)
+{
+    auto slices = static_cast<std::uint32_t>(state.range(0));
+    auto banks = static_cast<std::uint32_t>(state.range(1));
+    SSim sim;
+    auto id = *sim.createVCore(slices, banks);
+    const AppModel &app = appByName("x264");
+    PhasedTraceSource src(app.phases, 11, true, 0);
+    sim.vcore(id).bindSource(&src);
+    InstCount done = 0;
+    for (auto _ : state) {
+        InstCount before = sim.vcore(id).meta().totalCommitted;
+        sim.vcore(id).runUntil(sim.vcore(id).now() + 100'000);
+        done += sim.vcore(id).meta().totalCommitted - before;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_SimulateInstructions)
+    ->Args({1, 1})
+    ->Args({2, 4})
+    ->Args({4, 16})
+    ->Args({8, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Reconfiguration(benchmark::State &state)
+{
+    // Host cost of an EXPAND/SHRINK round trip (allocator + vcore
+    // rebuild + L2 remap).
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    const AppModel &app = appByName("gcc");
+    PhasedTraceSource src(app.phases, 3, true, 0);
+    sim.vcore(id).bindSource(&src);
+    bool big = false;
+    for (auto _ : state) {
+        big = !big;
+        auto cost = sim.command(id, big ? 4 : 1, big ? 8 : 1);
+        benchmark::DoNotOptimize(cost);
+        sim.vcore(id).runUntil(sim.vcore(id).now() + 2'000);
+    }
+}
+BENCHMARK(BM_Reconfiguration)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace cash
+
+BENCHMARK_MAIN();

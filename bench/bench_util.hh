@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared setup for the experiment benches.
+ *
+ * Every bench regenerates one of the paper's tables or figures and
+ * prints (a) the measured data and (b) the paper's reference values
+ * next to it where the paper states them. Scale knobs:
+ *
+ *   CASH_BENCH_FAST=1  shrink horizons ~4x for a quick smoke run
+ *   CASH_BENCH_CSV=dir also emit machine-readable CSV into `dir`
+ */
+
+#ifndef CASH_BENCH_BENCH_UTIL_HH
+#define CASH_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/experiment.hh"
+#include "common/csv.hh"
+
+namespace cash::bench
+{
+
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("CASH_BENCH_FAST");
+    return v && v[0] == '1';
+}
+
+/** Experiment parameters at bench scale. */
+inline ExperimentParams
+benchParams(bool request_app = false)
+{
+    ExperimentParams ep;
+    ep.quantum = 2'000'000;
+    ep.phaseScale = 20.0;
+    ep.horizon = request_app ? 360'000'000 : 150'000'000;
+    if (fastMode())
+        ep.horizon /= 4;
+    return ep;
+}
+
+/** Longer-horizon parameters for the time-series figures (Figs
+ *  2/8): one full lap of x264's ten phases is ~250 Mcycles at the
+ *  bench phase scale. */
+inline ExperimentParams
+seriesParams()
+{
+    ExperimentParams ep = benchParams();
+    ep.horizon = 320'000'000;
+    if (fastMode())
+        ep.horizon = 80'000'000;
+    return ep;
+}
+
+/** Characterization effort at bench scale. */
+inline ProfileParams
+benchProfile()
+{
+    ProfileParams pp;
+    pp.warmupInsts = fastMode() ? 15'000 : 30'000;
+    pp.measureInsts = fastMode() ? 30'000 : 60'000;
+    pp.requestWindow = fastMode() ? 1'500'000 : 3'000'000;
+    return pp;
+}
+
+/** Open a CSV file when CASH_BENCH_CSV is set. */
+class CsvSink
+{
+  public:
+    CsvSink(const std::string &name,
+            std::vector<std::string> header)
+    {
+        const char *dir = std::getenv("CASH_BENCH_CSV");
+        if (!dir)
+            return;
+        file_.open(std::string(dir) + "/" + name + ".csv");
+        if (file_.is_open())
+            writer_.emplace(file_, std::move(header));
+    }
+
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        if (writer_)
+            writer_->row(cells);
+    }
+
+  private:
+    std::ofstream file_;
+    std::optional<CsvWriter> writer_;
+};
+
+} // namespace cash::bench
+
+#endif // CASH_BENCH_BENCH_UTIL_HH

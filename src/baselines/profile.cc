@@ -1,0 +1,250 @@
+#include "baselines/profile.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+#include "sim/ssim.hh"
+#include "workload/request.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+
+double
+measurePhaseIpc(const PhaseParams &phase_params,
+                const VCoreConfig &config, const FabricParams &fabric,
+                const SimParams &sim_params, InstCount warmup,
+                InstCount measure, std::uint64_t seed)
+{
+    SSim sim(fabric, sim_params);
+    auto id = sim.createVCore(config.slices, config.banks);
+    if (!id)
+        fatal("fabric too small for configuration %s",
+              config.str().c_str());
+    VirtualCore &vc = sim.vcore(*id);
+
+    PhaseParams p = phase_params;
+    p.lengthInsts = std::max<InstCount>(p.lengthInsts,
+                                        warmup + measure);
+    PhasedTraceSource warm({p}, seed, true, 0);
+    CappedSource warm_cap(warm, warmup);
+    vc.bindSource(&warm_cap);
+    vc.runUntil(std::numeric_limits<Cycle>::max() / 2);
+
+    Cycle c0 = vc.now();
+    InstCount i0 = vc.meta().totalCommitted;
+    PhasedTraceSource meas({p}, seed ^ 0x5a5au, true, 0);
+    CappedSource meas_cap(meas, measure);
+    vc.bindSource(&meas_cap);
+    vc.runUntil(std::numeric_limits<Cycle>::max() / 2);
+
+    Cycle cycles = vc.now() - c0;
+    InstCount insts = vc.meta().totalCommitted - i0;
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(insts) / static_cast<double>(cycles);
+}
+
+double
+measureRequestLatency(const RequestStreamParams &stream,
+                      double rate_per_mcycle,
+                      const VCoreConfig &config,
+                      const FabricParams &fabric,
+                      const SimParams &sim_params, Cycle window,
+                      std::uint64_t seed)
+{
+    SSim sim(fabric, sim_params);
+    auto id = sim.createVCore(config.slices, config.banks);
+    if (!id)
+        fatal("fabric too small for configuration %s",
+              config.str().c_str());
+    VirtualCore &vc = sim.vcore(*id);
+
+    RequestStreamParams constant = stream;
+    constant.baseRatePerMcycle = rate_per_mcycle;
+    constant.amplitude = 0.0;
+    RequestSource src(constant, seed);
+    vc.bindSource(&src);
+    vc.runUntil(window);
+
+    if (src.completed() == 0) {
+        // Nothing finished inside the window: effectively saturated.
+        return static_cast<double>(window);
+    }
+    // Penalize growing backlog (overload) by accounting queued
+    // requests at the window-end age floor.
+    double mean_done = src.latency().mean();
+    if (src.backlog() > 4 * std::max<std::size_t>(1, src.completed()))
+        return std::max(mean_done, static_cast<double>(window));
+    return mean_done;
+}
+
+std::size_t
+AppProfile::regions() const
+{
+    return kind == QosKind::Throughput ? phasePerf.size()
+                                       : binLatency.size();
+}
+
+double
+AppProfile::worstCasePerf(std::size_t k) const
+{
+    double worst = std::numeric_limits<double>::max();
+    if (kind == QosKind::Throughput) {
+        for (const auto &row : phasePerf)
+            worst = std::min(worst, row[k]);
+    } else {
+        for (const auto &row : binLatency)
+            worst = std::min(worst, 1.0 / std::max(row[k], 1e-9));
+    }
+    return worst;
+}
+
+bool
+AppProfile::meets(std::size_t i, std::size_t k) const
+{
+    if (kind == QosKind::Throughput)
+        return phasePerf[i][k] >= qosTarget;
+    return binLatency[i][k] <= qosTarget;
+}
+
+std::size_t
+AppProfile::cheapestMeeting(std::size_t i, const ConfigSpace &space,
+                            const CostModel &cost) const
+{
+    constexpr std::size_t none = ~std::size_t(0);
+    std::size_t best = none;
+    double best_rate = 0.0;
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        if (!meets(i, k))
+            continue;
+        double rate = cost.ratePerHour(space.at(k));
+        if (best == none || rate < best_rate) {
+            best = k;
+            best_rate = rate;
+        }
+    }
+    if (best != none)
+        return best;
+    // Infeasible region: fall back to the best performer.
+    best = 0;
+    double best_perf = -1.0;
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        double perf = kind == QosKind::Throughput
+            ? phasePerf[i][k]
+            : 1.0 / std::max(binLatency[i][k], 1e-9);
+        if (perf > best_perf) {
+            best = k;
+            best_perf = perf;
+        }
+    }
+    return best;
+}
+
+std::size_t
+AppProfile::cheapestMeetingAll(const ConfigSpace &space,
+                               const CostModel &cost) const
+{
+    constexpr std::size_t none = ~std::size_t(0);
+    std::size_t best = none;
+    double best_rate = 0.0;
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        bool ok = true;
+        for (std::size_t i = 0; i < regions() && ok; ++i)
+            ok = meets(i, k);
+        if (!ok)
+            continue;
+        double rate = cost.ratePerHour(space.at(k));
+        if (best == none || rate < best_rate) {
+            best = k;
+            best_rate = rate;
+        }
+    }
+    if (best != none)
+        return best;
+    // No config meets the target everywhere: best worst-case.
+    best = 0;
+    double best_perf = -1.0;
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        double perf = worstCasePerf(k);
+        if (perf > best_perf) {
+            best = k;
+            best_perf = perf;
+        }
+    }
+    return best;
+}
+
+double
+AppProfile::averagePerf(std::size_t k) const
+{
+    double sum = 0.0;
+    std::size_t n = regions();
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += kind == QosKind::Throughput
+            ? phasePerf[i][k]
+            : 1.0 / std::max(binLatency[i][k], 1e-9);
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+AppProfile
+characterize(const AppModel &app, const ConfigSpace &space,
+             const FabricParams &fabric, const SimParams &sim_params,
+             const ProfileParams &params)
+{
+    AppProfile prof;
+    prof.kind = app.qosKind;
+
+    if (app.qosKind == QosKind::Throughput) {
+        prof.phasePerf.resize(app.phases.size());
+        for (std::size_t ph = 0; ph < app.phases.size(); ++ph) {
+            prof.phasePerf[ph].resize(space.size());
+            for (std::size_t k = 0; k < space.size(); ++k) {
+                prof.phasePerf[ph][k] = measurePhaseIpc(
+                    app.phases[ph], space.at(k), fabric, sim_params,
+                    params.warmupInsts, params.measureInsts,
+                    params.seed + ph);
+            }
+        }
+        // Target: the best IPC achievable in the worst phase.
+        double best_worst = 0.0;
+        for (std::size_t k = 0; k < space.size(); ++k)
+            best_worst = std::max(best_worst, prof.worstCasePerf(k));
+        prof.qosTarget = best_worst * params.targetMargin;
+    } else {
+        prof.binRates.resize(params.rateBins);
+        prof.binLatency.resize(params.rateBins);
+        double lo = app.request.baseRatePerMcycle
+            * (1.0 - app.request.amplitude);
+        double hi = app.request.baseRatePerMcycle
+            * (1.0 + app.request.amplitude);
+        for (std::uint32_t b = 0; b < params.rateBins; ++b) {
+            double frac = params.rateBins > 1
+                ? static_cast<double>(b)
+                      / static_cast<double>(params.rateBins - 1)
+                : 0.5;
+            prof.binRates[b] = lo + frac * (hi - lo);
+            prof.binLatency[b].resize(space.size());
+            for (std::size_t k = 0; k < space.size(); ++k) {
+                prof.binLatency[b][k] = measureRequestLatency(
+                    app.request, prof.binRates[b], space.at(k),
+                    fabric, sim_params, params.requestWindow,
+                    params.seed + b);
+            }
+        }
+        // Target: smallest achievable worst-bin latency, padded.
+        double best_worst = std::numeric_limits<double>::max();
+        for (std::size_t k = 0; k < space.size(); ++k) {
+            double worst = 0.0;
+            for (std::uint32_t b = 0; b < params.rateBins; ++b)
+                worst = std::max(worst, prof.binLatency[b][k]);
+            best_worst = std::min(best_worst, worst);
+        }
+        prof.qosTarget = best_worst * params.latencyHeadroom;
+    }
+    return prof;
+}
+
+} // namespace cash

@@ -1,0 +1,65 @@
+#include "common/csv.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+CsvWriter::CsvWriter(std::ostream &out, std::vector<std::string> header)
+    : out_(out), width_(header.size())
+{
+    if (header.empty())
+        fatal("CsvWriter needs a non-empty header");
+    writeCells(header);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (cells.size() != width_) {
+        fatal("CsvWriter row has %zu cells, header has %zu",
+              cells.size(), width_);
+    }
+    writeCells(cells);
+    ++rows_;
+}
+
+void
+CsvWriter::writeCells(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+CsvWriter::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss.precision(precision);
+    ss << v;
+    return ss.str();
+}
+
+} // namespace cash

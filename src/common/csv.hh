@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV table writer for bench output.
+ *
+ * Every bench binary prints its table/figure data both as a human-
+ * readable table (stdout) and, optionally, as a CSV file so results
+ * can be plotted externally. CsvWriter handles quoting and enforces
+ * row-width consistency against the header.
+ */
+
+#ifndef CASH_COMMON_CSV_HH
+#define CASH_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cash
+{
+
+/**
+ * Streaming CSV emitter with a fixed header.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * @param out destination stream (not owned; must outlive writer)
+     * @param header column names, written immediately
+     */
+    CsvWriter(std::ostream &out, std::vector<std::string> header);
+
+    /** Write one row; fatal() if the width differs from the header. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 6);
+
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    void writeCells(const std::vector<std::string> &cells);
+    static std::string escape(const std::string &cell);
+
+    std::ostream &out_;
+    std::size_t width_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_COMMON_CSV_HH

@@ -1,0 +1,169 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel combination of Welford accumulators.
+    double delta = other.mean_ - mean_;
+    std::uint64_t n = count_ + other.count_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    mean_ += delta * nb / static_cast<double>(n);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    if (!(hi > lo))
+        fatal("Histogram range [%f, %f) is empty", lo, hi);
+    if (buckets == 0)
+        fatal("Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(counts_.size()));
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram bucket index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i)
+        / static_cast<double>(counts_.size());
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(i);
+    }
+    return hi_;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("geomean of an empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("mean of an empty vector");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace cash

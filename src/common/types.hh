@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the CASH libraries.
+ *
+ * The simulator follows gem5 conventions: cycle counts are unsigned
+ * 64-bit ticks, addresses are 64-bit, and all identifiers are small
+ * integral handles rather than pointers so that components can be
+ * serialized and compared cheaply.
+ */
+
+#ifndef CASH_COMMON_TYPES_HH
+#define CASH_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace cash
+{
+
+/** A count of clock cycles (the simulator's unit of time). */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** A count of instructions. */
+using InstCount = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+constexpr Cycle invalidCycle = ~Cycle(0);
+
+/** Sentinel for an unmapped address. */
+constexpr Addr invalidAddr = ~Addr(0);
+
+/** Bytes in a kibibyte / mebibyte, for cache-size arithmetic. */
+constexpr std::uint64_t kiB = 1024;
+constexpr std::uint64_t miB = 1024 * kiB;
+
+} // namespace cash
+
+#endif // CASH_COMMON_TYPES_HH

@@ -1,0 +1,150 @@
+#include "core/config_space.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+std::string
+VCoreConfig::str() const
+{
+    std::uint64_t l2kb = static_cast<std::uint64_t>(banks) * 64;
+    if (l2kb >= 1024)
+        return strfmt("%uS/%lluMB", slices,
+                      static_cast<unsigned long long>(l2kb / 1024));
+    return strfmt("%uS/%lluKB", slices,
+                  static_cast<unsigned long long>(l2kb));
+}
+
+ConfigSpace::ConfigSpace(std::uint32_t max_slices,
+                         std::uint32_t max_banks)
+    : maxSlices_(max_slices), maxBanks_(max_banks)
+{
+    if (max_slices == 0)
+        fatal("ConfigSpace needs at least one Slice");
+    if (max_banks == 0 || (max_banks & (max_banks - 1)) != 0)
+        fatal("max_banks must be a power of two");
+    for (std::uint32_t s = 1; s <= max_slices; ++s)
+        for (std::uint32_t b = 1; b <= max_banks; b *= 2)
+            configs_.push_back(VCoreConfig{s, b});
+}
+
+ConfigSpace::ConfigSpace(std::vector<VCoreConfig> configs)
+    : maxSlices_(0), maxBanks_(0), grid_(false),
+      configs_(std::move(configs))
+{
+    if (configs_.empty())
+        fatal("custom ConfigSpace needs at least one configuration");
+    for (const VCoreConfig &c : configs_) {
+        if (c.slices == 0)
+            fatal("configuration with zero Slices");
+        maxSlices_ = std::max(maxSlices_, c.slices);
+        maxBanks_ = std::max(maxBanks_, c.banks);
+    }
+}
+
+const VCoreConfig &
+ConfigSpace::at(std::size_t k) const
+{
+    if (k >= configs_.size())
+        panic("config index %zu out of range (%zu configs)",
+              k, configs_.size());
+    return configs_[k];
+}
+
+bool
+ConfigSpace::contains(const VCoreConfig &config) const
+{
+    if (!grid_) {
+        for (const VCoreConfig &c : configs_)
+            if (c == config)
+                return true;
+        return false;
+    }
+    if (config.slices < 1 || config.slices > maxSlices_)
+        return false;
+    if (config.banks < 1 || config.banks > maxBanks_)
+        return false;
+    return (config.banks & (config.banks - 1)) == 0;
+}
+
+std::size_t
+ConfigSpace::indexOf(const VCoreConfig &config) const
+{
+    if (!contains(config))
+        fatal("configuration %s outside the space",
+              config.str().c_str());
+    if (!grid_) {
+        for (std::size_t k = 0; k < configs_.size(); ++k)
+            if (configs_[k] == config)
+                return k;
+    }
+    // banks is a power of two: log2 position within the row.
+    std::uint32_t bank_steps = 0;
+    for (std::uint32_t b = maxBanks_; b > 1; b /= 2)
+        ++bank_steps;
+    std::uint32_t row = config.slices - 1;
+    std::uint32_t col = 0;
+    for (std::uint32_t b = 1; b < config.banks; b *= 2)
+        ++col;
+    return static_cast<std::size_t>(row) * (bank_steps + 1) + col;
+}
+
+std::vector<std::size_t>
+ConfigSpace::neighbours(std::size_t k) const
+{
+    const VCoreConfig &c = at(k);
+    std::vector<std::size_t> out;
+    if (!grid_)
+        return out;
+    VCoreConfig n;
+    n = c;
+    n.slices = c.slices - 1;
+    if (contains(n))
+        out.push_back(indexOf(n));
+    n = c;
+    n.slices = c.slices + 1;
+    if (contains(n))
+        out.push_back(indexOf(n));
+    n = c;
+    n.banks = c.banks / 2;
+    if (c.banks > 1 && contains(n))
+        out.push_back(indexOf(n));
+    n = c;
+    n.banks = c.banks * 2;
+    if (contains(n))
+        out.push_back(indexOf(n));
+    return out;
+}
+
+CostModel::CostModel(double slice_rate, double bank_rate,
+                     double clock_hz)
+    : sliceRate_(slice_rate), bankRate_(bank_rate), clockHz_(clock_hz)
+{
+    if (slice_rate < 0.0 || bank_rate < 0.0)
+        fatal("negative resource prices");
+    if (clock_hz <= 0.0)
+        fatal("clock must be positive");
+}
+
+double
+CostModel::ratePerHour(const VCoreConfig &config) const
+{
+    return sliceRate_ * config.slices + bankRate_ * config.banks;
+}
+
+double
+CostModel::hours(Cycle cycles) const
+{
+    return static_cast<double>(cycles) / clockHz_ / 3600.0;
+}
+
+double
+CostModel::cost(const VCoreConfig &config, Cycle cycles) const
+{
+    return ratePerHour(config) * hours(cycles);
+}
+
+} // namespace cash

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The virtual-core configuration space and its cost model.
+ *
+ * The paper's evaluation sweeps virtual cores built from 1..8 Slices
+ * and 64 KB..8 MB of L2 in power-of-two steps — 64 configurations.
+ * Cost follows Amazon EC2's linear per-capacity pricing (Sec VI-B):
+ * $0.0098/hour per Slice and $0.0032/hour per 64 KB L2 bank, which
+ * prices the minimal 1-Slice + 64 KB configuration at the $0.013/hr
+ * of a t2.micro. The absolute numbers are conventions; every result
+ * in the paper (and here) is a cost *ratio*.
+ */
+
+#ifndef CASH_CORE_CONFIG_SPACE_HH
+#define CASH_CORE_CONFIG_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/**
+ * One point in the configuration space.
+ */
+struct VCoreConfig
+{
+    std::uint32_t slices = 1;
+    std::uint32_t banks = 1; ///< 64 KB L2 banks
+
+    bool operator==(const VCoreConfig &o) const = default;
+
+    std::string str() const;
+};
+
+/**
+ * The enumerated configuration space (dense index <-> config).
+ */
+class ConfigSpace
+{
+  public:
+    /**
+     * @param max_slices largest Slice count (configs use 1..max)
+     * @param max_banks largest bank count; bank counts are powers
+     *        of two from 1 to max_banks
+     */
+    explicit ConfigSpace(std::uint32_t max_slices = 8,
+                         std::uint32_t max_banks = 128);
+
+    /**
+     * A custom (non-grid) space, e.g. the coarse-grain big.LITTLE
+     * pair. neighbours() is empty for custom spaces.
+     */
+    explicit ConfigSpace(std::vector<VCoreConfig> configs);
+
+    std::size_t size() const { return configs_.size(); }
+    const VCoreConfig &at(std::size_t k) const;
+    /** Dense index of a config; fatal() if not in the space. */
+    std::size_t indexOf(const VCoreConfig &config) const;
+    bool contains(const VCoreConfig &config) const;
+
+    const std::vector<VCoreConfig> &all() const { return configs_; }
+
+    /** The minimal (base) configuration: 1 Slice, 1 bank. */
+    const VCoreConfig &base() const { return configs_.front(); }
+
+    /** Indices of the grid neighbours of config k (+-1 Slice,
+     *  x/÷2 banks) — used by local-optimum analyses. */
+    std::vector<std::size_t> neighbours(std::size_t k) const;
+
+    std::uint32_t maxSlices() const { return maxSlices_; }
+    std::uint32_t maxBanks() const { return maxBanks_; }
+
+  private:
+    std::uint32_t maxSlices_;
+    std::uint32_t maxBanks_;
+    bool grid_ = true;
+    std::vector<VCoreConfig> configs_;
+};
+
+/**
+ * EC2-anchored linear area pricing.
+ */
+class CostModel
+{
+  public:
+    /**
+     * @param slice_rate $/hour per Slice
+     * @param bank_rate $/hour per 64 KB L2 bank
+     * @param clock_hz simulated clock for cycle->hour conversion
+     */
+    explicit CostModel(double slice_rate = 0.0098,
+                       double bank_rate = 0.0032,
+                       double clock_hz = 1e9);
+
+    /** $/hour while holding a configuration. */
+    double ratePerHour(const VCoreConfig &config) const;
+
+    /** $ charged for holding a configuration for some cycles. */
+    double cost(const VCoreConfig &config, Cycle cycles) const;
+
+    /** Convert cycles to hours at the model clock. */
+    double hours(Cycle cycles) const;
+
+    double sliceRate() const { return sliceRate_; }
+    double bankRate() const { return bankRate_; }
+    double clockHz() const { return clockHz_; }
+
+  private:
+    double sliceRate_;
+    double bankRate_;
+    double clockHz_;
+};
+
+} // namespace cash
+
+#endif // CASH_CORE_CONFIG_SPACE_HH

@@ -1,0 +1,50 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+DeadbeatController::DeadbeatController(double s_min, double s_max,
+                                       double setpoint,
+                                       double deadband, double gain)
+    : sMin_(s_min), sMax_(s_max), setpoint_(setpoint),
+      deadband_(deadband), gain_(gain)
+{
+    if (gain <= 0.0 || gain > 1.0)
+        fatal("controller gain %f outside (0, 1]", gain);
+    if (s_min < 0.0 || s_max <= s_min)
+        fatal("controller speedup bounds [%f, %f] invalid",
+              s_min, s_max);
+    if (setpoint <= 0.0)
+        fatal("controller setpoint must be positive");
+    if (deadband < 0.0)
+        fatal("controller deadband must be non-negative");
+}
+
+double
+DeadbeatController::step(double q, double b_hat)
+{
+    e_ = setpoint_ - q;
+    // Inside the deadband the command holds: measurement noise is
+    // not worth a reconfiguration.
+    // A damping factor below 1 trades the one-step deadbeat for
+    // stability margin: with a one-quantum measurement delay a
+    // unity-gain integrator sustains a limit cycle.
+    if (std::fabs(e_) > deadband_ && b_hat > 1e-12)
+        s_ += gain_ * e_ / b_hat;
+    s_ = std::clamp(s_, sMin_, sMax_);
+    return s_;
+}
+
+void
+DeadbeatController::reset(double s)
+{
+    s_ = std::clamp(s, sMin_, sMax_);
+    e_ = 0.0;
+}
+
+} // namespace cash

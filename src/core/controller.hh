@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The deadbeat QoS controller (paper Sec IV-A, Eqns 1-2).
+ *
+ * The controller works in *normalized* QoS space: q(t) is measured
+ * performance divided by the target (so the setpoint is always
+ * q0 = 1), and b is the normalized performance of the base (1 Slice
+ * + 64 KB) configuration. Each step it integrates the error:
+ *
+ *     e(t) = q0 - q(t)
+ *     s(t) = s(t-1) + e(t) / b
+ *
+ * which is deadbeat for the model q = s * b: one step drives the
+ * error to zero if b is exact. b is supplied externally by the
+ * Kalman estimator so the controller tracks phase changes.
+ */
+
+#ifndef CASH_CORE_CONTROLLER_HH
+#define CASH_CORE_CONTROLLER_HH
+
+namespace cash
+{
+
+/**
+ * Deadbeat speedup controller.
+ */
+class DeadbeatController
+{
+  public:
+    /**
+     * @param s_min smallest permissible speedup command
+     * @param s_max largest permissible speedup command
+     * @param setpoint target normalized QoS (1.0 = exactly the
+     *        user's target; slightly above adds a guard band)
+     */
+    DeadbeatController(double s_min = 0.0, double s_max = 64.0,
+                       double setpoint = 1.0, double deadband = 0.0,
+                       double gain = 1.0);
+
+    /**
+     * One control step.
+     *
+     * @param q measured normalized QoS (1.0 = on target)
+     * @param b_hat current estimate of the base speed
+     * @return the speedup command s(t)
+     */
+    double step(double q, double b_hat);
+
+    /** Last issued speedup command. */
+    double speedup() const { return s_; }
+
+    /** Last computed error. */
+    double error() const { return e_; }
+
+    /** Reset the integrator to a given speedup. */
+    void reset(double s);
+
+  private:
+    double sMin_;
+    double sMax_;
+    double setpoint_;
+    double deadband_;
+    double gain_;
+    double s_ = 1.0;
+    double e_ = 0.0;
+};
+
+} // namespace cash
+
+#endif // CASH_CORE_CONTROLLER_HH

@@ -1,0 +1,51 @@
+#include "core/kalman.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+KalmanEstimator::KalmanEstimator(double initial_b, double process_var,
+                                 double measurement_var)
+    : bHat_(initial_b), processVar_(process_var),
+      measurementVar_(measurement_var)
+{
+    if (process_var < 0.0 || measurement_var <= 0.0)
+        fatal("Kalman variances must be positive");
+}
+
+double
+KalmanEstimator::update(double q, double s)
+{
+    // A-priori estimates (Eqn 4, first two lines).
+    double b_prior = bHat_;
+    double e_prior = errVar_ + processVar_;
+
+    // Kalman gain for the measurement q = s * b.
+    double denom = s * s * e_prior + measurementVar_;
+    gain_ = denom > 1e-18 ? e_prior * s / denom : 0.0;
+
+    // Innovation and a-posteriori correction.
+    double predicted = s * b_prior;
+    innovation_ = std::fabs(q - predicted) / std::max(q, 1e-9);
+    bHat_ = b_prior + gain_ * (q - predicted);
+    errVar_ = (1.0 - gain_ * lastS_) * e_prior;
+    errVar_ = std::max(errVar_, 1e-12);
+    bHat_ = std::max(bHat_, 1e-9);
+
+    lastS_ = s;
+    return bHat_;
+}
+
+void
+KalmanEstimator::reset(double b, double err_var)
+{
+    bHat_ = std::max(b, 1e-9);
+    errVar_ = err_var;
+    innovation_ = 0.0;
+}
+
+} // namespace cash

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Kalman base-speed estimator (paper Sec IV-B, Eqns 3-4).
+ *
+ * The runtime cannot measure base speed directly (it would have to
+ * drop to the base configuration and likely violate QoS). Instead
+ * it estimates b(t) online from the observation model
+ *
+ *     b(t) = b(t-1) + delta_b(t)        (random-walk process)
+ *     q(t) = s(t-1) * b(t-1) + delta_q  (noisy measurement)
+ *
+ * with the standard scalar Kalman recursion (Eqn 4). A phase change
+ * is a step in b; the filter's exponential convergence tracks it in
+ * O(log |b_i - b_i+1|) steps. The innovation magnitude is exposed
+ * so the optimizer can react to detected phase changes (rescaling
+ * its learned speedup table).
+ */
+
+#ifndef CASH_CORE_KALMAN_HH
+#define CASH_CORE_KALMAN_HH
+
+namespace cash
+{
+
+/**
+ * Scalar Kalman filter for the application's base speed.
+ */
+class KalmanEstimator
+{
+  public:
+    /**
+     * @param initial_b starting estimate of base speed
+     * @param process_var system variance v (per Eqn 4)
+     * @param measurement_var measurement noise r — the paper treats
+     *        this as a constant property of the hardware
+     */
+    KalmanEstimator(double initial_b = 1.0,
+                    double process_var = 1e-4,
+                    double measurement_var = 1e-2);
+
+    /**
+     * Fold in one observation.
+     *
+     * @param q measured (normalized) QoS
+     * @param s the speedup that was applied when q was measured
+     * @return the a-posteriori estimate b_hat(t)
+     */
+    double update(double q, double s);
+
+    double estimate() const { return bHat_; }
+    double errorVariance() const { return errVar_; }
+    /** Relative innovation of the last update: |q - s*b^-| / max(q,eps).
+     *  Large values signal a phase change. */
+    double innovation() const { return innovation_; }
+    double gain() const { return gain_; }
+
+    /** Re-seed the estimate (e.g., after an external reset). */
+    void reset(double b, double err_var = 1.0);
+
+  private:
+    double bHat_;
+    double errVar_ = 1.0;
+    double processVar_;
+    double measurementVar_;
+    double innovation_ = 0.0;
+    double gain_ = 0.0;
+    double lastS_ = 1.0;
+};
+
+} // namespace cash
+
+#endif // CASH_CORE_KALMAN_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * QoS monitoring over the Runtime Interface Network.
+ *
+ * The CASH architecture has no fixed cores, so "read the performance
+ * counters" is a distributed operation: the monitor queries every
+ * member Slice of a virtual core (timestamped request/reply over the
+ * RIN) and synthesizes vcore-level QoS from the per-Slice deltas
+ * (paper Sec III-B2). Throughput QoS is committed instructions per
+ * cycle; request QoS is mean cycles per completed request.
+ *
+ * All readings are normalized against the QoS target so the control
+ * pipeline is unit-free: normalized 1.0 = exactly on target, above
+ * 1.0 = better than target (faster, or lower latency).
+ */
+
+#ifndef CASH_CORE_MONITOR_HH
+#define CASH_CORE_MONITOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/ssim.hh"
+#include "workload/apps.hh"
+
+namespace cash
+{
+
+/**
+ * One QoS measurement window.
+ */
+struct QosReading
+{
+    /** False when the window contained no signal (e.g., zero
+     *  completed requests for a latency target). */
+    bool valid = false;
+    /** Performance relative to target (1.0 = on target). */
+    double normalized = 0.0;
+    /** Raw metric: IPC, or cycles per request. */
+    double raw = 0.0;
+    /** Window length in cycles. */
+    Cycle window = 0;
+    /** Application backlog at sample time. */
+    std::uint64_t backlog = 0;
+};
+
+/**
+ * Synthesizes QoS readings for one virtual core.
+ */
+class VCoreMonitor
+{
+  public:
+    /**
+     * @param sim the chip
+     * @param id the monitored virtual core
+     * @param kind QoS metric to synthesize
+     * @param target absolute target (IPC, or cycles/request)
+     */
+    VCoreMonitor(SSim &sim, VCoreId id, QosKind kind, double target);
+
+    /**
+     * Measure QoS since the previous sample (or construction).
+     */
+    QosReading sample();
+
+    double target() const { return target_; }
+    QosKind kind() const { return kind_; }
+
+  private:
+    SSim &sim_;
+    VCoreId id_;
+    QosKind kind_;
+    double target_;
+
+    /** Per-Slice committed-instruction baselines (by fabric id). */
+    std::unordered_map<SliceId, InstCount> lastCommitted_;
+    Cycle lastTimestamp_ = 0;
+    Cycle lastIdle_ = 0;
+    std::uint64_t lastReqDone_ = 0;
+    std::uint64_t lastReqLatSum_ = 0;
+    bool primed_ = false;
+};
+
+} // namespace cash
+
+#endif // CASH_CORE_MONITOR_HH

@@ -1,0 +1,152 @@
+#include "core/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+TwoConfigOptimizer::TwoConfigOptimizer(const ConfigSpace &space,
+                                       const CostModel &cost)
+    : space_(space), cost_(cost)
+{
+}
+
+QuantumSchedule
+TwoConfigOptimizer::solve(
+    double s, Cycle tau,
+    const std::function<double(std::size_t)> &speedup_of) const
+{
+    if (tau == 0)
+        fatal("optimizer quantum must be non-zero");
+
+    constexpr std::size_t none = ~std::size_t(0);
+    std::size_t over = none;
+    std::size_t under = none;
+    double over_cost = 0.0;
+    double under_eff = -1.0;
+    double s_over = 0.0;
+    double s_under = 0.0;
+
+    for (std::size_t k = 0; k < space_.size(); ++k) {
+        double sk = speedup_of(k);
+        double ck = cost_.ratePerHour(space_.at(k));
+        if (sk > s) {
+            if (over == none || ck < over_cost
+                || (ck == over_cost && sk < s_over)) {
+                over = k;
+                over_cost = ck;
+                s_over = sk;
+            }
+        } else if (sk < s) {
+            double eff = sk / ck;
+            if (under == none || eff > under_eff) {
+                under = k;
+                under_eff = eff;
+                s_under = sk;
+            }
+        } else {
+            // Exact match: run it for the whole quantum.
+            QuantumSchedule sched;
+            sched.over = sched.under = k;
+            sched.tOver = tau;
+            sched.expectedSpeedup = sk;
+            return sched;
+        }
+    }
+
+    QuantumSchedule sched;
+    if (over == none) {
+        // Demand exceeds every configuration: run the fastest.
+        std::size_t best = 0;
+        double best_s = speedup_of(0);
+        for (std::size_t k = 1; k < space_.size(); ++k) {
+            if (speedup_of(k) > best_s) {
+                best = k;
+                best_s = speedup_of(k);
+            }
+        }
+        sched.over = sched.under = best;
+        sched.tOver = tau;
+        sched.expectedSpeedup = best_s;
+        return sched;
+    }
+
+    if (under == none) {
+        // Even the cheapest overshoots: mix the cheapest config
+        // with idle (paying for held resources either way, so run
+        // the min-cost config and let the source idle naturally).
+        std::size_t cheapest = 0;
+        double cheapest_rate = cost_.ratePerHour(space_.at(0));
+        for (std::size_t k = 1; k < space_.size(); ++k) {
+            double ck = cost_.ratePerHour(space_.at(k));
+            if (ck < cheapest_rate) {
+                cheapest = k;
+                cheapest_rate = ck;
+            }
+        }
+        double sk = speedup_of(cheapest);
+        sched.over = sched.under = cheapest;
+        double frac = sk > 1e-12 ? std::min(1.0, s / sk) : 1.0;
+        sched.tOver = static_cast<Cycle>(
+            frac * static_cast<double>(tau));
+        sched.tIdle = tau - sched.tOver;
+        sched.expectedSpeedup = s;
+        return sched;
+    }
+
+    // Prefer an 'under' that shares the 'over' configuration's
+    // bank count when one is nearly as efficient: switching L2
+    // size twice per quantum flushes and remaps the cache, which
+    // costs more than a small efficiency gap.
+    if (space_.at(under).banks != space_.at(over).banks) {
+        std::size_t alt = none;
+        double alt_eff = -1.0;
+        for (std::size_t k = 0; k < space_.size(); ++k) {
+            if (space_.at(k).banks != space_.at(over).banks)
+                continue;
+            double sk = speedup_of(k);
+            if (sk >= s)
+                continue;
+            double eff = sk / cost_.ratePerHour(space_.at(k));
+            if (alt == none || eff > alt_eff) {
+                alt = k;
+                alt_eff = eff;
+            }
+        }
+        if (alt != none && alt_eff >= 0.85 * under_eff) {
+            under = alt;
+            s_under = speedup_of(alt);
+        }
+    }
+
+    // The generic two-configuration mix (Eqn 6).
+    sched.over = over;
+    sched.under = under;
+    double span = s_over - s_under;
+    double frac = span > 1e-12 ? (s - s_under) / span : 1.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    sched.tOver = static_cast<Cycle>(frac * static_cast<double>(tau));
+    sched.tUnder = tau - sched.tOver;
+    sched.expectedSpeedup = frac * s_over + (1.0 - frac) * s_under;
+    return sched;
+}
+
+double
+TwoConfigOptimizer::scheduleRate(const QuantumSchedule &sched) const
+{
+    Cycle total = sched.tOver + sched.tUnder + sched.tIdle;
+    if (total == 0)
+        return 0.0;
+    double over_rate = cost_.ratePerHour(space_.at(sched.over));
+    double under_rate = cost_.ratePerHour(space_.at(sched.under));
+    // Idle time still holds the 'under' configuration.
+    double weighted = over_rate * static_cast<double>(sched.tOver)
+        + under_rate
+              * static_cast<double>(sched.tUnder + sched.tIdle);
+    return weighted / static_cast<double>(total);
+}
+
+} // namespace cash

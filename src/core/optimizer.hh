@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The two-configuration cost optimizer (paper Sec IV-C, Eqns 5-6).
+ *
+ * Scheduling over a quantum tau to deliver an average speedup s(t)
+ * at minimum cost is a linear program with two constraints; LP
+ * theory guarantees an optimal solution with at most two non-zero
+ * configuration times (plus idle). The paper identifies them as
+ *
+ *     over  = argmin_k { c_k          | s_k > s(t) }
+ *     under = argmax_k { s_k / c_k    | s_k < s(t) }
+ *     t_over  = tau * (s(t) - s_under) / (s_over - s_under)
+ *     t_under = tau - t_over
+ *
+ * Because the argmin/argmax scan the *whole* table, the selection is
+ * global: local optima in the configuration space cannot trap it —
+ * this is exactly the property that lets CASH beat convex
+ * optimizers on non-convex spaces, provided the learned speedups
+ * are faithful.
+ *
+ * Edge cases: if s(t) exceeds every known speedup the schedule is
+ * the fastest configuration for the whole quantum (the controller
+ * keeps winding up and QoS is simply infeasible); if s(t) is below
+ * every speedup, the cheapest configuration is mixed with idle
+ * (which still pays for the held base configuration, per the
+ * problem's c_idle term).
+ */
+
+#ifndef CASH_CORE_OPTIMIZER_HH
+#define CASH_CORE_OPTIMIZER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "core/config_space.hh"
+
+namespace cash
+{
+
+/**
+ * The schedule for one quantum.
+ */
+struct QuantumSchedule
+{
+    /** Configuration run for the first part of the quantum. */
+    std::size_t over = 0;
+    /** Configuration run for the remainder (may equal over). */
+    std::size_t under = 0;
+    Cycle tOver = 0;
+    Cycle tUnder = 0;
+    /** Idle tail (only when even the cheapest config overshoots). */
+    Cycle tIdle = 0;
+    /** Expected average speedup of the schedule. */
+    double expectedSpeedup = 0.0;
+};
+
+/**
+ * Solves Eqn 6 against a caller-supplied speedup table.
+ */
+class TwoConfigOptimizer
+{
+  public:
+    explicit TwoConfigOptimizer(const ConfigSpace &space,
+                                const CostModel &cost);
+
+    /**
+     * Compute the minimum-cost schedule delivering speedup s.
+     *
+     * @param s the controller's speedup demand
+     * @param tau quantum length in cycles
+     * @param speedup_of table: config index -> estimated speedup
+     */
+    QuantumSchedule
+    solve(double s, Cycle tau,
+          const std::function<double(std::size_t)> &speedup_of) const;
+
+    /** Expected cost rate ($/hr) of a schedule. */
+    double scheduleRate(const QuantumSchedule &sched) const;
+
+  private:
+    const ConfigSpace &space_;
+    const CostModel &cost_;
+};
+
+} // namespace cash
+
+#endif // CASH_CORE_OPTIMIZER_HH

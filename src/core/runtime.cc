@@ -1,0 +1,314 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+CashRuntime::CashRuntime(SSim &sim, VCoreId id, QosKind kind,
+                         double target, const ConfigSpace &space,
+                         const CostModel &cost,
+                         const RuntimeParams &params,
+                         std::uint64_t seed)
+    : sim_(sim), id_(id), space_(space), cost_(cost),
+      params_(params),
+      monitor_(sim, id, kind, target),
+      ctrl_(0.0, params.maxSpeedup, params.guardBand,
+            params.deadband, params.controlGain),
+      kalman_(1.0, params.kalmanProcessVar, params.kalmanMeasVar),
+      learner_(space, params.alpha, 1.0,
+               kind == QosKind::RequestLatency),
+      optimizer_(space, cost),
+      rng_(seed)
+{
+    if (params.quantum == 0)
+        fatal("runtime quantum must be non-zero");
+    const VirtualCore &vc = sim.vcore(id);
+    VCoreConfig current{vc.numSlices(), vc.numBanks()};
+    if (!space.contains(current)) {
+        fatal("virtual core %u starts outside the config space (%s)",
+              id, current.str().c_str());
+    }
+    currentCfg_ = space.indexOf(current);
+}
+
+void
+CashRuntime::runSlot(std::size_t cfg, Cycle duration,
+                     QuantumStats &st)
+{
+    if (duration == 0 || finished_)
+        return;
+
+    Cycle slot_start = sim_.vcore(id_).now();
+    Cycle stall = 0;
+    if (cfg != currentCfg_) {
+        const VCoreConfig &c = space_.at(cfg);
+        auto rc = sim_.command(id_, c.slices, c.banks);
+        if (rc) {
+            ++st.reconfigs;
+            stall = rc->totalStall();
+            st.reconfigStall += stall;
+            currentCfg_ = cfg;
+        } else {
+            warn("fabric cannot supply %s; staying at %s",
+                 c.str().c_str(),
+                 space_.at(currentCfg_).str().c_str());
+        }
+    }
+
+    // After a reconfiguration the caches are cold; burn off the
+    // transient before the reading that teaches the table. The
+    // warm-up still counts toward cost and quantum QoS (it is real
+    // time at this configuration).
+    Cycle warmup = 0;
+    if (stall > 0 && duration > 64'000)
+        warmup = std::min<Cycle>(duration / 3, 100'000);
+    if (warmup > 0) {
+        RunResult wr =
+            sim_.vcore(id_).runUntil(slot_start + warmup);
+        if (wr.finished)
+            finished_ = true;
+        QosReading wq = monitor_.sample();
+        Cycle welapsed = sim_.vcore(id_).now() - slot_start;
+        if (wq.valid) {
+            st.qos += wq.normalized * static_cast<double>(welapsed);
+            validCycles_ += welapsed;
+        }
+    }
+
+    Cycle meas_start = sim_.vcore(id_).now();
+    RunResult rr = sim_.vcore(id_).runUntil(slot_start + duration);
+    if (rr.finished)
+        finished_ = true;
+    Cycle meas = sim_.vcore(id_).now() - meas_start;
+    Cycle elapsed = sim_.vcore(id_).now() - slot_start;
+
+    double slot_cost = cost_.cost(space_.at(currentCfg_), elapsed);
+    st.cost += slot_cost;
+    totalCost_ += slot_cost;
+    st.cycles += elapsed;
+
+    QosReading r = monitor_.sample();
+    if (r.valid) {
+        // Only teach the table steady-state behaviour: a slot
+        // dominated by reconfiguration stall measures the
+        // transient, not the configuration — and for latency QoS a
+        // *draining* backlog measures the queue's history, not the
+        // configuration. A growing backlog, however, is the
+        // configuration's fault: learn that pessimistically.
+        bool backlogged = monitor_.kind() == QosKind::RequestLatency
+            && r.backlog > backlogFloor_;
+        bool growing = r.backlog > lastBacklog_;
+        lastBacklog_ = r.backlog;
+        bool protect_drain = backlogged && !growing;
+        if (stall * 4 <= elapsed && !protect_drain)
+            learner_.update(currentCfg_, r.normalized);
+        st.qos += r.normalized * static_cast<double>(meas);
+        validCycles_ += meas;
+        lastSlotQ_ = r.normalized;
+        lastSlotValid_ = true;
+    } else {
+        lastSlotValid_ = false;
+    }
+}
+
+QuantumStats
+CashRuntime::step()
+{
+    QuantumStats st;
+    if (finished_) {
+        st.finished = true;
+        return st;
+    }
+
+    // --- Estimator: track base speed; a large innovation is a
+    // phase change (Sec IV-B). The estimate feeds phase detection
+    // and the reported speedup command; the control integration
+    // below runs in normalized-QoS space, where the plant gain is
+    // exactly 1 whenever the learned table is faithful (dividing by
+    // b and multiplying back cancels — see DESIGN.md).
+    double b_pre = kalman_.estimate();
+    double b_hat = kalman_.update(lastQ_, lastS_);
+    if (kalman_.innovation() > params_.phaseThreshold) {
+        st.phaseDetected = true;
+        if (params_.rescaleOnPhase && b_pre > 1e-12)
+            learner_.rescale(b_hat / b_pre);
+    }
+    st.baseEstimate = b_hat;
+
+    // --- Controller: deadbeat integration of the QoS error
+    // (Eqns 1-2). The demand is in normalized-QoS units and b_hat
+    // is the estimated plant gain — delivered QoS per unit of
+    // table-promised QoS — so one step cancels the error exactly
+    // when the gain estimate is right, even under a miscalibrated
+    // table. b_hat is clamped away from degeneracy.
+    double b_eff = std::clamp(b_hat, 0.25, 4.0);
+    double q_demand = ctrl_.step(lastQ_, b_eff);
+    double base_q = learner_.qhat(0);
+    st.speedupCmd = base_q > 1e-12 ? q_demand / base_q : q_demand;
+
+    // --- Optimizer: two-configuration schedule (Eqn 6) against
+    // the learned per-configuration QoS table.
+    QuantumSchedule sched = optimizer_.solve(
+        q_demand, params_.quantum,
+        [this](std::size_t k) { return learner_.qhat(k); });
+
+    // Stickiness: a near-tie does not justify the cold caches of a
+    // reconfiguration, so keep the incumbent slot configurations
+    // when the newly chosen ones are within tolerance.
+    auto sticky = [this, q_demand](std::size_t chosen,
+                                   std::size_t incumbent,
+                                   bool is_over) {
+        if (chosen == incumbent)
+            return chosen;
+        double q_new = learner_.qhat(chosen);
+        double q_old = learner_.qhat(incumbent);
+        bool feasible = is_over ? q_old >= q_demand
+                                : q_old <= q_demand;
+        if (!feasible)
+            return chosen;
+        double c_new = cost_.ratePerHour(space_.at(chosen));
+        double c_old = cost_.ratePerHour(space_.at(incumbent));
+        if (c_old <= c_new * (1.0 + params_.stickiness)
+            && std::fabs(q_old - q_new)
+                   <= params_.stickiness * std::max(q_new, 1e-9)) {
+            return incumbent;
+        }
+        return chosen;
+    };
+    if (haveLastSched_) {
+        sched.over = sticky(sched.over, lastOver_, true);
+        sched.under = sticky(sched.under, lastUnder_, false);
+    }
+    lastOver_ = sched.over;
+    lastUnder_ = sched.under;
+    haveLastSched_ = true;
+
+    // Latency QoS: queueing punishes any under-provisioned interval
+    // superlinearly (the backlog outlives the slot), so instead of
+    // the throughput-optimal two-config mix the whole quantum runs
+    // the 'over' configuration.
+    if (monitor_.kind() == QosKind::RequestLatency
+        && sched.under != sched.over) {
+        sched.tOver += sched.tUnder;
+        sched.tUnder = 0;
+        sched.under = sched.over;
+        sched.expectedSpeedup = learner_.qhat(sched.over);
+    }
+
+    // Merge slots too short to amortize a reconfiguration.
+    auto min_slot = static_cast<Cycle>(
+        params_.minSlotFrac * static_cast<double>(params_.quantum));
+    if (sched.tOver > 0 && sched.tOver < min_slot
+        && sched.tUnder > 0) {
+        sched.tUnder += sched.tOver;
+        sched.tOver = 0;
+    } else if (sched.tUnder > 0 && sched.tUnder < min_slot) {
+        sched.tOver += sched.tUnder;
+        sched.tUnder = 0;
+    }
+    st.schedule = sched;
+
+    // --- Occasional exploration slot keeps estimates of configs
+    // the schedule would never visit from going stale.
+    Cycle t_explore = 0;
+    std::size_t cfg_explore = 0;
+    bool may_explore = monitor_.kind() != QosKind::RequestLatency
+        || lastQ_ > 1.2; // latency apps: explore only when safe
+    if (may_explore && params_.epsilon > 0.0
+        && rng_.nextBool(params_.epsilon)) {
+        cfg_explore = static_cast<std::size_t>(
+            rng_.nextBounded(space_.size()));
+        t_explore = static_cast<Cycle>(
+            params_.exploreFrac
+            * static_cast<double>(params_.quantum));
+        Cycle &donor = sched.tUnder >= t_explore ? sched.tUnder
+                                                 : sched.tOver;
+        donor = donor >= t_explore ? donor - t_explore : 0;
+    }
+
+    // --- Execute Algorithm 1's schedule. QoS is assessed at
+    // quantum granularity: the schedule's *average* must meet the
+    // target (the 'under' slot is intentionally slow).
+    validCycles_ = 0;
+    // Fixed slot order: alternating order would slosh the paced
+    // backlog across quantum boundaries and alias the QoS
+    // measurement into a limit cycle.
+    std::size_t first = sched.over;
+    std::size_t second = sched.under;
+    Cycle t_first = sched.tOver;
+    Cycle t_second = sched.tUnder + sched.tIdle;
+    runSlot(first, t_first, st);
+    // A collapsed slot (delivering far below its promise) means the
+    // phase changed under us: abort the quantum so the controller
+    // reacts sooner.
+    bool collapsed = lastSlotValid_ && t_first > 0
+        && lastSlotQ_ < 0.5 * learner_.qhat(first);
+    if (!collapsed) {
+        runSlot(second, t_second, st);
+        if (t_explore != 0)
+            runSlot(cfg_explore, t_explore, st);
+    }
+
+    ++quantaRun_;
+    if (validCycles_ > 0) {
+        st.qos /= static_cast<double>(validCycles_);
+        // Latency readings are steep and noisy (queueing): smooth
+        // the controller's input; throughput readings are already
+        // near-deterministic per quantum.
+        lastQ_ = monitor_.kind() == QosKind::RequestLatency
+            ? 0.5 * lastQ_ + 0.5 * st.qos
+            : st.qos;
+        ewmaQ_ = 0.5 * ewmaQ_ + 0.5 * st.qos;
+        // The first few quanta are the controller's cold start and
+        // are excluded from the violation accounting (all policies
+        // are treated identically).
+        if (quantaRun_ > params_.warmupQuanta) {
+            st.samples = 1;
+            ++totalSamples_;
+            if (ewmaQ_ < 1.0 - params_.violationTolerance) {
+                st.violations = 1;
+                ++totalViolations_;
+            }
+        }
+    }
+    // The Kalman pairs the next measurement with the QoS this
+    // schedule *promised* (per the learned table): the filtered
+    // ratio of delivered to promised QoS is the plant gain the
+    // controller divides by.
+    lastS_ = sched.expectedSpeedup > 1e-12 ? sched.expectedSpeedup
+                                           : q_demand;
+    st.finished = finished_;
+    return st;
+}
+
+QuantumStats
+CashRuntime::runUntil(Cycle target_cycle)
+{
+    QuantumStats agg;
+    while (!finished_ && sim_.vcore(id_).now() < target_cycle) {
+        QuantumStats st = step();
+        agg.cost += st.cost;
+        agg.cycles += st.cycles;
+        agg.qos += st.qos * st.samples;
+        agg.samples += st.samples;
+        agg.violations += st.violations;
+        agg.reconfigs += st.reconfigs;
+        agg.reconfigStall += st.reconfigStall;
+        agg.speedupCmd = st.speedupCmd;
+        agg.baseEstimate = st.baseEstimate;
+        agg.phaseDetected = agg.phaseDetected || st.phaseDetected;
+        agg.schedule = st.schedule;
+        if (st.cycles == 0 && !st.finished)
+            break; // defensive: no forward progress
+    }
+    if (agg.samples > 0)
+        agg.qos /= static_cast<double>(agg.samples);
+    agg.finished = finished_;
+    return agg;
+}
+
+} // namespace cash

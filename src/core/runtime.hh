@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The CASH runtime (paper Sec IV, Algorithm 1).
+ *
+ * Every quantum the runtime
+ *
+ *  1. reads the delivered QoS q(t) from the monitor,
+ *  2. updates the Kalman estimate of base speed b(t) — a large
+ *     innovation flags a phase change, which rescales the learned
+ *     speedup table so its shape survives across phases,
+ *  3. computes the deadbeat speedup command s(t),
+ *  4. solves the two-configuration LP for the cheapest schedule
+ *     delivering s(t) under the *learned* speedup table,
+ *  5. reconfigures the virtual core (EXPAND/SHRINK over the RIN),
+ *     runs each sub-interval, and folds the measured QoS back into
+ *     the Q-learning table (Eqn 7); occasional epsilon-exploration
+ *     refreshes estimates of configurations the schedule would
+ *     never visit.
+ *
+ * The loop body is O(K) table scans and O(1) arithmetic — no
+ * application knowledge, no offline training.
+ */
+
+#ifndef CASH_CORE_RUNTIME_HH
+#define CASH_CORE_RUNTIME_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "core/config_space.hh"
+#include "core/controller.hh"
+#include "core/kalman.hh"
+#include "core/monitor.hh"
+#include "core/optimizer.hh"
+#include "core/qlearn.hh"
+#include "sim/ssim.hh"
+
+namespace cash
+{
+
+/**
+ * Tunables of the CASH runtime.
+ */
+struct RuntimeParams
+{
+    /** Quantum length tau in cycles. */
+    Cycle quantum = 500'000;
+    /** Q-learning rate alpha (Eqn 7). */
+    double alpha = 0.3;
+    /** Kalman process variance. */
+    double kalmanProcessVar = 1e-3;
+    /** Kalman measurement variance r (hardware property). */
+    double kalmanMeasVar = 4e-3;
+    /** Probability of an exploration slot per quantum. */
+    double epsilon = 0.03;
+    /** Fraction of the quantum an exploration slot may use. */
+    double exploreFrac = 0.08;
+    /** Controller setpoint above the target (guard band). */
+    double guardBand = 1.05;
+    /** Controller deadband: errors smaller than this hold the
+     *  demand (reconfiguring on noise costs more than it saves). */
+    double deadband = 0.04;
+    /** Controller damping (1.0 = pure deadbeat; below 1 adds the
+     *  stability margin a delayed loop needs). */
+    double controlGain = 0.6;
+    /** Relative innovation that signals a phase change. */
+    double phaseThreshold = 0.25;
+    /** Rescale the learned table on detected phase changes. Off by
+     *  default: the plant-gain controller already absorbs level
+     *  shifts, and multiplicative rescaling would random-walk the
+     *  estimates of configurations that are rarely visited. */
+    bool rescaleOnPhase = false;
+    /** Keep the incumbent over/under configuration when the newly
+     *  selected one promises less than this much improvement — a
+     *  reconfiguration (cold caches) costs more than a near-tie. */
+    double stickiness = 0.05;
+    /** Slots shorter than this fraction of the quantum are merged
+     *  into the other slot (a reconfiguration would cost more than
+     *  the slot delivers). */
+    double minSlotFrac = 0.10;
+    /** QoS violation tolerance (normalized; a sample whose
+     *  short-window mean falls below 1 - tolerance is a
+     *  violation). */
+    double violationTolerance = 0.05;
+    /** Start-up quanta excluded from violation accounting. */
+    std::uint32_t warmupQuanta = 5;
+    /** Upper bound for the controller's demand (normalized QoS
+     *  units; also bounds the reported speedup via b). */
+    double maxSpeedup = 8.0;
+};
+
+/**
+ * Statistics of one runtime quantum.
+ */
+struct QuantumStats
+{
+    Cycle cycles = 0;
+    /** $ charged for resources held this quantum. */
+    double cost = 0.0;
+    /** Mean normalized QoS across valid samples. */
+    double qos = 0.0;
+    std::uint32_t samples = 0;
+    std::uint32_t violations = 0;
+    std::uint32_t reconfigs = 0;
+    Cycle reconfigStall = 0;
+    double speedupCmd = 0.0;
+    double baseEstimate = 0.0;
+    bool phaseDetected = false;
+    bool finished = false;
+    /** Schedule actually executed. */
+    QuantumSchedule schedule;
+};
+
+/**
+ * The adaptive, cost-minimizing QoS runtime.
+ */
+class CashRuntime
+{
+  public:
+    /**
+     * @param sim the chip (the runtime talks to it via the RIN)
+     * @param id the managed virtual core
+     * @param kind QoS metric
+     * @param target absolute QoS target (IPC or cycles/request)
+     * @param space configuration space
+     * @param cost pricing model
+     * @param params tunables
+     * @param seed exploration RNG seed
+     */
+    CashRuntime(SSim &sim, VCoreId id, QosKind kind, double target,
+                const ConfigSpace &space, const CostModel &cost,
+                const RuntimeParams &params = RuntimeParams(),
+                std::uint64_t seed = 7);
+
+    /** Execute one quantum of Algorithm 1. */
+    QuantumStats step();
+
+    /** Run quanta until the vcore clock reaches the target cycle or
+     *  the workload finishes; returns aggregated stats. */
+    QuantumStats runUntil(Cycle target_cycle);
+
+    const KalmanEstimator &kalman() const { return kalman_; }
+    const DeadbeatController &controller() const { return ctrl_; }
+    const SpeedupLearner &learner() const { return learner_; }
+    std::size_t currentConfig() const { return currentCfg_; }
+
+    /** Total cost accumulated across all quanta. */
+    double totalCost() const { return totalCost_; }
+    std::uint64_t totalSamples() const { return totalSamples_; }
+    std::uint64_t totalViolations() const { return totalViolations_; }
+
+  private:
+    /** Reconfigure if needed; run a sub-interval; sample + learn. */
+    void runSlot(std::size_t cfg, Cycle duration, QuantumStats &st);
+
+    SSim &sim_;
+    VCoreId id_;
+    const ConfigSpace &space_;
+    const CostModel &cost_;
+    RuntimeParams params_;
+    VCoreMonitor monitor_;
+    DeadbeatController ctrl_;
+    KalmanEstimator kalman_;
+    SpeedupLearner learner_;
+    TwoConfigOptimizer optimizer_;
+    Rng rng_;
+
+    std::size_t currentCfg_;
+    double lastQ_ = 1.0;
+    double lastS_ = 1.0;
+    bool finished_ = false;
+    /** Cycles covered by valid QoS readings this quantum. */
+    Cycle validCycles_ = 0;
+    /** Queue depth above which latency readings are drain
+     *  transients rather than configuration quality. */
+    std::uint64_t backlogFloor_ = 4;
+    std::uint64_t lastBacklog_ = 0;
+    /** Last slot's steady-state reading (phase-collapse check). */
+    double lastSlotQ_ = 1.0;
+    bool lastSlotValid_ = false;
+    std::uint64_t quantaRun_ = 0;
+    double ewmaQ_ = 1.0;
+    /** Alternating slot order (halves steady-state reconfigs). */
+    bool flipOrder_ = false;
+    /** Incumbent schedule for stickiness. */
+    std::size_t lastOver_ = 0;
+    std::size_t lastUnder_ = 0;
+    bool haveLastSched_ = false;
+
+    double totalCost_ = 0.0;
+    std::uint64_t totalSamples_ = 0;
+    std::uint64_t totalViolations_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_CORE_RUNTIME_HH

@@ -1,0 +1,301 @@
+#include "fabric/allocator.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+double
+VCoreAllocation::meanL2Distance(const FabricGrid &grid) const
+{
+    return grid.meanAccessDistance(slices, banks);
+}
+
+std::uint32_t
+VCoreAllocation::sliceSpan(const FabricGrid &grid) const
+{
+    std::uint32_t span = 0;
+    for (std::size_t i = 0; i < slices.size(); ++i)
+        for (std::size_t j = i + 1; j < slices.size(); ++j)
+            span = std::max(span, grid.sliceDistance(slices[i],
+                                                     slices[j]));
+    return span;
+}
+
+FabricAllocator::FabricAllocator(const FabricGrid &grid)
+    : grid_(grid),
+      sliceUsed_(grid.numSlices(), false),
+      bankUsed_(grid.numBanks(), false)
+{
+}
+
+std::vector<SliceId>
+FabricAllocator::pickSlices(std::uint32_t num,
+                            std::optional<TileCoord> anchor,
+                            const std::vector<SliceId> &prefer) const
+{
+    std::vector<SliceId> chosen;
+    chosen.reserve(num);
+    std::vector<bool> taken = sliceUsed_;
+
+    // Keep preferred (currently owned) slices first.
+    for (SliceId s : prefer) {
+        if (chosen.size() == num)
+            break;
+        chosen.push_back(s);
+        taken[s] = false; // owned tiles count as available to us
+    }
+    for (SliceId s : chosen)
+        taken[s] = true;
+
+    // Establish an anchor: the first chosen slice, the caller's hint,
+    // or the first free slice.
+    TileCoord origin{0, 0};
+    bool have_origin = false;
+    if (!chosen.empty()) {
+        origin = grid_.sliceCoord(chosen.front());
+        have_origin = true;
+    } else if (anchor) {
+        origin = *anchor;
+        have_origin = true;
+    }
+
+    while (chosen.size() < num) {
+        SliceId best = invalidSlice;
+        std::uint32_t best_dist = std::numeric_limits<std::uint32_t>::max();
+        for (SliceId s = 0; s < grid_.numSlices(); ++s) {
+            if (taken[s])
+                continue;
+            std::uint32_t d = have_origin
+                ? manhattan(origin, grid_.sliceCoord(s)) : 0;
+            if (d < best_dist) {
+                best_dist = d;
+                best = s;
+            }
+            if (!have_origin)
+                break; // first free slice is fine
+        }
+        if (best == invalidSlice)
+            return {}; // exhausted
+        chosen.push_back(best);
+        taken[best] = true;
+        if (!have_origin) {
+            origin = grid_.sliceCoord(best);
+            have_origin = true;
+        }
+    }
+    return chosen;
+}
+
+std::vector<BankId>
+FabricAllocator::pickBanks(std::uint32_t num,
+                           const std::vector<SliceId> &slices,
+                           const std::vector<BankId> &prefer) const
+{
+    std::vector<BankId> chosen;
+    if (num == 0)
+        return chosen;
+    chosen.reserve(num);
+    std::vector<bool> taken = bankUsed_;
+
+    for (BankId b : prefer) {
+        if (chosen.size() == num)
+            break;
+        chosen.push_back(b);
+    }
+    for (BankId b : chosen)
+        taken[b] = true;
+
+    while (chosen.size() < num) {
+        BankId best = invalidBank;
+        std::uint64_t best_dist =
+            std::numeric_limits<std::uint64_t>::max();
+        for (BankId b = 0; b < grid_.numBanks(); ++b) {
+            if (taken[b])
+                continue;
+            std::uint64_t d = 0;
+            for (SliceId s : slices)
+                d += grid_.sliceToBankDistance(s, b);
+            if (d < best_dist) {
+                best_dist = d;
+                best = b;
+            }
+        }
+        if (best == invalidBank)
+            return {};
+        chosen.push_back(best);
+        taken[best] = true;
+    }
+    return chosen;
+}
+
+void
+FabricAllocator::markSlices(const std::vector<SliceId> &ids, bool used)
+{
+    for (SliceId s : ids)
+        sliceUsed_[s] = used;
+}
+
+void
+FabricAllocator::markBanks(const std::vector<BankId> &ids, bool used)
+{
+    for (BankId b : ids)
+        bankUsed_[b] = used;
+}
+
+std::optional<VCoreAllocation>
+FabricAllocator::allocate(std::uint32_t num_slices,
+                          std::uint32_t num_banks)
+{
+    if (num_slices == 0)
+        fatal("a virtual core needs at least one Slice");
+    auto slices = pickSlices(num_slices, std::nullopt, {});
+    if (slices.size() != num_slices)
+        return std::nullopt;
+    auto banks = pickBanks(num_banks, slices, {});
+    if (banks.size() != num_banks)
+        return std::nullopt;
+
+    VCoreAllocation alloc;
+    alloc.id = nextId_++;
+    alloc.slices = std::move(slices);
+    alloc.banks = std::move(banks);
+    markSlices(alloc.slices, true);
+    markBanks(alloc.banks, true);
+    live_[alloc.id] = alloc;
+    return alloc;
+}
+
+std::optional<VCoreAllocation>
+FabricAllocator::resize(VCoreId id, std::uint32_t num_slices,
+                        std::uint32_t num_banks)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        panic("resize of unknown vcore %u", id);
+    if (num_slices == 0)
+        fatal("a virtual core needs at least one Slice");
+
+    VCoreAllocation &cur = it->second;
+
+    // Temporarily free our own tiles so pickers can reuse them.
+    markSlices(cur.slices, false);
+    markBanks(cur.banks, false);
+
+    // Prefer keeping a prefix of current tiles (EXPAND keeps all,
+    // SHRINK keeps survivors), so physical churn is minimal.
+    std::vector<SliceId> keep_slices(
+        cur.slices.begin(),
+        cur.slices.begin() + std::min<std::size_t>(cur.slices.size(),
+                                                   num_slices));
+    std::vector<BankId> keep_banks(
+        cur.banks.begin(),
+        cur.banks.begin() + std::min<std::size_t>(cur.banks.size(),
+                                                  num_banks));
+
+    auto slices = pickSlices(num_slices, std::nullopt, keep_slices);
+    std::vector<BankId> banks;
+    bool ok = slices.size() == num_slices;
+    if (ok) {
+        banks = pickBanks(num_banks, slices, keep_banks);
+        ok = banks.size() == num_banks;
+    }
+    if (!ok) {
+        // Roll back: re-mark the original tiles.
+        markSlices(cur.slices, true);
+        markBanks(cur.banks, true);
+        return std::nullopt;
+    }
+
+    cur.slices = std::move(slices);
+    cur.banks = std::move(banks);
+    markSlices(cur.slices, true);
+    markBanks(cur.banks, true);
+    return cur;
+}
+
+void
+FabricAllocator::release(VCoreId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        panic("release of unknown vcore %u", id);
+    markSlices(it->second.slices, false);
+    markBanks(it->second.banks, false);
+    live_.erase(it);
+}
+
+const VCoreAllocation &
+FabricAllocator::allocation(VCoreId id) const
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        panic("allocation query for unknown vcore %u", id);
+    return it->second;
+}
+
+std::vector<VCoreId>
+FabricAllocator::compact()
+{
+    // Re-place every vcore from scratch, largest first, since all
+    // Slices are interchangeable (paper, Sec III-A).
+    std::vector<VCoreId> order;
+    order.reserve(live_.size());
+    for (const auto &[id, alloc] : live_)
+        order.push_back(id);
+    std::sort(order.begin(), order.end(),
+              [this](VCoreId a, VCoreId b) {
+                  return live_[a].slices.size() > live_[b].slices.size();
+              });
+
+    std::fill(sliceUsed_.begin(), sliceUsed_.end(), false);
+    std::fill(bankUsed_.begin(), bankUsed_.end(), false);
+
+    std::vector<VCoreId> moved;
+    for (VCoreId id : order) {
+        VCoreAllocation &cur = live_[id];
+        auto old_slices = cur.slices;
+        auto old_banks = cur.banks;
+        auto slices = pickSlices(
+            static_cast<std::uint32_t>(cur.slices.size()),
+            std::nullopt, {});
+        auto banks = pickBanks(
+            static_cast<std::uint32_t>(cur.banks.size()), slices, {});
+        if (slices.size() != cur.slices.size()
+            || banks.size() != cur.banks.size()) {
+            panic("compact lost resources for vcore %u", id);
+        }
+        cur.slices = std::move(slices);
+        cur.banks = std::move(banks);
+        markSlices(cur.slices, true);
+        markBanks(cur.banks, true);
+        if (cur.slices != old_slices || cur.banks != old_banks)
+            moved.push_back(id);
+    }
+    return moved;
+}
+
+std::uint32_t
+FabricAllocator::freeSlices() const
+{
+    return static_cast<std::uint32_t>(
+        std::count(sliceUsed_.begin(), sliceUsed_.end(), false));
+}
+
+std::uint32_t
+FabricAllocator::freeBanks() const
+{
+    return static_cast<std::uint32_t>(
+        std::count(bankUsed_.begin(), bankUsed_.end(), false));
+}
+
+std::uint32_t
+FabricAllocator::liveVCores() const
+{
+    return static_cast<std::uint32_t>(live_.size());
+}
+
+} // namespace cash

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Virtual-core allocation on the CASH fabric.
+ *
+ * The allocator hands out Slices and L2 banks to virtual cores. Per
+ * the paper (Sec III-A), neither Slices nor banks need be contiguous
+ * for *functionality*, but for *performance* adjacent Slices are
+ * grouped and banks are placed near the Slices that use them; the
+ * allocator therefore places greedily by distance. Because all
+ * Slices are interchangeable, fragmentation is repaired simply by
+ * rescheduling (compact()), which the paper calls out explicitly.
+ */
+
+#ifndef CASH_FABRIC_ALLOCATOR_HH
+#define CASH_FABRIC_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fabric/grid.hh"
+#include "fabric/resource.hh"
+
+namespace cash
+{
+
+/**
+ * The set of physical resources backing one virtual core.
+ */
+struct VCoreAllocation
+{
+    VCoreId id = invalidVCore;
+    std::vector<SliceId> slices;
+    std::vector<BankId> banks;
+
+    /** Mean Slice-to-bank hop distance for this allocation. */
+    double meanL2Distance(const FabricGrid &grid) const;
+    /** Max hop distance between any two member Slices. */
+    std::uint32_t sliceSpan(const FabricGrid &grid) const;
+};
+
+/**
+ * Tracks which tiles are free and serves allocate/resize requests.
+ *
+ * All mutating operations either succeed fully or leave the
+ * allocator unchanged.
+ */
+class FabricAllocator
+{
+  public:
+    explicit FabricAllocator(const FabricGrid &grid);
+
+    /**
+     * Allocate a virtual core with the given resources.
+     *
+     * @param num_slices number of Slices (>= 1)
+     * @param num_banks number of 64 KB L2 banks (>= 0)
+     * @return the allocation, or nullopt if resources are exhausted
+     */
+    std::optional<VCoreAllocation>
+    allocate(std::uint32_t num_slices, std::uint32_t num_banks);
+
+    /**
+     * Resize an existing virtual core in place, preferring to keep
+     * currently-held tiles (so reconfiguration cost stays low).
+     * On failure the prior allocation is untouched.
+     *
+     * @return the new allocation, or nullopt on exhaustion
+     */
+    std::optional<VCoreAllocation>
+    resize(VCoreId id, std::uint32_t num_slices, std::uint32_t num_banks);
+
+    /** Release all resources of a virtual core; panics on bad id. */
+    void release(VCoreId id);
+
+    /** Current allocation of a live virtual core; panics on bad id. */
+    const VCoreAllocation &allocation(VCoreId id) const;
+
+    /**
+     * Reschedule all live virtual cores to minimize their footprint
+     * spans (fragmentation repair). Returns the ids whose placement
+     * changed. Resource *counts* per vcore are preserved.
+     */
+    std::vector<VCoreId> compact();
+
+    std::uint32_t freeSlices() const;
+    std::uint32_t freeBanks() const;
+    std::uint32_t liveVCores() const;
+
+    const FabricGrid &grid() const { return grid_; }
+
+  private:
+    /** Pick num slices near an anchor; empty if impossible. */
+    std::vector<SliceId>
+    pickSlices(std::uint32_t num, std::optional<TileCoord> anchor,
+               const std::vector<SliceId> &prefer) const;
+    /** Pick num banks near the given slices; empty if impossible
+     *  (and num > 0). */
+    std::vector<BankId>
+    pickBanks(std::uint32_t num, const std::vector<SliceId> &slices,
+              const std::vector<BankId> &prefer) const;
+
+    void markSlices(const std::vector<SliceId> &ids, bool used);
+    void markBanks(const std::vector<BankId> &ids, bool used);
+
+    const FabricGrid &grid_;
+    std::vector<bool> sliceUsed_;
+    std::vector<bool> bankUsed_;
+    std::map<VCoreId, VCoreAllocation> live_;
+    VCoreId nextId_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_FABRIC_ALLOCATOR_HH

@@ -1,0 +1,75 @@
+#include "fabric/grid.hh"
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+FabricGrid::FabricGrid(const FabricParams &params)
+    : params_(params),
+      numSlices_(params.sliceCols * params.rows),
+      numBanks_(params.bankCols * params.rows)
+{
+    if (params.sliceCols == 0 || params.bankCols == 0 || params.rows == 0)
+        fatal("FabricGrid requires non-zero dimensions");
+}
+
+TileCoord
+FabricGrid::sliceCoord(SliceId id) const
+{
+    if (id >= numSlices_)
+        panic("sliceCoord: id %u out of range (%u slices)",
+              id, numSlices_);
+    // Slice columns are interleaved with bank columns: each Slice
+    // column c sits at physical x = c * stride where stride spreads
+    // bank columns between Slice columns.
+    std::uint32_t col = id / params_.rows;
+    std::uint32_t row = id % params_.rows;
+    std::uint32_t stride = 1 + params_.bankCols / params_.sliceCols;
+    return TileCoord{static_cast<std::int32_t>(col * stride),
+                     static_cast<std::int32_t>(row)};
+}
+
+TileCoord
+FabricGrid::bankCoord(BankId id) const
+{
+    if (id >= numBanks_)
+        panic("bankCoord: id %u out of range (%u banks)", id, numBanks_);
+    std::uint32_t col = id / params_.rows;
+    std::uint32_t row = id % params_.rows;
+    // Banks fill the columns between Slice columns.
+    std::uint32_t per_gap = params_.bankCols / params_.sliceCols;
+    std::uint32_t stride = 1 + per_gap;
+    std::uint32_t gap = per_gap ? col / per_gap : col;
+    std::uint32_t within = per_gap ? col % per_gap : 0;
+    return TileCoord{static_cast<std::int32_t>(gap * stride + 1 + within),
+                     static_cast<std::int32_t>(row)};
+}
+
+std::uint32_t
+FabricGrid::sliceDistance(SliceId a, SliceId b) const
+{
+    return manhattan(sliceCoord(a), sliceCoord(b));
+}
+
+std::uint32_t
+FabricGrid::sliceToBankDistance(SliceId s, BankId b) const
+{
+    return manhattan(sliceCoord(s), bankCoord(b));
+}
+
+double
+FabricGrid::meanAccessDistance(const std::vector<SliceId> &slices,
+                               const std::vector<BankId> &banks) const
+{
+    if (slices.empty() || banks.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (SliceId s : slices)
+        for (BankId b : banks)
+            total += sliceToBankDistance(s, b);
+    return static_cast<double>(total)
+        / static_cast<double>(slices.size() * banks.size());
+}
+
+} // namespace cash

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The CASH fabric grid: a checkerboard of Slice and L2-bank tiles.
+ *
+ * The paper's Fig 3 shows Slices and cache banks interleaved across a
+ * 2D switched interconnect; a full chip holds hundreds of each. The
+ * FabricGrid assigns coordinates to every Slice and bank so that the
+ * allocator and the latency models (operand network hops, L2 hit
+ * delay proportional to distance) have a consistent geometry.
+ *
+ * Layout: columns alternate between Slice columns and bank columns,
+ * matching the figure's banded arrangement. Slices are numbered in
+ * row-major order within Slice columns, banks likewise.
+ */
+
+#ifndef CASH_FABRIC_GRID_HH
+#define CASH_FABRIC_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/resource.hh"
+
+namespace cash
+{
+
+/**
+ * Geometry of a CASH chip.
+ */
+struct FabricParams
+{
+    /** Number of Slice columns on the chip. */
+    std::uint32_t sliceCols = 4;
+    /** Number of bank columns on the chip. */
+    std::uint32_t bankCols = 8;
+    /** Number of rows (shared by both tile types). */
+    std::uint32_t rows = 16;
+};
+
+/**
+ * Immutable geometric description of the fabric.
+ */
+class FabricGrid
+{
+  public:
+    explicit FabricGrid(const FabricParams &params = FabricParams());
+
+    std::uint32_t numSlices() const { return numSlices_; }
+    std::uint32_t numBanks() const { return numBanks_; }
+
+    /** Coordinate of a Slice tile; panics on out-of-range ids. */
+    TileCoord sliceCoord(SliceId id) const;
+
+    /** Coordinate of a bank tile; panics on out-of-range ids. */
+    TileCoord bankCoord(BankId id) const;
+
+    /** Hop distance between two Slices. */
+    std::uint32_t sliceDistance(SliceId a, SliceId b) const;
+
+    /** Hop distance from a Slice to a bank. */
+    std::uint32_t sliceToBankDistance(SliceId s, BankId b) const;
+
+    /**
+     * Mean hop distance from a set of Slices to a set of banks —
+     * the quantity that drives the paper's "hit delay proportional
+     * to distance" L2 model. Returns 0 for empty bank sets.
+     */
+    double
+    meanAccessDistance(const std::vector<SliceId> &slices,
+                       const std::vector<BankId> &banks) const;
+
+    const FabricParams &params() const { return params_; }
+
+  private:
+    FabricParams params_;
+    std::uint32_t numSlices_;
+    std::uint32_t numBanks_;
+};
+
+} // namespace cash
+
+#endif // CASH_FABRIC_GRID_HH

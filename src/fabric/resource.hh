@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Resource identifiers and grid coordinates for the CASH fabric.
+ *
+ * The CASH chip is a 2D fabric of two tile types (Fig 3 of the paper):
+ * Slices (minimal out-of-order cores) and L2 cache banks (64 KB each).
+ * Virtual cores are composed of one or more Slices plus zero or more
+ * banks. Identifiers are dense indices into the fabric's tile arrays.
+ */
+
+#ifndef CASH_FABRIC_RESOURCE_HH
+#define CASH_FABRIC_RESOURCE_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace cash
+{
+
+/** Dense index of a Slice tile within the fabric. */
+using SliceId = std::uint32_t;
+
+/** Dense index of an L2 cache bank tile within the fabric. */
+using BankId = std::uint32_t;
+
+/** Identifier of a virtual core (allocation handle). */
+using VCoreId = std::uint32_t;
+
+constexpr SliceId invalidSlice = ~SliceId(0);
+constexpr BankId invalidBank = ~BankId(0);
+constexpr VCoreId invalidVCore = ~VCoreId(0);
+
+/**
+ * Integer coordinate of a tile on the fabric grid.
+ */
+struct TileCoord
+{
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+
+    bool operator==(const TileCoord &o) const = default;
+};
+
+/** Manhattan distance between two tiles — the hop count used for
+ *  operand-network and L2-access latency. */
+inline std::uint32_t
+manhattan(const TileCoord &a, const TileCoord &b)
+{
+    auto dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    auto dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return static_cast<std::uint32_t>(dx + dy);
+}
+
+} // namespace cash
+
+#endif // CASH_FABRIC_RESOURCE_HH

@@ -1,0 +1,80 @@
+#include "sim/branch_pred.hh"
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+BranchPredictor::BranchPredictor(std::uint32_t index_bits,
+                                 std::uint32_t btb_entries)
+    : indexBits_(index_bits),
+      indexMask_((1ull << index_bits) - 1),
+      bimodal_(1ull << index_bits, 2),  // weakly taken
+      gshare_(1ull << index_bits, 2),
+      chooser_(1ull << index_bits, 1),  // weakly prefer bimodal
+      btbTags_(btb_entries, invalidAddr)
+{
+    if (index_bits == 0 || index_bits > 24)
+        fatal("BranchPredictor index bits %u out of range",
+              index_bits);
+    if (btb_entries == 0 || (btb_entries & (btb_entries - 1)) != 0)
+        fatal("BTB entries must be a power of two");
+}
+
+void
+BranchPredictor::train(std::uint8_t &ctr, bool up)
+{
+    if (up && ctr < 3)
+        ++ctr;
+    else if (!up && ctr > 0)
+        --ctr;
+}
+
+BranchOutcome
+BranchPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    ++lookups_;
+    std::uint64_t pc_idx = (pc >> 2) & indexMask_;
+    std::uint64_t gs_idx = ((pc >> 2) ^ history_) & indexMask_;
+
+    bool bimodal_taken = bimodal_[pc_idx] >= 2;
+    bool gshare_taken = gshare_[gs_idx] >= 2;
+    bool use_gshare = chooser_[pc_idx] >= 2;
+    bool predict_taken = use_gshare ? gshare_taken : bimodal_taken;
+
+    BranchOutcome out;
+    out.directionCorrect = (predict_taken == taken);
+    if (!out.directionCorrect)
+        ++mispredicts_;
+
+    // Train the chooser only when the components disagree.
+    bool bimodal_right = bimodal_taken == taken;
+    bool gshare_right = gshare_taken == taken;
+    if (bimodal_right != gshare_right)
+        train(chooser_[pc_idx], gshare_right);
+
+    train(bimodal_[pc_idx], taken);
+    train(gshare_[gs_idx], taken);
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & indexMask_;
+
+    // BTB: tag check + allocate on taken branches.
+    std::uint64_t btb_idx = (pc >> 2) & (btbTags_.size() - 1);
+    out.btbHit = btbTags_[btb_idx] == pc;
+    if (taken)
+        btbTags_[btb_idx] = pc;
+
+    return out;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(bimodal_.begin(), bimodal_.end(), 2);
+    std::fill(gshare_.begin(), gshare_.end(), 2);
+    std::fill(chooser_.begin(), chooser_.end(), 1);
+    std::fill(btbTags_.begin(), btbTags_.end(), invalidAddr);
+    history_ = 0;
+}
+
+} // namespace cash

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Branch direction predictor + BTB for the virtual-core front-end.
+ *
+ * A tournament predictor in the Alpha 21264 style: a PC-indexed
+ * bimodal table captures per-site bias, a gshare table captures
+ * history correlation, and a PC-indexed chooser picks between them
+ * per branch. The BTB is a direct-mapped tag array; a taken branch
+ * that misses in the BTB costs a front-end bubble even when its
+ * direction was predicted correctly.
+ */
+
+#ifndef CASH_SIM_BRANCH_PRED_HH
+#define CASH_SIM_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/**
+ * Outcome of one prediction.
+ */
+struct BranchOutcome
+{
+    bool directionCorrect = false;
+    bool btbHit = false;
+};
+
+/**
+ * Tournament (bimodal + gshare + chooser) with a BTB.
+ */
+class BranchPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 of each table's size
+     * @param btb_entries number of BTB slots (power of two)
+     */
+    explicit BranchPredictor(std::uint32_t index_bits = 12,
+                             std::uint32_t btb_entries = 1024);
+
+    /**
+     * Predict and train on one branch.
+     *
+     * @param pc branch address
+     * @param taken actual outcome
+     * @return prediction result (already trained)
+     */
+    BranchOutcome predictAndTrain(Addr pc, bool taken);
+
+    /** Reset all state (used on vcore reconfiguration flush). */
+    void reset();
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    static void train(std::uint8_t &ctr, bool up);
+
+    std::uint32_t indexBits_;
+    std::uint64_t indexMask_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> gshare_;
+    /** >= 2 selects gshare, < 2 selects bimodal. */
+    std::vector<std::uint8_t> chooser_;
+    std::vector<Addr> btbTags_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_BRANCH_PRED_HH

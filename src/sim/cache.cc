@@ -1,0 +1,138 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+SetAssocCache::SetAssocCache(std::uint64_t size,
+                             std::uint32_t block_size,
+                             std::uint32_t assoc)
+    : size_(size), blockSize_(block_size), assoc_(assoc)
+{
+    if (block_size == 0 || !std::has_single_bit(block_size))
+        fatal("cache block size must be a power of two");
+    if (assoc == 0)
+        fatal("cache associativity must be >= 1");
+    if (size == 0 || size % (static_cast<std::uint64_t>(block_size)
+                             * assoc) != 0) {
+        fatal("cache size %llu not divisible by block*assoc",
+              static_cast<unsigned long long>(size));
+    }
+    blockShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(block_size));
+    numSets_ = static_cast<std::uint32_t>(
+        size / (static_cast<std::uint64_t>(block_size) * assoc));
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+SetAssocCache::Line &
+SetAssocCache::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+const SetAssocCache::Line &
+SetAssocCache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+CacheAccess
+SetAssocCache::access(Addr addr, bool write)
+{
+    ++accesses_;
+    ++useClock_;
+    Addr block = addr >> blockShift_;
+    std::uint32_t set = static_cast<std::uint32_t>(block % numSets_);
+
+    // Hit path.
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        Line &line = lineAt(set, way);
+        if (line.valid && line.tag == block) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || write;
+            return CacheAccess{true, false, invalidAddr};
+        }
+    }
+
+    // Miss: pick victim (invalid first, else LRU).
+    ++misses_;
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~std::uint64_t(0);
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        Line &line = lineAt(set, way);
+        if (!line.valid) {
+            victim = way;
+            oldest = 0;
+            break;
+        }
+        if (line.lastUse < oldest) {
+            oldest = line.lastUse;
+            victim = way;
+        }
+    }
+
+    Line &line = lineAt(set, victim);
+    CacheAccess result{false, false, invalidAddr};
+    if (line.valid && line.dirty) {
+        ++writebacks_;
+        result.writeback = true;
+        result.victimBlock = line.tag;
+    }
+    line.tag = block;
+    line.valid = true;
+    line.dirty = write;
+    line.lastUse = useClock_;
+    return result;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    Addr block = addr >> blockShift_;
+    std::uint32_t set = static_cast<std::uint32_t>(block % numSets_);
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        const Line &line = lineAt(set, way);
+        if (line.valid && line.tag == block)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+SetAssocCache::invalidateAll()
+{
+    std::uint64_t dirty = 0;
+    for (Line &line : lines_) {
+        if (line.valid && line.dirty)
+            ++dirty;
+        line.valid = false;
+        line.dirty = false;
+    }
+    return dirty;
+}
+
+std::uint64_t
+SetAssocCache::dirtyLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines_)
+        if (line.valid && line.dirty)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines_)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+} // namespace cash

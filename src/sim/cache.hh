@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A generic set-associative, write-back, write-allocate cache array
+ * with true LRU replacement. Used for L1I, L1D, and each L2 bank.
+ *
+ * The array is purely functional (hit/miss/evict bookkeeping); all
+ * latency accounting lives in the virtual-core timing model.
+ */
+
+#ifndef CASH_SIM_CACHE_HH
+#define CASH_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/**
+ * Result of one cache access.
+ */
+struct CacheAccess
+{
+    bool hit = false;
+    /** A dirty line was evicted (write-back traffic). */
+    bool writeback = false;
+    /** Block address of the evicted dirty line (valid iff writeback). */
+    Addr victimBlock = invalidAddr;
+};
+
+/**
+ * Set-associative cache array.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param size total bytes; must be a multiple of block*assoc
+     * @param block_size bytes per line (power of two)
+     * @param assoc ways per set
+     */
+    SetAssocCache(std::uint64_t size, std::uint32_t block_size,
+                  std::uint32_t assoc);
+
+    /**
+     * Access one address.
+     *
+     * @param addr byte address
+     * @param write true to mark the (possibly newly filled) line dirty
+     * @return hit/miss and eviction info
+     */
+    CacheAccess access(Addr addr, bool write);
+
+    /** Probe without modifying state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything; returns the number of dirty lines
+     *  that were dropped (caller decides whether that is a flush). */
+    std::uint64_t invalidateAll();
+
+    /** Count currently dirty lines. */
+    std::uint64_t dirtyLines() const;
+
+    /** Count currently valid lines. */
+    std::uint64_t validLines() const;
+
+    std::uint64_t size() const { return size_; }
+    std::uint32_t blockSize() const { return blockSize_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /**
+     * Visit every valid line: callback(block_addr, dirty).
+     * Used by the L2 reconfiguration flush engine.
+     */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const Line &line : lines_) {
+            if (line.valid)
+                fn(line.tag, line.dirty);
+        }
+    }
+
+    /**
+     * Selectively invalidate lines; callback decides per line.
+     * @return number of dirty lines invalidated.
+     */
+    template <typename Pred>
+    std::uint64_t
+    invalidateIf(Pred &&pred)
+    {
+        std::uint64_t dirty = 0;
+        for (Line &line : lines_) {
+            if (line.valid && pred(line.tag)) {
+                if (line.dirty)
+                    ++dirty;
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        return dirty;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr; ///< full block address (not truncated)
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line &lineAt(std::uint32_t set, std::uint32_t way);
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+
+    std::uint64_t size_;
+    std::uint32_t blockSize_;
+    std::uint32_t blockShift_;
+    std::uint32_t assoc_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_CACHE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The micro-op format consumed by the SSim timing model.
+ *
+ * SSim is trace-driven: workloads synthesize a stream of MicroOps
+ * carrying exactly the information the timing model needs — operation
+ * class, dataflow (dependence distances), memory address, control
+ * flow (pc, branch outcome), and destination architectural register
+ * (for the two-level rename / register-flush model).
+ */
+
+#ifndef CASH_SIM_ISA_HH
+#define CASH_SIM_ISA_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/** Operation classes distinguished by the timing model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< single-cycle integer op
+    FpAlu,    ///< multi-cycle floating-point op
+    Load,     ///< memory read through L1D/L2/memory
+    Store,    ///< memory write via the store buffer
+    Branch,   ///< conditional branch resolved at execute
+    Nop,      ///< consumes fetch/commit bandwidth only
+};
+
+/** Identifier of an application-level request for latency QoS. */
+using RequestId = std::uint64_t;
+
+constexpr RequestId invalidRequest = ~RequestId(0);
+
+/**
+ * One dynamic instruction.
+ *
+ * Dependence distances are in dynamic instructions: srcDist* == d
+ * means the operand is produced by the instruction d positions
+ * earlier in the stream (0 = no dependence). Distances larger than
+ * the tracking window are treated as always-ready.
+ */
+struct MicroOp
+{
+    OpClass op = OpClass::Nop;
+    /** Program counter (drives L1I and the branch predictor). */
+    Addr pc = 0;
+    /** First/second source dependence distances (0 = none). */
+    std::uint16_t srcDist1 = 0;
+    std::uint16_t srcDist2 = 0;
+    /** Destination architectural register, or noDest. */
+    std::uint8_t destReg = noDest;
+    /** Effective address for Load/Store. */
+    Addr addr = 0;
+    /** Branch outcome (ground truth; the predictor guesses it). */
+    bool taken = false;
+    /** Request this instruction belongs to (latency QoS), if any. */
+    RequestId request = invalidRequest;
+    /** True on the last instruction of a request. */
+    bool endOfRequest = false;
+    /** Arrival cycle of the owning request (latency accounting). */
+    Cycle requestArrival = 0;
+
+    static constexpr std::uint8_t noDest = 0xff;
+
+    bool isMem() const
+    {
+        return op == OpClass::Load || op == OpClass::Store;
+    }
+};
+
+/**
+ * What an instruction source hands the virtual core each fetch.
+ */
+struct FetchResult
+{
+    enum class Kind : std::uint8_t
+    {
+        Inst,      ///< op is valid
+        IdleUntil, ///< no work before cycle idleUntil
+        Finished,  ///< stream exhausted
+    };
+
+    Kind kind = Kind::Finished;
+    MicroOp op{};
+    Cycle idleUntil = 0;
+};
+
+/**
+ * Abstract instruction source: the boundary between workloads and
+ * the simulator. Workloads generate MicroOps; the virtual core
+ * reports commit times back so request latency can be measured.
+ */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @param now the virtual core's current clock
+     */
+    virtual FetchResult next(Cycle now) = 0;
+
+    /**
+     * Notification that an instruction committed.
+     * @param op the committed instruction
+     * @param commit_cycle its commit time
+     */
+    virtual void onCommit(const MicroOp &op, Cycle commit_cycle) = 0;
+
+    /**
+     * Application-level backlog (queued work items). Exposed to the
+     * runtime like a heartbeat counter; 0 when not applicable.
+     */
+    virtual std::uint64_t backlog() const { return 0; }
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_ISA_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Simulation parameters for the CASH architecture model.
+ *
+ * Defaults reproduce the paper's Table I (base Slice configuration)
+ * and Table II (base cache configuration). All latencies are in
+ * cycles, all sizes in bytes unless noted.
+ */
+
+#ifndef CASH_SIM_PARAMS_HH
+#define CASH_SIM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/**
+ * Per-Slice microarchitecture parameters (paper Table I).
+ *
+ * A Slice is a minimal out-of-order core: one ALU, one load-store
+ * unit, two-wide fetch, and small private L1 caches.
+ */
+struct SliceParams
+{
+    /** Instructions fetched per cycle per Slice. */
+    std::uint32_t fetchWidth = 2;
+    /** Functional units per Slice (1 ALU + 1 LSU). */
+    std::uint32_t functionalUnits = 2;
+    /** Reorder buffer entries per Slice. */
+    std::uint32_t robSize = 64;
+    /** Issue window entries per Slice. */
+    std::uint32_t issueWindow = 32;
+    /** Load/store queue entries per Slice. */
+    std::uint32_t lsqSize = 32;
+    /** Store buffer entries per Slice. */
+    std::uint32_t storeBuffer = 8;
+    /** Maximum in-flight loads per Slice. */
+    std::uint32_t maxInflightLoads = 8;
+    /** Physical (global logical) registers shared by a vcore. */
+    std::uint32_t physRegs = 128;
+    /** Local registers per Slice. */
+    std::uint32_t localRegs = 64;
+    /** Architectural registers visible to software. */
+    std::uint32_t archRegs = 32;
+    /** Front-end depth: fetch-to-dispatch latency. */
+    std::uint32_t frontendDepth = 5;
+    /** Extra cycles to restart fetch after a branch mispredict is
+     *  resolved (redirect + refill overlap). */
+    std::uint32_t mispredictRestart = 5;
+    /** Integer ALU latency. */
+    std::uint32_t intAluLat = 1;
+    /** Floating-point latency (pipelined on the shared ALU port). */
+    std::uint32_t fpAluLat = 4;
+    /** Commit width per Slice per cycle. */
+    std::uint32_t commitWidth = 2;
+};
+
+/**
+ * Cache hierarchy parameters (paper Table II).
+ *
+ * The L2 hit delay is not a constant: it is distance*2 + 4 where
+ * distance is the hop count from the requesting Slice to the owning
+ * bank, so larger (more spread-out) L2 allocations are slower to
+ * reach — the root of the non-convex configuration space.
+ */
+struct CacheParams
+{
+    /** L1 data cache size per Slice. */
+    std::uint64_t l1dSize = 16 * kiB;
+    /** L1 instruction cache size per Slice. */
+    std::uint64_t l1iSize = 16 * kiB;
+    /** Cache block size (all levels). */
+    std::uint32_t blockSize = 64;
+    /** L1 associativity. */
+    std::uint32_t l1Assoc = 2;
+    /** L1 hit latency. */
+    std::uint32_t l1HitLat = 3;
+    /** L2 bank size (the allocation granule). */
+    std::uint64_t l2BankSize = 64 * kiB;
+    /** L2 associativity. */
+    std::uint32_t l2Assoc = 4;
+    /** L2 hit delay = distance * l2DistFactor + l2BaseLat. */
+    std::uint32_t l2DistFactor = 2;
+    std::uint32_t l2BaseLat = 4;
+    /** Main memory access latency. */
+    std::uint32_t memLat = 100;
+    /** Flush network width in bytes (64-bit links). */
+    std::uint32_t flushNetBytes = 8;
+    /** Entries in the address-to-bank hash table. */
+    std::uint32_t bankHashEntries = 256;
+};
+
+/**
+ * Interconnect parameters.
+ */
+struct NetworkParams
+{
+    /** Cycles per hop on the scalar operand network. */
+    std::uint32_t operandHopLat = 1;
+    /** Fixed injection overhead for an operand message. */
+    std::uint32_t operandInjectLat = 1;
+    /** Cycles per hop on the Runtime Interface Network. */
+    std::uint32_t rinHopLat = 1;
+    /** Pipeline flush cost on Slice expansion (paper: ~15 cycles). */
+    std::uint32_t pipelineFlushLat = 15;
+    /** Registers flushed per cycle over the operand network during
+     *  Slice contraction (bounds the paper's "+64 cycles"). */
+    std::uint32_t regFlushPerCycle = 2;
+};
+
+/**
+ * Everything needed to instantiate SSim.
+ */
+struct SimParams
+{
+    SliceParams slice;
+    CacheParams cache;
+    NetworkParams net;
+    /** History window for dependence tracking (>= robSize * 8). */
+    std::uint32_t depWindow = 1024;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_PARAMS_HH

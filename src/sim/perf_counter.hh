@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-Slice performance counters and their timestamped samples.
+ *
+ * The CASH architecture has no fixed cores, so counters cannot be
+ * read "at the core level"; instead every Slice exposes counters on
+ * the Runtime Interface Network and each sample is timestamped so
+ * the runtime can synthesize a virtual core's performance from
+ * per-Slice readings (paper Sec III-B2).
+ */
+
+#ifndef CASH_SIM_PERF_COUNTER_HH
+#define CASH_SIM_PERF_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "fabric/resource.hh"
+
+namespace cash
+{
+
+/**
+ * Raw, monotonically increasing counters owned by one Slice.
+ */
+struct SliceCounters
+{
+    InstCount committedInsts = 0;
+    std::uint64_t committedRequests = 0;
+    std::uint64_t requestLatencySum = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t operandNetMsgs = 0;
+};
+
+/**
+ * One timestamped sample as delivered over the interface network.
+ */
+struct CounterSample
+{
+    SliceId slice = invalidSlice;
+    /** Cycle at which the counters were read at the Slice. */
+    Cycle timestamp = 0;
+    /** Cycle at which the sample arrived at the requester (adds the
+     *  network round-trip; readings are slightly stale). */
+    Cycle arrival = 0;
+    SliceCounters counters;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_PERF_COUNTER_HH

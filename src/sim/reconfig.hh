@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reconfiguration cost accounting (paper Secs III-B, VI-A).
+ *
+ * The four microarchitectural overheads the paper quantifies:
+ *  - Slice expansion: a pipeline flush (~15 cycles).
+ *  - Slice contraction: expansion plus flushing primary-written
+ *    register values to survivors over the operand network — at most
+ *    (#global registers / flush width) extra cycles (the paper's
+ *    "+64 cycles" bound at 2 registers/cycle with 128 globals).
+ *  - L2 expansion/contraction: flushing dirty lines at
+ *    (dirty bytes) / (network width) cycles (the paper's worst case:
+ *    64 KB / 8 B = 8000 cycles per fully-dirty bank), overlapped
+ *    with the address-hash-table rewrite.
+ *  - L1 flushes when the Slice count changes (the LS-bank address
+ *    partition is a function of the Slice count).
+ */
+
+#ifndef CASH_SIM_RECONFIG_HH
+#define CASH_SIM_RECONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/**
+ * Cycle-cost breakdown of one reconfiguration.
+ */
+struct ReconfigCost
+{
+    /** Pipeline flush cost (any Slice-count change). */
+    Cycle pipelineFlush = 0;
+    /** Register values pushed to survivors on contraction. */
+    std::uint32_t regsFlushed = 0;
+    /** Cycles spent on the register flush. */
+    Cycle regFlushCycles = 0;
+    /** Dirty L2 lines pushed to memory. */
+    std::uint64_t l2DirtyFlushed = 0;
+    /** Cycles spent flushing the L2. */
+    Cycle l2FlushCycles = 0;
+    /** Cycles spent flushing L1 data caches (Slice-count change). */
+    Cycle l1FlushCycles = 0;
+    /** Interface-network command delivery latency. */
+    Cycle commandLatency = 0;
+
+    /** Total stall observed by the virtual core. */
+    Cycle
+    totalStall() const
+    {
+        return pipelineFlush + regFlushCycles + l2FlushCycles
+            + l1FlushCycles + commandLatency;
+    }
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_RECONFIG_HH

@@ -1,0 +1,156 @@
+#include "sim/regfile.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+RenameState::RenameState(const SliceParams &params,
+                         std::uint32_t num_slices)
+    : archBinding_(params.archRegs, ~std::uint32_t(0)),
+      globals_(params.physRegs),
+      numSlices_(num_slices)
+{
+    if (num_slices == 0)
+        fatal("RenameState requires at least one Slice");
+    if (num_slices > 64)
+        fatal("RenameState copy mask supports at most 64 Slices");
+    if (params.physRegs < params.archRegs)
+        fatal("fewer global registers (%u) than architectural (%u)",
+              params.physRegs, params.archRegs);
+    freeList_.reserve(params.physRegs);
+    for (std::uint32_t i = params.physRegs; i > 0; --i)
+        freeList_.push_back(i - 1);
+}
+
+void
+RenameState::write(std::uint8_t arch_reg, std::uint32_t member)
+{
+    if (arch_reg >= archBinding_.size())
+        panic("write to architectural register %u out of range",
+              arch_reg);
+    if (member >= numSlices_)
+        panic("write from member %u of %u", member, numSlices_);
+
+    // Free the global register previously bound to this name.
+    std::uint32_t old = archBinding_[arch_reg];
+    if (old != ~std::uint32_t(0)) {
+        globals_[old].live = false;
+        globals_[old].copies = 0;
+        freeList_.push_back(old);
+    }
+
+    if (freeList_.empty())
+        panic("global register free list exhausted");
+    std::uint32_t g = freeList_.back();
+    freeList_.pop_back();
+    archBinding_[arch_reg] = g;
+    globals_[g].live = true;
+    globals_[g].primary = member;
+    globals_[g].copies = 1ull << member;
+}
+
+bool
+RenameState::read(std::uint8_t arch_reg, std::uint32_t member)
+{
+    if (arch_reg >= archBinding_.size())
+        panic("read of architectural register %u out of range",
+              arch_reg);
+    if (member >= numSlices_)
+        panic("read from member %u of %u", member, numSlices_);
+
+    std::uint32_t g = archBinding_[arch_reg];
+    if (g == ~std::uint32_t(0))
+        return false; // never written: treated as ready constant
+    GlobalReg &reg = globals_[g];
+    if (reg.copies & (1ull << member))
+        return false;
+    reg.copies |= 1ull << member;
+    ++crossSliceReads_;
+    return true;
+}
+
+std::uint32_t
+RenameState::shrink(std::uint32_t new_count)
+{
+    if (new_count == 0)
+        fatal("cannot shrink a virtual core to zero Slices");
+    if (new_count >= numSlices_)
+        panic("shrink to %u from %u is not a shrink",
+              new_count, numSlices_);
+
+    std::uint64_t survivor_mask = (new_count == 64)
+        ? ~std::uint64_t(0) : ((1ull << new_count) - 1);
+
+    std::uint32_t flushed = 0;
+    for (GlobalReg &reg : globals_) {
+        if (!reg.live)
+            continue;
+        if (reg.primary >= new_count) {
+            // Primary writer removed: push the value to a survivor
+            // (member 0) unless a survivor already holds a copy —
+            // in Fig 5 the push still happens (only the primary
+            // knows liveness), but the receiver discards duplicates;
+            // the network transfer is what costs cycles.
+            ++flushed;
+            std::uint64_t surviving_copies = reg.copies & survivor_mask;
+            reg.primary = surviving_copies
+                ? static_cast<std::uint32_t>(
+                      std::countr_zero(surviving_copies))
+                : 0;
+            reg.copies = surviving_copies | (1ull << reg.primary);
+        } else {
+            reg.copies &= survivor_mask;
+            reg.copies |= 1ull << reg.primary;
+        }
+    }
+    numSlices_ = new_count;
+    return flushed;
+}
+
+void
+RenameState::expand(std::uint32_t new_count)
+{
+    if (new_count <= numSlices_)
+        panic("expand to %u from %u is not an expand",
+              new_count, numSlices_);
+    if (new_count > 64)
+        fatal("RenameState copy mask supports at most 64 Slices");
+    numSlices_ = new_count;
+}
+
+std::uint32_t
+RenameState::liveGlobals() const
+{
+    std::uint32_t n = 0;
+    for (const GlobalReg &reg : globals_)
+        if (reg.live)
+            ++n;
+    return n;
+}
+
+std::uint32_t
+RenameState::primaryWriter(std::uint8_t arch_reg) const
+{
+    if (arch_reg >= archBinding_.size())
+        panic("primaryWriter of out-of-range register %u", arch_reg);
+    std::uint32_t g = archBinding_[arch_reg];
+    if (g == ~std::uint32_t(0))
+        return ~std::uint32_t(0);
+    return globals_[g].primary;
+}
+
+bool
+RenameState::hasCopy(std::uint8_t arch_reg, std::uint32_t member) const
+{
+    if (arch_reg >= archBinding_.size())
+        panic("hasCopy of out-of-range register %u", arch_reg);
+    std::uint32_t g = archBinding_[arch_reg];
+    if (g == ~std::uint32_t(0))
+        return false;
+    return (globals_[g].copies >> member) & 1;
+}
+
+} // namespace cash

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The virtual core's distributed register file model.
+ *
+ * CASH maps architectural registers onto *global logical* registers
+ * (a vcore-wide name space) which are in turn backed by *local*
+ * registers inside individual Slices (paper Sec III-B1, Fig 5). One
+ * architectural value can have copies in several Slices (a copy per
+ * reader), but exactly one Slice is the *primary writer*.
+ *
+ * This model tracks, per global register: the primary-writer Slice,
+ * the set of Slices holding copies, and liveness (a global register
+ * is live from its write until the architectural register is
+ * overwritten). On a SHRINK, every live global register whose
+ * primary writer is being removed must be pushed to a survivor over
+ * the operand network — registerFlush() returns exactly that count,
+ * which is bounded by the number of global registers (the paper's
+ * "at most 64 cycles more than expansion" at 2 registers/cycle).
+ */
+
+#ifndef CASH_SIM_REGFILE_HH
+#define CASH_SIM_REGFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.hh"
+
+namespace cash
+{
+
+/**
+ * Two-level rename state for one virtual core.
+ *
+ * Slices are referred to by their *member index* within the vcore
+ * (0 .. numSlices-1), not by fabric SliceId; the vcore translates.
+ */
+class RenameState
+{
+  public:
+    /**
+     * @param params slice parameters (register counts)
+     * @param num_slices initial member count (>= 1)
+     */
+    RenameState(const SliceParams &params, std::uint32_t num_slices);
+
+    /**
+     * Record an architectural write performed on a member Slice.
+     * Allocates a fresh global register (freeing the one previously
+     * bound to this architectural register).
+     *
+     * @param arch_reg architectural register (< archRegs)
+     * @param member writing Slice's member index
+     */
+    void write(std::uint8_t arch_reg, std::uint32_t member);
+
+    /**
+     * Record a read of an architectural register on a member Slice;
+     * creates a local copy there if one does not exist.
+     *
+     * @return true if an operand-network transfer was needed (the
+     *         value was not already local)
+     */
+    bool read(std::uint8_t arch_reg, std::uint32_t member);
+
+    /**
+     * Shrink the vcore to new_count members (members with index
+     * >= new_count are removed, matching the vcore's policy).
+     *
+     * Implements Fig 5: every live global register primarily written
+     * by a removed member and not already copied in a survivor is
+     * pushed to member 0. Copy sets are pruned to survivors.
+     *
+     * @return number of register values pushed over the network
+     */
+    std::uint32_t shrink(std::uint32_t new_count);
+
+    /** Grow the member count (no state motion needed). */
+    void expand(std::uint32_t new_count);
+
+    /** Number of live global registers. */
+    std::uint32_t liveGlobals() const;
+
+    /** Member currently holding the primary copy for an
+     *  architectural register, or ~0u if never written. */
+    std::uint32_t primaryWriter(std::uint8_t arch_reg) const;
+
+    /** True if the member holds a copy of the arch register. */
+    bool hasCopy(std::uint8_t arch_reg, std::uint32_t member) const;
+
+    std::uint32_t numSlices() const { return numSlices_; }
+
+    std::uint64_t crossSliceReads() const { return crossSliceReads_; }
+
+  private:
+    struct GlobalReg
+    {
+        bool live = false;
+        std::uint32_t primary = 0;
+        /** Bitmask of members holding a copy (supports <= 64). */
+        std::uint64_t copies = 0;
+    };
+
+    /** Global register currently bound to each arch register. */
+    std::vector<std::uint32_t> archBinding_;
+    std::vector<GlobalReg> globals_;
+    std::vector<std::uint32_t> freeList_;
+    std::uint32_t numSlices_;
+    std::uint64_t crossSliceReads_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_REGFILE_HH

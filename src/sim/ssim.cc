@@ -1,0 +1,108 @@
+#include "sim/ssim.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+SSim::SSim(const FabricParams &fabric, const SimParams &params)
+    : grid_(fabric), alloc_(grid_), params_(params)
+{
+    // Reserve a single-Slice, bank-less virtual core for the CASH
+    // runtime (Sec III-B1: the runtime runs on single Slices and
+    // bypasses the reconfigurable cache).
+    auto home = alloc_.allocate(1, 0);
+    if (!home)
+        fatal("fabric too small to host the runtime Slice");
+    runtimeHome_ = home->id;
+    runtimeSlice_ = home->slices.front();
+}
+
+std::optional<VCoreId>
+SSim::createVCore(std::uint32_t num_slices, std::uint32_t num_banks)
+{
+    auto alloc = alloc_.allocate(num_slices, num_banks);
+    if (!alloc)
+        return std::nullopt;
+    auto vc = std::make_unique<VirtualCore>(
+        grid_, params_, alloc->id, alloc->slices, alloc->banks);
+    VCoreId id = alloc->id;
+    vcores_[id] = std::move(vc);
+    return id;
+}
+
+void
+SSim::destroyVCore(VCoreId id)
+{
+    auto it = vcores_.find(id);
+    if (it == vcores_.end())
+        panic("destroyVCore of unknown vcore %u", id);
+    vcores_.erase(it);
+    alloc_.release(id);
+}
+
+VirtualCore &
+SSim::vcore(VCoreId id)
+{
+    auto it = vcores_.find(id);
+    if (it == vcores_.end())
+        panic("vcore %u is not live", id);
+    return *it->second;
+}
+
+const VirtualCore &
+SSim::vcore(VCoreId id) const
+{
+    auto it = vcores_.find(id);
+    if (it == vcores_.end())
+        panic("vcore %u is not live", id);
+    return *it->second;
+}
+
+Cycle
+SSim::rinLatency(SliceId target) const
+{
+    TileCoord a = grid_.sliceCoord(runtimeSlice_);
+    TileCoord b = grid_.sliceCoord(target);
+    return 1 + static_cast<Cycle>(manhattan(a, b))
+        * params_.net.rinHopLat;
+}
+
+VCoreSample
+SSim::readCounters(VCoreId id)
+{
+    VirtualCore &vc = vcore(id);
+    VCoreSample sample;
+    sample.meta = vc.meta();
+    Cycle now = vc.now();
+    Cycle worst_arrival = now;
+    for (std::uint32_t m = 0; m < vc.numSlices(); ++m) {
+        CounterSample cs;
+        cs.slice = vc.sliceIds()[m];
+        cs.timestamp = now;
+        cs.arrival = now + 2 * rinLatency(cs.slice);
+        cs.counters = vc.counters(m);
+        worst_arrival = std::max(worst_arrival, cs.arrival);
+        sample.slices.push_back(cs);
+        rinMessages_ += 2; // request + reply per Slice
+    }
+    sample.arrival = worst_arrival;
+    return sample;
+}
+
+std::optional<ReconfigCost>
+SSim::command(VCoreId id, std::uint32_t num_slices,
+              std::uint32_t num_banks)
+{
+    VirtualCore &vc = vcore(id);
+    auto alloc = alloc_.resize(id, num_slices, num_banks);
+    if (!alloc)
+        return std::nullopt;
+    ++rinMessages_; // the EXPAND/SHRINK command itself
+    Cycle cmd_lat = rinLatency(alloc->slices.front());
+    return vc.reconfigure(alloc->slices, alloc->banks, cmd_lat);
+}
+
+} // namespace cash

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SSim: the top-level CASH architecture simulator.
+ *
+ * SSim owns the fabric (geometry + allocation), the virtual cores,
+ * and the Runtime Interface Network (RIN). The RIN is the paper's
+ * novel hardware/software interface (Sec III-B2): a dedicated
+ * on-chip network on which a privileged Slice (the one running the
+ * CASH runtime) can
+ *
+ *  - query any Slice's performance counters with a request/reply
+ *    protocol; every sample is timestamped at the remote Slice and
+ *    arrives after a distance-dependent round trip, so readings are
+ *    slightly stale — exactly the interface the runtime must cope
+ *    with on a fabric that has no fixed cores;
+ *  - send EXPAND / SHRINK commands that retarget a virtual core's
+ *    Slice and bank membership.
+ *
+ * The runtime itself executes on a single-Slice virtual core that
+ * bypasses the reconfigurable L2 (Sec III-B1); SSim reserves that
+ * Slice at construction.
+ */
+
+#ifndef CASH_SIM_SSIM_HH
+#define CASH_SIM_SSIM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fabric/allocator.hh"
+#include "fabric/grid.hh"
+#include "sim/params.hh"
+#include "sim/perf_counter.hh"
+#include "sim/reconfig.hh"
+#include "sim/vcore.hh"
+
+namespace cash
+{
+
+/**
+ * Reply to a RIN counter query: all member-Slice samples plus the
+ * vcore-level aggregate (request QoS counters live there).
+ */
+struct VCoreSample
+{
+    std::vector<CounterSample> slices;
+    VCoreMeta meta;
+    /** Cycle the full reply reached the runtime Slice. */
+    Cycle arrival = 0;
+};
+
+/**
+ * The CASH chip simulator.
+ */
+class SSim
+{
+  public:
+    explicit SSim(const FabricParams &fabric = FabricParams(),
+                  const SimParams &params = SimParams());
+
+    /**
+     * Allocate and construct a virtual core.
+     *
+     * @param num_slices member Slices (>= 1)
+     * @param num_banks 64 KB L2 banks
+     * @return the new vcore id, or nullopt if the fabric is full
+     */
+    std::optional<VCoreId>
+    createVCore(std::uint32_t num_slices, std::uint32_t num_banks);
+
+    /** Tear down a virtual core and release its resources. */
+    void destroyVCore(VCoreId id);
+
+    /** Access a live virtual core; panics on unknown ids. */
+    VirtualCore &vcore(VCoreId id);
+    const VirtualCore &vcore(VCoreId id) const;
+
+    /**
+     * RIN: sample a virtual core's counters from the runtime Slice.
+     * Message latency (round trip per member, farthest member
+     * dominating the reply) is reflected in the sample's arrival.
+     */
+    VCoreSample readCounters(VCoreId id);
+
+    /**
+     * RIN: EXPAND/SHRINK a virtual core to the given resource
+     * counts. Placement is delegated to the fabric allocator
+     * (which prefers keeping currently-held tiles).
+     *
+     * @return the reconfiguration cost, or nullopt if the fabric
+     *         cannot supply the request (vcore left unchanged)
+     */
+    std::optional<ReconfigCost>
+    command(VCoreId id, std::uint32_t num_slices,
+            std::uint32_t num_banks);
+
+    /** The Slice reserved for the CASH runtime. */
+    SliceId runtimeSlice() const { return runtimeSlice_; }
+
+    /** Total RIN messages sent (queries, replies, commands). */
+    std::uint64_t rinMessages() const { return rinMessages_; }
+
+    const FabricGrid &grid() const { return grid_; }
+    const FabricAllocator &allocator() const { return alloc_; }
+    const SimParams &params() const { return params_; }
+
+  private:
+    /** RIN one-way latency from the runtime Slice to a Slice. */
+    Cycle rinLatency(SliceId target) const;
+
+    FabricGrid grid_;
+    FabricAllocator alloc_;
+    SimParams params_;
+    std::map<VCoreId, std::unique_ptr<VirtualCore>> vcores_;
+    SliceId runtimeSlice_ = invalidSlice;
+    VCoreId runtimeHome_ = invalidVCore;
+    std::uint64_t rinMessages_ = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_SIM_SSIM_HH

@@ -1,0 +1,533 @@
+#include "sim/vcore.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+VirtualCore::SliceCtx::SliceCtx(SliceId sid, const SimParams &params)
+    : id(sid),
+      robRing(params.slice.robSize, 0),
+      iqRing(params.slice.issueWindow, 0),
+      lsqRing(params.slice.lsqSize, 0),
+      sbRing(params.slice.storeBuffer, 0),
+      loadRing(params.slice.maxInflightLoads, 0),
+      sbBlocks(params.slice.storeBuffer, invalidAddr),
+      l1i(params.cache.l1iSize, params.cache.blockSize,
+          params.cache.l1Assoc),
+      l1d(params.cache.l1dSize, params.cache.blockSize,
+          params.cache.l1Assoc)
+{
+}
+
+VirtualCore::VirtualCore(const FabricGrid &grid,
+                         const SimParams &params, VCoreId id,
+                         std::vector<SliceId> slices,
+                         std::vector<BankId> banks)
+    : grid_(grid), params_(params), id_(id),
+      l2_(grid, params.cache, banks),
+      rename_(params.slice,
+              static_cast<std::uint32_t>(slices.size())),
+      hist_(params.depWindow)
+{
+    if (slices.empty())
+        fatal("a virtual core needs at least one Slice");
+    if (params.depWindow < params.slice.robSize * 8)
+        fatal("depWindow %u too small for ROB size %u",
+              params.depWindow, params.slice.robSize);
+    for (SliceId sid : slices)
+        slices_.push_back(std::make_unique<SliceCtx>(sid, params_));
+    rebuildDistances();
+}
+
+void
+VirtualCore::bindSource(InstSource *source)
+{
+    source_ = source;
+}
+
+std::vector<SliceId>
+VirtualCore::sliceIds() const
+{
+    std::vector<SliceId> ids;
+    ids.reserve(slices_.size());
+    for (const auto &sc : slices_)
+        ids.push_back(sc->id);
+    return ids;
+}
+
+const SliceCounters &
+VirtualCore::counters(std::uint32_t member) const
+{
+    if (member >= slices_.size())
+        panic("counters for member %u of %zu", member, slices_.size());
+    return slices_[member]->ctrs;
+}
+
+VCoreMeta
+VirtualCore::meta() const
+{
+    VCoreMeta m;
+    m.clock = clock_;
+    m.totalCommitted = totalCommitted_;
+    m.idleCycles = idleCycles_;
+    m.reconfigStallCycles = reconfigStall_;
+    m.requestsDone = requestsDone_;
+    m.requestLatencySum = requestLatencySum_;
+    m.appBacklog = source_ ? source_->backlog() : 0;
+    m.numSlices = static_cast<std::uint32_t>(slices_.size());
+    m.numBanks = l2_.numBanks();
+    return m;
+}
+
+void
+VirtualCore::rebuildDistances()
+{
+    std::size_t n = slices_.size();
+    distance_.assign(n * n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            distance_[i * n + j] = grid_.sliceDistance(
+                slices_[i]->id, slices_[j]->id);
+        }
+    }
+}
+
+Cycle
+VirtualCore::operandLatency(std::uint32_t from, std::uint32_t to) const
+{
+    if (from == to)
+        return 0;
+    std::uint32_t hops = distance_[from * slices_.size() + to];
+    return params_.net.operandInjectLat
+        + static_cast<Cycle>(hops) * params_.net.operandHopLat;
+}
+
+std::uint32_t
+VirtualCore::memoryOwner(Addr addr) const
+{
+    // LS-bank sorting: block addresses are hash-partitioned across
+    // the member Slices' L1Ds.
+    Addr block = addr / params_.cache.blockSize;
+    std::uint64_t h = block * 0xff51afd7ed558ccdull;
+    return static_cast<std::uint32_t>((h >> 33) % slices_.size());
+}
+
+Cycle
+VirtualCore::memAccess(std::uint32_t member, Addr addr, bool write,
+                       Cycle when)
+{
+    std::uint32_t owner = memoryOwner(addr);
+    SliceCtx &oc = *slices_[owner];
+    Cycle net = 0;
+    if (owner != member) {
+        // Request + response over the operand network.
+        net = 2 * operandLatency(member, owner);
+        slices_[member]->ctrs.operandNetMsgs += 2;
+    }
+
+    Addr block = addr / params_.cache.blockSize;
+
+    // Store-to-load forwarding from the owner's store buffer.
+    if (!write) {
+        for (std::size_t i = 0; i < oc.sbBlocks.size(); ++i) {
+            if (oc.sbBlocks[i] == block && oc.sbRing[i] > when) {
+                ++oc.ctrs.l1dAccesses;
+                return net + 1;
+            }
+        }
+    }
+
+    ++oc.ctrs.l1dAccesses;
+    CacheAccess l1 = oc.l1d.access(addr, write);
+    if (l1.hit)
+        return net + params_.cache.l1HitLat;
+
+    ++oc.ctrs.l1dMisses;
+    ++oc.ctrs.l2Accesses;
+    L2Access l2 = l2_.access(oc.id, addr, write);
+    if (!l2.hit)
+        ++oc.ctrs.l2Misses;
+    return net + params_.cache.l1HitLat + l2.latency;
+}
+
+std::uint32_t
+VirtualCore::steer(const MicroOp &op,
+                   const HistEnt *producers[2]) const
+{
+    auto n = static_cast<std::uint32_t>(slices_.size());
+    if (n == 1)
+        return 0;
+
+    // Memory ops execute on the Slice owning the address partition
+    // (the LS-bank sorting network routes them there anyway).
+    if (op.isMem())
+        return memoryOwner(op.addr);
+
+    // Follow the first producer to keep dataflow chains local.
+    std::uint32_t preferred = ~std::uint32_t(0);
+    for (int s = 0; s < 2; ++s) {
+        if (producers[s] && producers[s]->member < n) {
+            preferred = producers[s]->member;
+            break;
+        }
+    }
+
+    // Least-loaded member (by ALU availability) as fallback and as
+    // the overload escape hatch.
+    std::uint32_t lightest = steerCursor_ % n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (slices_[i]->aluFree < slices_[lightest]->aluFree)
+            lightest = i;
+    }
+    ++steerCursor_;
+
+    if (preferred == ~std::uint32_t(0))
+        return lightest;
+    // Stay with the chain unless its Slice is clearly backed up.
+    if (slices_[preferred]->aluFree
+        > slices_[lightest]->aluFree + 3) {
+        return lightest;
+    }
+    return preferred;
+}
+
+Cycle
+VirtualCore::processInst(const MicroOp &op)
+{
+    const SliceParams &sp = params_.slice;
+
+    // ------ Source lookup first (steering needs the producers).
+    const HistEnt *producers[2] = {nullptr, nullptr};
+    const std::uint16_t dists[2] = {op.srcDist1, op.srcDist2};
+    for (int s = 0; s < 2; ++s) {
+        std::uint16_t dist = dists[s];
+        if (dist == 0 || dist > hist_.size() || dist > seq_)
+            continue;
+        producers[s] = &hist_[(seq_ - dist) % hist_.size()];
+    }
+
+    std::uint32_t member = steer(op, producers);
+    SliceCtx &sc = *slices_[member];
+
+    // ------ Fetch: synchronized global front-end, fetchWidth slots
+    // per member Slice per cycle.
+    std::uint32_t fetch_bw = sp.fetchWidth
+        * static_cast<std::uint32_t>(slices_.size());
+    Cycle f = std::max(nextFetch_, fetchRedirect_);
+    if (f > nextFetch_) {
+        nextFetch_ = f;
+        fetchUsed_ = 0;
+    }
+
+    // L1I probe once per fetched block (on the executing Slice).
+    Addr fetch_block = op.pc / params_.cache.blockSize;
+    if (fetch_block != sc.lastFetchBlock) {
+        sc.lastFetchBlock = fetch_block;
+        ++sc.ctrs.l1iAccesses;
+        CacheAccess ia = sc.l1i.access(op.pc, false);
+        if (!ia.hit) {
+            ++sc.ctrs.l1iMisses;
+            ++sc.ctrs.l2Accesses;
+            L2Access l2 = l2_.access(sc.id, op.pc, false);
+            if (!l2.hit)
+                ++sc.ctrs.l2Misses;
+            // The synchronized front-end resumes after the fill.
+            nextFetch_ = f + l2.latency;
+            fetchUsed_ = 0;
+            f = nextFetch_;
+        }
+    }
+    if (++fetchUsed_ >= fetch_bw) {
+        ++nextFetch_;
+        fetchUsed_ = 0;
+    }
+
+    // ------ Dispatch: front-end depth + ROB/IQ (+LSQ) occupancy.
+    Cycle d = f + sp.frontendDepth;
+    d = std::max(d, sc.robRing[sc.robSeq % sc.robRing.size()]);
+    d = std::max(d, sc.iqRing[sc.iqSeq % sc.iqRing.size()]);
+    if (op.isMem())
+        d = std::max(d, sc.lsqRing[sc.lsqSeq % sc.lsqRing.size()]);
+
+    // ------ Source readiness via the dependence history.
+    Cycle ready = d;
+    std::uint8_t producer_regs[2] = {MicroOp::noDest, MicroOp::noDest};
+    for (int s = 0; s < 2; ++s) {
+        const HistEnt *prod = producers[s];
+        if (!prod)
+            continue;
+        Cycle avail = prod->complete;
+        if (prod->member != member
+            && prod->member < slices_.size()) {
+            avail += operandLatency(prod->member, member);
+            ++sc.ctrs.operandNetMsgs;
+        }
+        ready = std::max(ready, avail);
+        producer_regs[s] = prod->destReg;
+    }
+
+    // ------ Issue: window exit + functional unit + memory ordering.
+    Cycle issue = std::max(d + 1, ready);
+    Cycle complete = issue;
+    bool mispredicted = false;
+
+    switch (op.op) {
+      case OpClass::IntAlu:
+      case OpClass::FpAlu:
+      case OpClass::Branch:
+        issue = std::max(issue, sc.aluFree);
+        sc.aluFree = issue + 1;
+        complete = issue + (op.op == OpClass::FpAlu
+                            ? sp.fpAluLat : sp.intAluLat);
+        break;
+      case OpClass::Load: {
+        issue = std::max(issue, sc.lsuFree);
+        issue = std::max(
+            issue, sc.loadRing[sc.loadSeq % sc.loadRing.size()]);
+        sc.lsuFree = issue + 1;
+        Cycle lat = memAccess(member, op.addr, false, issue);
+        complete = issue + lat;
+        sc.loadRing[sc.loadSeq % sc.loadRing.size()] = complete;
+        ++sc.loadSeq;
+        break;
+      }
+      case OpClass::Store:
+        issue = std::max(issue, sc.lsuFree);
+        issue = std::max(issue,
+                         sc.sbRing[sc.sbSeq % sc.sbRing.size()]);
+        sc.lsuFree = issue + 1;
+        complete = issue + 1; // enters the store buffer
+        break;
+      case OpClass::Nop:
+        complete = issue;
+        break;
+    }
+
+    // Branch resolution: shared front-end, synced across Slices.
+    if (op.op == OpClass::Branch) {
+        ++sc.ctrs.branches;
+        BranchOutcome bo = bpred_.predictAndTrain(op.pc, op.taken);
+        if (!bo.directionCorrect) {
+            ++sc.ctrs.branchMispredicts;
+            mispredicted = true;
+            fetchRedirect_ = std::max(
+                fetchRedirect_, complete + sp.mispredictRestart);
+        } else if (op.taken && !bo.btbHit) {
+            // Correct direction but unknown target: decode bubble.
+            fetchRedirect_ = std::max(fetchRedirect_, f + 2);
+        }
+    }
+
+    // ------ Commit: program order, global commit bandwidth.
+    Cycle commit = std::max(complete + 1, lastCommit_);
+    std::uint32_t commit_bw = sp.commitWidth
+        * static_cast<std::uint32_t>(slices_.size());
+    if (commit > commitSlotCycle_) {
+        commitSlotCycle_ = commit;
+        commitSlotUsed_ = 0;
+    } else {
+        commit = commitSlotCycle_;
+    }
+    if (++commitSlotUsed_ >= commit_bw) {
+        ++commitSlotCycle_;
+        commitSlotUsed_ = 0;
+    }
+    lastCommit_ = commit;
+    clock_ = commit;
+
+    // Store drains after commit: run the cache access now, charge
+    // occupancy until the drain completes.
+    if (op.op == OpClass::Store) {
+        Cycle lat = memAccess(member, op.addr, true, issue);
+        Cycle drain = commit + lat;
+        sc.sbRing[sc.sbSeq % sc.sbRing.size()] = drain;
+        sc.sbBlocks[sc.sbSeq % sc.sbBlocks.size()] =
+            op.addr / params_.cache.blockSize;
+        ++sc.sbSeq;
+        sc.lsqRing[sc.lsqSeq % sc.lsqRing.size()] = drain;
+        ++sc.lsqSeq;
+    } else if (op.op == OpClass::Load) {
+        sc.lsqRing[sc.lsqSeq % sc.lsqRing.size()] = complete;
+        ++sc.lsqSeq;
+    }
+
+    // Window bookkeeping (slot frees for inst seq + size).
+    sc.robRing[sc.robSeq % sc.robRing.size()] = commit;
+    ++sc.robSeq;
+    sc.iqRing[sc.iqSeq % sc.iqRing.size()] = issue;
+    ++sc.iqSeq;
+
+    // Rename bookkeeping: reads of producer registers, then the
+    // destination write (program order).
+    for (std::uint8_t reg : producer_regs) {
+        if (reg != MicroOp::noDest)
+            rename_.read(reg, member);
+    }
+    if (op.destReg != MicroOp::noDest)
+        rename_.write(op.destReg, member);
+
+    // History for later consumers. A mispredicted branch's "value"
+    // (the redirect) is already modeled via fetchRedirect_.
+    hist_[seq_ % hist_.size()] =
+        HistEnt{complete, member, op.destReg};
+    ++seq_;
+
+    // Counters and request accounting.
+    ++sc.ctrs.committedInsts;
+    ++totalCommitted_;
+    if (op.endOfRequest && op.request != invalidRequest) {
+        ++requestsDone_;
+        ++sc.ctrs.committedRequests;
+        Cycle lat = commit > op.requestArrival
+            ? commit - op.requestArrival : 0;
+        requestLatencySum_ += lat;
+        sc.ctrs.requestLatencySum += lat;
+    }
+    (void)mispredicted;
+
+    if (source_)
+        source_->onCommit(op, commit);
+    return commit;
+}
+
+void
+VirtualCore::advanceFloors(Cycle when)
+{
+    for (auto &sc : slices_) {
+        sc->aluFree = std::max(sc->aluFree, when);
+        sc->lsuFree = std::max(sc->lsuFree, when);
+    }
+    if (nextFetch_ < when) {
+        nextFetch_ = when;
+        fetchUsed_ = 0;
+    }
+    fetchRedirect_ = std::max(fetchRedirect_, when);
+    lastCommit_ = std::max(lastCommit_, when);
+    commitSlotCycle_ = std::max(commitSlotCycle_, when);
+    commitSlotUsed_ = 0;
+    clock_ = std::max(clock_, when);
+}
+
+RunResult
+VirtualCore::runUntil(Cycle target)
+{
+    if (!source_)
+        fatal("runUntil with no instruction source bound");
+
+    RunResult result;
+    while (clock_ < target) {
+        FetchResult fr = source_->next(clock_);
+        switch (fr.kind) {
+          case FetchResult::Kind::Finished:
+            result.finished = true;
+            return result;
+          case FetchResult::Kind::IdleUntil: {
+            Cycle until = std::max(fr.idleUntil, clock_);
+            Cycle stop = std::min(until, target);
+            if (stop > clock_) {
+                result.idleCycles += stop - clock_;
+                idleCycles_ += stop - clock_;
+                advanceFloors(stop);
+            }
+            if (until > target)
+                return result; // still idle at the horizon
+            break;
+          }
+          case FetchResult::Kind::Inst:
+            processInst(fr.op);
+            ++result.committed;
+            break;
+        }
+    }
+    return result;
+}
+
+ReconfigCost
+VirtualCore::reconfigure(std::vector<SliceId> new_slices,
+                         std::vector<BankId> new_banks,
+                         Cycle command_latency)
+{
+    if (new_slices.empty())
+        fatal("cannot reconfigure a virtual core to zero Slices");
+    if (new_slices.size() > 64)
+        fatal("virtual cores support at most 64 Slices");
+
+    ReconfigCost cost;
+    cost.commandLatency = command_latency;
+
+    auto old_count = static_cast<std::uint32_t>(slices_.size());
+    auto new_count = static_cast<std::uint32_t>(new_slices.size());
+    bool slice_change = false;
+    {
+        std::vector<SliceId> cur = sliceIds();
+        slice_change = cur != new_slices;
+    }
+
+    if (slice_change) {
+        // Any membership change flushes the pipelines.
+        cost.pipelineFlush = params_.net.pipelineFlushLat;
+
+        // Contraction: push primary-written live registers to the
+        // survivors over the operand network.
+        if (new_count < old_count) {
+            cost.regsFlushed = rename_.shrink(new_count);
+            std::uint32_t per_cycle = params_.net.regFlushPerCycle;
+            cost.regFlushCycles =
+                (cost.regsFlushed + per_cycle - 1) / per_cycle;
+        } else if (new_count > old_count) {
+            rename_.expand(new_count);
+        }
+
+        // The LS-bank address partition is a function of the Slice
+        // count, so L1Ds must be flushed on any membership change.
+        std::uint64_t l1_dirty = 0;
+        for (auto &sc : slices_)
+            l1_dirty += sc->l1d.dirtyLines();
+        cost.l1FlushCycles = l1_dirty * params_.cache.blockSize
+            / params_.cache.flushNetBytes;
+
+        // Rebuild member contexts: survivors keep nothing in their
+        // L1s (flushed); counters of surviving SliceIds persist.
+        std::vector<std::unique_ptr<SliceCtx>> next;
+        next.reserve(new_count);
+        for (SliceId sid : new_slices) {
+            std::unique_ptr<SliceCtx> ctx;
+            for (auto &sc : slices_) {
+                if (sc && sc->id == sid) {
+                    ctx = std::move(sc);
+                    break;
+                }
+            }
+            if (!ctx) {
+                ctx = std::make_unique<SliceCtx>(sid, params_);
+            } else {
+                // The LS-bank address partition is a function of
+                // the Slice count, so survivor L1Ds flush; their
+                // L1Is and the (fetch-synchronized) branch
+                // predictor state survive the pipeline flush.
+                ctx->l1d.invalidateAll();
+                std::fill(ctx->sbBlocks.begin(), ctx->sbBlocks.end(),
+                          invalidAddr);
+            }
+            next.push_back(std::move(ctx));
+        }
+        slices_ = std::move(next);
+        rebuildDistances();
+        steerCursor_ = 0;
+    }
+
+    // L2 membership change: hash-table remap + dirty flush.
+    L2ReconfigCost l2cost = l2_.reconfigure(new_banks);
+    cost.l2DirtyFlushed = l2cost.dirtyLinesFlushed;
+    cost.l2FlushCycles = l2cost.flushCycles;
+
+    Cycle stall = cost.totalStall();
+    reconfigStall_ += stall;
+    advanceFloors(clock_ + stall);
+    return cost;
+}
+
+} // namespace cash

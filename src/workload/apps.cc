@@ -1,0 +1,286 @@
+#include "workload/apps.hh"
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+namespace
+{
+
+/** Convenience builder for one phase. */
+PhaseParams
+phase(std::string name, double ilp, double mem, std::uint64_t ws,
+      double seq, double branch_frac, double branch_bias,
+      double fp = 0.05, InstCount length = 400'000)
+{
+    PhaseParams p;
+    p.name = std::move(name);
+    p.ilpMeanDist = ilp;
+    p.memFrac = mem;
+    p.workingSet = ws;
+    p.seqFrac = seq;
+    p.branchFrac = branch_frac;
+    p.branchBias = branch_bias;
+    p.fpFrac = fp;
+    p.lengthInsts = length;
+    return p;
+}
+
+/** Assign distinct working-set bases so phase transitions churn the
+ *  caches realistically; share_group lets phases share data. */
+void
+layoutDataBases(std::vector<PhaseParams> &phases)
+{
+    for (std::size_t i = 0; i < phases.size(); ++i)
+        phases[i].dataBase = static_cast<Addr>(i) * 64 * miB;
+}
+
+std::vector<AppModel>
+buildApps()
+{
+    std::vector<AppModel> apps;
+
+    // ---------------- apache: oscillating request stream ---------
+    {
+        AppModel a;
+        a.name = "apache";
+        a.qosKind = QosKind::RequestLatency;
+        a.seed = 101;
+        a.request.baseRatePerMcycle = 12.0;
+        a.request.amplitude = 0.75;
+        a.request.period = 120'000'000;
+        a.request.meanInstsPerRequest = 16'000;
+        a.request.minInstsPerRequest = 2'000;
+        a.request.mix = phase("serve", 5.0, 0.30, 1 * miB, 0.5,
+                              0.17, 0.85);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- astar: search + map phases -----------------
+    {
+        AppModel a;
+        a.name = "astar";
+        a.seed = 102;
+        a.phases = {
+            phase("pathfind", 3.5, 0.35, 1 * miB, 0.15, 0.18, 0.80),
+            phase("mapload", 8.0, 0.40, 4 * miB, 0.70, 0.08, 0.93),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- bzip: compress / sort / huffman ------------
+    {
+        AppModel a;
+        a.name = "bzip";
+        a.seed = 103;
+        a.phases = {
+            phase("compress", 5.0, 0.32, 3 * miB, 0.55, 0.12, 0.88),
+            phase("sort", 3.0, 0.38, 768 * kiB, 0.10, 0.15, 0.78),
+            phase("huffman", 2.5, 0.22, 96 * kiB, 0.35, 0.22, 0.75),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- ferret: PARSEC similarity pipeline ---------
+    {
+        AppModel a;
+        a.name = "ferret";
+        a.seed = 104;
+        a.phases = {
+            phase("extract", 30.0, 0.25, 512 * kiB, 0.60, 0.06,
+                  0.95, 0.40),
+            phase("index", 6.0, 0.42, 6 * miB, 0.20, 0.10, 0.87),
+            phase("rank", 10.0, 0.30, 2 * miB, 0.45, 0.08, 0.92,
+                  0.30),
+            phase("output", 3.0, 0.20, 64 * kiB, 0.70, 0.18, 0.85),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- gcc: parse / optimize / regalloc / emit ----
+    {
+        AppModel a;
+        a.name = "gcc";
+        a.seed = 105;
+        a.phases = {
+            phase("parse", 3.0, 0.28, 512 * kiB, 0.25, 0.22, 0.78),
+            phase("optimize", 5.0, 0.35, 2 * miB, 0.20, 0.14, 0.84),
+            phase("regalloc", 4.0, 0.33, 1 * miB, 0.15, 0.17, 0.80),
+            phase("emit", 6.0, 0.26, 256 * kiB, 0.65, 0.12, 0.90),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- h264ref: reference encoder -----------------
+    {
+        AppModel a;
+        a.name = "h264ref";
+        a.seed = 106;
+        a.phases = {
+            phase("me_full", 20.0, 0.36, 3 * miB, 0.55, 0.10, 0.90),
+            phase("intra", 36.0, 0.28, 256 * kiB, 0.75, 0.06, 0.95,
+                  0.20),
+            phase("cavlc", 2.8, 0.20, 128 * kiB, 0.30, 0.24, 0.74),
+            phase("interp", 26.0, 0.40, 1536 * kiB, 0.60, 0.07,
+                  0.93, 0.25),
+            phase("rdopt", 6.0, 0.30, 2 * miB, 0.35, 0.15, 0.83),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- hmmer: compute-dense profile HMM -----------
+    {
+        AppModel a;
+        a.name = "hmmer";
+        a.seed = 107;
+        a.phases = {
+            phase("viterbi", 64.0, 0.24, 192 * kiB, 0.60, 0.05,
+                  0.97, 0.10, 800'000),
+            phase("postproc", 24.0, 0.28, 384 * kiB, 0.50, 0.09,
+                  0.93, 0.08),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- lib (libquantum): streaming ----------------
+    {
+        AppModel a;
+        a.name = "lib";
+        a.seed = 108;
+        a.phases = {
+            phase("toffoli", 44.0, 0.44, 16 * miB, 0.90, 0.05,
+                  0.97, 0.02, 800'000),
+            phase("sigma", 30.0, 0.40, 16 * miB, 0.85, 0.06, 0.96,
+                  0.02),
+        };
+        // Both phases stream the same register file.
+        for (auto &p : a.phases)
+            p.dataBase = 0;
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- mailserver (postal) ------------------------
+    {
+        AppModel a;
+        a.name = "mailserver";
+        a.qosKind = QosKind::RequestLatency;
+        a.seed = 109;
+        a.request.baseRatePerMcycle = 35.0;
+        a.request.amplitude = 0.30;
+        a.request.period = 80'000'000;
+        a.request.meanInstsPerRequest = 6'000;
+        a.request.minInstsPerRequest = 800;
+        a.request.mix = phase("smtp", 3.5, 0.26, 256 * kiB, 0.40,
+                              0.20, 0.82);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- mcf: pointer-chasing network simplex -------
+    {
+        AppModel a;
+        a.name = "mcf";
+        a.seed = 110;
+        a.phases = {
+            phase("simplex", 2.2, 0.45, 24 * miB, 0.05, 0.12, 0.82,
+                  0.0, 600'000),
+            phase("pricing", 3.5, 0.40, 4 * miB, 0.25, 0.10, 0.86),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- omnetpp: discrete event simulation ---------
+    {
+        AppModel a;
+        a.name = "omnetpp";
+        a.seed = 111;
+        a.phases = {
+            phase("events", 3.0, 0.36, 2560 * kiB, 0.10, 0.18,
+                  0.80),
+            phase("messages", 4.0, 0.32, 768 * kiB, 0.25, 0.15,
+                  0.83),
+            phase("stats", 6.0, 0.25, 128 * kiB, 0.55, 0.10, 0.90),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- sjeng: chess search ------------------------
+    {
+        AppModel a;
+        a.name = "sjeng";
+        a.seed = 112;
+        a.phases = {
+            phase("search", 3.0, 0.24, 384 * kiB, 0.15, 0.22, 0.68),
+            phase("eval", 5.0, 0.28, 1280 * kiB, 0.20, 0.16, 0.76),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    // ---------------- x264: ten distinct phases (Fig 1) ----------
+    {
+        AppModel a;
+        a.name = "x264";
+        a.seed = 113;
+        a.phases = {
+            phase("motion_est", 22.0, 0.35, 2 * miB, 0.60, 0.12,
+                  0.90),
+            phase("dct", 48.0, 0.25, 256 * kiB, 0.80, 0.05, 0.97,
+                  0.30),
+            phase("cabac", 2.5, 0.20, 128 * kiB, 0.30, 0.25, 0.72),
+            phase("deblock", 8.0, 0.40, 1 * miB, 0.50, 0.10, 0.88),
+            phase("subpel", 26.0, 0.30, 4 * miB, 0.40, 0.08, 0.92),
+            phase("quant", 40.0, 0.25, 192 * kiB, 0.70, 0.06, 0.95,
+                  0.20),
+            phase("ratectl", 4.0, 0.15, 64 * kiB, 0.45, 0.20, 0.80),
+            phase("lookahead", 18.0, 0.35, 6 * miB, 0.30, 0.09,
+                  0.90),
+            phase("mc", 30.0, 0.45, 1536 * kiB, 0.65, 0.07, 0.93),
+            phase("setup", 6.0, 0.20, 512 * kiB, 0.50, 0.14, 0.86),
+        };
+        layoutDataBases(a.phases);
+        apps.push_back(std::move(a));
+    }
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppModel> &
+allApps()
+{
+    static const std::vector<AppModel> apps = buildApps();
+    return apps;
+}
+
+const AppModel &
+appByName(std::string_view name)
+{
+    for (const AppModel &app : allApps()) {
+        if (app.name == name)
+            return app;
+    }
+    fatal("unknown application '%.*s'",
+          static_cast<int>(name.size()), name.data());
+}
+
+std::unique_ptr<InstSource>
+makeSource(const AppModel &app, std::uint64_t seed_override)
+{
+    std::uint64_t seed = seed_override ? seed_override : app.seed;
+    if (app.isRequestDriven())
+        return std::make_unique<RequestSource>(app.request, seed);
+    return std::make_unique<PhasedTraceSource>(app.phases, seed,
+                                               true, 0);
+}
+
+} // namespace cash

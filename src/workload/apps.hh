@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Models of the paper's 13 benchmark applications.
+ *
+ * SPEC CINT2006 (astar, bzip, gcc, h264ref, hmmer, lib, mcf,
+ * omnetpp, sjeng), PARSEC (ferret), x264, the apache webserver and
+ * the postal mailserver are modelled as phased synthetic workloads.
+ * Each model's phase parameters are chosen to reproduce the
+ * application's published character on a configurable fabric:
+ * compute-dense codes (hmmer) reward Slices, memory-streaming codes
+ * (lib) reward MLP, pointer-chasers (mcf) reward cache capacity up
+ * to their working set, branchy serial codes (sjeng) reward nothing
+ * beyond a Slice or two, and x264 cycles through ten phases whose
+ * optimal configurations differ (paper Fig 1).
+ *
+ * apache and mailserver are open-loop request streams with latency
+ * QoS; the rest are paced instruction streams with throughput QoS.
+ */
+
+#ifndef CASH_WORKLOAD_APPS_HH
+#define CASH_WORKLOAD_APPS_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/isa.hh"
+#include "workload/phase.hh"
+#include "workload/request.hh"
+
+namespace cash
+{
+
+/**
+ * The kind of QoS an application requires.
+ */
+enum class QosKind
+{
+    Throughput,     ///< instructions per cycle over an interval
+    RequestLatency, ///< mean cycles per completed request
+};
+
+/**
+ * A complete application description.
+ */
+struct AppModel
+{
+    std::string name;
+    QosKind qosKind = QosKind::Throughput;
+    /** Phase list (Throughput apps; also the request mix donor for
+     *  request apps via request.mix). */
+    std::vector<PhaseParams> phases;
+    /** Request stream (RequestLatency apps only). */
+    RequestStreamParams request;
+    /** Default deterministic seed for this app's streams. */
+    std::uint64_t seed = 1;
+
+    bool isRequestDriven() const
+    {
+        return qosKind == QosKind::RequestLatency;
+    }
+};
+
+/** All 13 applications, in the paper's Fig 7 order. */
+const std::vector<AppModel> &allApps();
+
+/** Look up one application; fatal() on unknown names. */
+const AppModel &appByName(std::string_view name);
+
+/**
+ * Instantiate the app's instruction source.
+ * Throughput apps yield a looping PhasedTraceSource; request apps a
+ * RequestSource.
+ *
+ * @param app the model
+ * @param seed_override 0 = use the model's seed
+ */
+std::unique_ptr<InstSource>
+makeSource(const AppModel &app, std::uint64_t seed_override = 0);
+
+} // namespace cash
+
+#endif // CASH_WORKLOAD_APPS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Phase descriptors for synthetic workloads.
+ *
+ * The paper's applications (SPEC CINT2006, PARSEC, x264, apache,
+ * postal) are modelled as sequences of *phases*, each a stationary
+ * instruction mix. A phase's parameters determine how the
+ * application responds to virtual-core configuration:
+ *
+ *  - ilpMeanDist: mean dataflow dependence distance. Small values
+ *    mean tight chains (extra Slices cannot help and inter-Slice
+ *    operand hops actively hurt); large values expose ILP.
+ *  - workingSet / seqFrac: data footprint and streaming fraction,
+ *    which determine L1/L2 hit rates as a function of cache size.
+ *  - branchFrac / branchBias: control-flow density and
+ *    predictability, which set the mispredict-flush rate.
+ *
+ * Phase boundaries move the working-set base so caches see a
+ * realistic partial-reuse transition.
+ */
+
+#ifndef CASH_WORKLOAD_PHASE_HH
+#define CASH_WORKLOAD_PHASE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cash
+{
+
+/**
+ * A stationary region of an application.
+ */
+struct PhaseParams
+{
+    std::string name;
+
+    /** Mean dependence distance (dynamic instructions). */
+    double ilpMeanDist = 4.0;
+    /** Probability an instruction has a second source operand. */
+    double twoSrcFrac = 0.4;
+
+    /** Fraction of instructions that are memory operations. */
+    double memFrac = 0.30;
+    /** Of memory ops, fraction that are stores. */
+    double storeFrac = 0.30;
+    /** Fraction of ALU ops that are floating point. */
+    double fpFrac = 0.05;
+
+    /** Fraction of instructions that are branches. */
+    double branchFrac = 0.15;
+    /** Mean per-static-branch taken bias in [0.5, 1.0];
+     *  1.0 = fully predictable, 0.5 = coin flips. */
+    double branchBias = 0.92;
+    /** Number of static branch sites in this phase. */
+    std::uint32_t staticBranches = 256;
+
+    /** Data working set in bytes. */
+    std::uint64_t workingSet = 256 * kiB;
+    /** Fraction of memory accesses that stream sequentially. */
+    double seqFrac = 0.3;
+    /** Instruction footprint in bytes (drives L1I behaviour). */
+    std::uint64_t codeFootprint = 8 * kiB;
+
+    /** Dynamic length of one pass through this phase. */
+    InstCount lengthInsts = 400'000;
+
+    /** Base offset of this phase's working set in the app's address
+     *  space; phases with equal bases share data. */
+    Addr dataBase = 0;
+};
+
+} // namespace cash
+
+#endif // CASH_WORKLOAD_PHASE_HH

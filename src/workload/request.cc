@@ -1,0 +1,113 @@
+#include "workload/request.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+RequestSource::RequestSource(const RequestStreamParams &params,
+                             std::uint64_t seed)
+    : params_(params), rng_(seed),
+      body_({params.mix}, seed ^ 0xb0d7u, true, 0)
+{
+    if (params.baseRatePerMcycle <= 0.0)
+        fatal("request rate must be positive");
+    if (params.amplitude < 0.0 || params.amplitude >= 1.0)
+        fatal("request amplitude must be in [0, 1)");
+    if (params.period == 0)
+        fatal("request oscillation period must be non-zero");
+    if (params.meanInstsPerRequest < params.minInstsPerRequest)
+        fatal("mean request size below the minimum");
+}
+
+double
+RequestSource::rateAt(Cycle t) const
+{
+    double phase = 2.0 * M_PI * static_cast<double>(t % params_.period)
+        / static_cast<double>(params_.period);
+    return params_.baseRatePerMcycle
+        * (1.0 + params_.amplitude * std::sin(phase));
+}
+
+void
+RequestSource::generateArrivalsUpTo(Cycle t)
+{
+    // Non-homogeneous Poisson by thinning against the peak rate.
+    double peak_per_cycle = params_.baseRatePerMcycle
+        * (1.0 + params_.amplitude) / 1e6;
+    if (!arrivalPrimed_) {
+        nextArrival_ = static_cast<Cycle>(
+            rng_.nextExponential(peak_per_cycle));
+        arrivalPrimed_ = true;
+    }
+    while (nextArrival_ <= t) {
+        double accept = rateAt(nextArrival_)
+            / (params_.baseRatePerMcycle * (1.0 + params_.amplitude));
+        if (rng_.nextBool(accept)) {
+            queue_.push_back(nextArrival_);
+            ++arrivals_;
+        }
+        nextArrival_ += 1 + static_cast<Cycle>(
+            rng_.nextExponential(peak_per_cycle));
+    }
+}
+
+void
+RequestSource::startNextRequest()
+{
+    activeArrival_ = queue_.front();
+    queue_.pop_front();
+    double mean_extra = static_cast<double>(
+        params_.meanInstsPerRequest - params_.minInstsPerRequest);
+    InstCount extra = mean_extra > 0.0
+        ? static_cast<InstCount>(
+              rng_.nextExponential(1.0 / mean_extra))
+        : 0;
+    burstLeft_ = params_.minInstsPerRequest + extra;
+    inRequest_ = true;
+    ++nextRequestId_;
+}
+
+FetchResult
+RequestSource::next(Cycle now)
+{
+    generateArrivalsUpTo(now);
+
+    if (!inRequest_) {
+        if (queue_.empty()) {
+            FetchResult fr;
+            fr.kind = FetchResult::Kind::IdleUntil;
+            fr.idleUntil = std::max(nextArrival_, now + 1);
+            return fr;
+        }
+        startNextRequest();
+    }
+
+    FetchResult fr = body_.next(now);
+    if (fr.kind != FetchResult::Kind::Inst)
+        panic("request body generator must be endless");
+    fr.op.request = nextRequestId_;
+    fr.op.requestArrival = activeArrival_;
+    --burstLeft_;
+    if (burstLeft_ == 0) {
+        fr.op.endOfRequest = true;
+        inRequest_ = false;
+    }
+    return fr;
+}
+
+void
+RequestSource::onCommit(const MicroOp &op, Cycle commit_cycle)
+{
+    if (op.endOfRequest && op.request != invalidRequest) {
+        ++completed_;
+        Cycle lat = commit_cycle > op.requestArrival
+            ? commit_cycle - op.requestArrival : 0;
+        latency_.add(static_cast<double>(lat));
+    }
+}
+
+} // namespace cash

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Open-loop request-stream workloads (apache, mailserver).
+ *
+ * Requests arrive on a non-homogeneous Poisson process whose rate
+ * oscillates sinusoidally (the paper condenses a diurnal Wikipedia-
+ * like load into fast oscillations for Fig 9). Each request is a
+ * burst of instructions drawn from a stationary mix; the last
+ * instruction is tagged endOfRequest so the virtual core can account
+ * per-request latency (queueing + service). When the queue is empty
+ * the source reports IdleUntil the next arrival.
+ */
+
+#ifndef CASH_WORKLOAD_REQUEST_HH
+#define CASH_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/isa.hh"
+#include "workload/phase.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+
+/**
+ * Parameters of an open-loop request stream.
+ */
+struct RequestStreamParams
+{
+    /** Mean arrival rate, requests per million cycles. */
+    double baseRatePerMcycle = 300.0;
+    /** Sinusoidal modulation amplitude as a fraction of base
+     *  rate, in [0, 1). 0 = constant-rate Poisson. */
+    double amplitude = 0.0;
+    /** Oscillation period in cycles. */
+    Cycle period = 100'000'000;
+    /** Mean instructions per request. */
+    InstCount meanInstsPerRequest = 20'000;
+    /** Minimum instructions per request. */
+    InstCount minInstsPerRequest = 500;
+    /** Instruction mix inside requests (lengthInsts ignored). */
+    PhaseParams mix;
+};
+
+/**
+ * The arrival process + per-request burst generator.
+ */
+class RequestSource : public InstSource
+{
+  public:
+    RequestSource(const RequestStreamParams &params,
+                  std::uint64_t seed);
+
+    FetchResult next(Cycle now) override;
+    void onCommit(const MicroOp &op, Cycle commit_cycle) override;
+
+    /** Instantaneous arrival rate at a cycle (per Mcycle). */
+    double rateAt(Cycle t) const;
+
+    std::uint64_t arrivals() const { return arrivals_; }
+    std::uint64_t completed() const { return completed_; }
+    /** Completed-request latency statistics (cycles). */
+    const RunningStat &latency() const { return latency_; }
+    /** Requests currently queued or in service. */
+    std::uint64_t
+    backlog() const override
+    {
+        return queue_.size() + (inRequest_ ? 1 : 0);
+    }
+
+  private:
+    /** Extend the arrival schedule to cover cycle t. */
+    void generateArrivalsUpTo(Cycle t);
+    void startNextRequest();
+
+    RequestStreamParams params_;
+    Rng rng_;
+    PhasedTraceSource body_;
+
+    std::deque<Cycle> queue_;   ///< arrival cycles of pending reqs
+    Cycle nextArrival_ = 0;
+    bool arrivalPrimed_ = false;
+
+    bool inRequest_ = false;
+    InstCount burstLeft_ = 0;
+    Cycle activeArrival_ = 0;
+    RequestId nextRequestId_ = 0;
+
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t completed_ = 0;
+    RunningStat latency_;
+};
+
+} // namespace cash
+
+#endif // CASH_WORKLOAD_REQUEST_HH

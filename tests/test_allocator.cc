@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for virtual-core allocation on the fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "fabric/allocator.hh"
+
+namespace cash
+{
+namespace
+{
+
+FabricGrid &
+grid()
+{
+    static FabricGrid g;
+    return g;
+}
+
+/** Every slice/bank is held by at most one live vcore. */
+void
+checkNoOverlap(const FabricAllocator &alloc,
+               const std::vector<VCoreId> &live)
+{
+    std::set<SliceId> slices;
+    std::set<BankId> banks;
+    for (VCoreId id : live) {
+        const VCoreAllocation &a = alloc.allocation(id);
+        for (SliceId s : a.slices)
+            EXPECT_TRUE(slices.insert(s).second)
+                << "slice " << s << " double-allocated";
+        for (BankId b : a.banks)
+            EXPECT_TRUE(banks.insert(b).second)
+                << "bank " << b << " double-allocated";
+    }
+}
+
+TEST(Allocator, BasicAllocate)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(4, 8);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->slices.size(), 4u);
+    EXPECT_EQ(a->banks.size(), 8u);
+    EXPECT_EQ(alloc.freeSlices(), grid().numSlices() - 4);
+    EXPECT_EQ(alloc.freeBanks(), grid().numBanks() - 8);
+    EXPECT_EQ(alloc.liveVCores(), 1u);
+}
+
+TEST(Allocator, ZeroSlicesRejected)
+{
+    FabricAllocator alloc(grid());
+    EXPECT_THROW(alloc.allocate(0, 1), FatalError);
+}
+
+TEST(Allocator, BanklessVCoreAllowed)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(1, 0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(a->banks.empty());
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(grid().numSlices(), 0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_FALSE(alloc.allocate(1, 0).has_value());
+    // And the failed attempt must not leak resources.
+    EXPECT_EQ(alloc.freeSlices(), 0u);
+    alloc.release(a->id);
+    EXPECT_EQ(alloc.freeSlices(), grid().numSlices());
+}
+
+TEST(Allocator, ReleaseRecycles)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(8, 16);
+    alloc.release(a->id);
+    EXPECT_EQ(alloc.freeSlices(), grid().numSlices());
+    EXPECT_EQ(alloc.freeBanks(), grid().numBanks());
+    EXPECT_EQ(alloc.liveVCores(), 0u);
+}
+
+TEST(AllocatorDeath, ReleaseUnknownPanics)
+{
+    FabricAllocator alloc(grid());
+    EXPECT_DEATH(alloc.release(1234), "unknown vcore");
+}
+
+TEST(Allocator, PlacementIsCompact)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(8, 0);
+    // Greedy placement should keep 8 slices within a small span.
+    EXPECT_LE(a->sliceSpan(grid()), 8u);
+}
+
+TEST(Allocator, BanksPlacedNearSlices)
+{
+    FabricAllocator alloc(grid());
+    auto small = alloc.allocate(1, 1);
+    double near = small->meanL2Distance(grid());
+    auto big = alloc.allocate(1, 64);
+    double spread = big->meanL2Distance(grid());
+    // More banks must reach farther on average — the geometric root
+    // of the paper's non-convex configuration space.
+    EXPECT_LT(near, spread);
+}
+
+TEST(Allocator, ResizeGrowKeepsExistingTiles)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(2, 4);
+    auto slices_before = a->slices;
+    auto banks_before = a->banks;
+    auto b = alloc.resize(a->id, 4, 8);
+    ASSERT_TRUE(b.has_value());
+    for (std::size_t i = 0; i < slices_before.size(); ++i)
+        EXPECT_EQ(b->slices[i], slices_before[i]);
+    for (std::size_t i = 0; i < banks_before.size(); ++i)
+        EXPECT_EQ(b->banks[i], banks_before[i]);
+}
+
+TEST(Allocator, ResizeShrinkKeepsPrefix)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(6, 8);
+    auto slices_before = a->slices;
+    auto b = alloc.resize(a->id, 3, 2);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->slices.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(b->slices[i], slices_before[i]);
+    EXPECT_EQ(alloc.freeSlices(), grid().numSlices() - 3);
+}
+
+TEST(Allocator, ResizeFailureRollsBack)
+{
+    FabricAllocator alloc(grid());
+    auto a = alloc.allocate(2, 2);
+    auto hog = alloc.allocate(grid().numSlices() - 2, 0);
+    ASSERT_TRUE(hog.has_value());
+    auto before = alloc.allocation(a->id);
+    EXPECT_FALSE(alloc.resize(a->id, 4, 2).has_value());
+    auto after = alloc.allocation(a->id);
+    EXPECT_EQ(before.slices, after.slices);
+    EXPECT_EQ(before.banks, after.banks);
+}
+
+TEST(Allocator, CompactPreservesResourceCounts)
+{
+    FabricAllocator alloc(grid());
+    std::vector<VCoreId> live;
+    // Fragment the fabric: allocate 8, free every other one.
+    std::vector<VCoreId> temp;
+    for (int i = 0; i < 8; ++i) {
+        auto a = alloc.allocate(4, 8);
+        ASSERT_TRUE(a);
+        temp.push_back(a->id);
+    }
+    for (int i = 0; i < 8; ++i) {
+        if (i % 2)
+            alloc.release(temp[i]);
+        else
+            live.push_back(temp[i]);
+    }
+    std::map<VCoreId, std::pair<std::size_t, std::size_t>> counts;
+    for (VCoreId id : live) {
+        const auto &a = alloc.allocation(id);
+        counts[id] = {a.slices.size(), a.banks.size()};
+    }
+    alloc.compact();
+    for (VCoreId id : live) {
+        const auto &a = alloc.allocation(id);
+        EXPECT_EQ(a.slices.size(), counts[id].first);
+        EXPECT_EQ(a.banks.size(), counts[id].second);
+    }
+    checkNoOverlap(alloc, live);
+}
+
+/** Random allocate/resize/release sequences keep invariants. */
+class AllocatorFuzzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllocatorFuzzTest, NoOverlapEver)
+{
+    Rng r(GetParam());
+    FabricAllocator alloc(grid());
+    std::vector<VCoreId> live;
+    std::uint32_t used_slices = 0, used_banks = 0;
+    for (int step = 0; step < 300; ++step) {
+        int op = static_cast<int>(r.nextBounded(3));
+        if (op == 0 || live.empty()) {
+            auto s = 1 + static_cast<std::uint32_t>(r.nextBounded(8));
+            auto b = static_cast<std::uint32_t>(r.nextBounded(17));
+            auto a = alloc.allocate(s, b);
+            if (a) {
+                live.push_back(a->id);
+                used_slices += s;
+                used_banks += b;
+            }
+        } else if (op == 1) {
+            std::size_t i = r.nextBounded(live.size());
+            const auto &cur = alloc.allocation(live[i]);
+            used_slices -=
+                static_cast<std::uint32_t>(cur.slices.size());
+            used_banks -=
+                static_cast<std::uint32_t>(cur.banks.size());
+            alloc.release(live[i]);
+            live.erase(live.begin() + static_cast<long>(i));
+        } else {
+            std::size_t i = r.nextBounded(live.size());
+            const auto &cur = alloc.allocation(live[i]);
+            auto old_slices =
+                static_cast<std::uint32_t>(cur.slices.size());
+            auto old_banks =
+                static_cast<std::uint32_t>(cur.banks.size());
+            auto s = 1 + static_cast<std::uint32_t>(r.nextBounded(8));
+            auto b = static_cast<std::uint32_t>(r.nextBounded(17));
+            auto res = alloc.resize(live[i], s, b);
+            if (res) {
+                used_slices -= old_slices;
+                used_banks -= old_banks;
+                used_slices += s;
+                used_banks += b;
+            }
+        }
+        ASSERT_EQ(alloc.freeSlices(),
+                  grid().numSlices() - used_slices);
+        ASSERT_EQ(alloc.freeBanks(), grid().numBanks() - used_banks);
+        checkNoOverlap(alloc, live);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace cash

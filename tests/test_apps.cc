@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the 13 application models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "workload/apps.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Apps, ThirteenApplications)
+{
+    EXPECT_EQ(allApps().size(), 13u);
+}
+
+TEST(Apps, PaperNamesPresent)
+{
+    // The Fig 7 x-axis, in order.
+    const char *names[] = {"apache", "astar", "bzip", "ferret",
+                           "gcc", "h264ref", "hmmer", "lib",
+                           "mailserver", "mcf", "omnetpp", "sjeng",
+                           "x264"};
+    const auto &apps = allApps();
+    ASSERT_EQ(apps.size(), std::size(names));
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        EXPECT_EQ(apps[i].name, names[i]);
+}
+
+TEST(Apps, X264HasTenPhases)
+{
+    EXPECT_EQ(appByName("x264").phases.size(), 10u);
+}
+
+TEST(Apps, RequestAppsFlagged)
+{
+    EXPECT_TRUE(appByName("apache").isRequestDriven());
+    EXPECT_TRUE(appByName("mailserver").isRequestDriven());
+    EXPECT_FALSE(appByName("x264").isRequestDriven());
+    EXPECT_FALSE(appByName("mcf").isRequestDriven());
+}
+
+TEST(Apps, UnknownNameFatal)
+{
+    EXPECT_THROW(appByName("doom"), FatalError);
+}
+
+TEST(Apps, ThroughputAppsHaveValidPhases)
+{
+    for (const AppModel &app : allApps()) {
+        if (app.isRequestDriven())
+            continue;
+        ASSERT_FALSE(app.phases.empty()) << app.name;
+        for (const PhaseParams &p : app.phases) {
+            EXPECT_GE(p.ilpMeanDist, 1.0) << app.name;
+            EXPECT_GE(p.workingSet, 64u) << app.name;
+            EXPECT_GT(p.lengthInsts, 0u) << app.name;
+            EXPECT_LE(p.branchFrac + p.memFrac, 0.95) << app.name;
+        }
+    }
+}
+
+TEST(Apps, MakeSourceRuns)
+{
+    for (const AppModel &app : allApps()) {
+        auto src = makeSource(app);
+        ASSERT_NE(src, nullptr) << app.name;
+        Cycle now = 0;
+        int insts = 0;
+        for (int i = 0; i < 300 && insts < 100; ++i) {
+            FetchResult fr = src->next(now);
+            if (fr.kind == FetchResult::Kind::IdleUntil)
+                now = fr.idleUntil;
+            else if (fr.kind == FetchResult::Kind::Inst) {
+                ++insts;
+                ++now;
+            } else {
+                break;
+            }
+        }
+        EXPECT_GT(insts, 0) << app.name;
+    }
+}
+
+TEST(Apps, SeedOverrideChangesStream)
+{
+    const AppModel &app = appByName("gcc");
+    auto a = makeSource(app, 111);
+    auto b = makeSource(app, 222);
+    int same = 0;
+    for (int i = 0; i < 200; ++i)
+        same += a->next(0).op.addr == b->next(0).op.addr;
+    EXPECT_LT(same, 150);
+}
+
+TEST(Apps, WorkingSetsSpanTheCacheHierarchy)
+{
+    // The suite must contain both cache-resident and memory-bound
+    // applications, or the configuration space would be degenerate.
+    std::uint64_t smallest = ~0ull, largest = 0;
+    for (const AppModel &app : allApps()) {
+        for (const PhaseParams &p : app.phases) {
+            smallest = std::min(smallest, p.workingSet);
+            largest = std::max(largest, p.workingSet);
+        }
+    }
+    EXPECT_LT(smallest, 128 * kiB);
+    EXPECT_GT(largest, 8 * miB);
+}
+
+TEST(Apps, IlpDiversity)
+{
+    double lo = 1e9, hi = 0;
+    for (const AppModel &app : allApps()) {
+        for (const PhaseParams &p : app.phases) {
+            lo = std::min(lo, p.ilpMeanDist);
+            hi = std::max(hi, p.ilpMeanDist);
+        }
+    }
+    EXPECT_LT(lo, 4.0);  // serial codes exist
+    EXPECT_GT(hi, 30.0); // parallel codes exist
+}
+
+} // namespace
+} // namespace cash

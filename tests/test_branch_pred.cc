@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the tournament branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sim/branch_pred.hh"
+
+namespace cash
+{
+namespace
+{
+
+double
+accuracy(BranchPredictor &bp, int n,
+         const std::function<std::pair<Addr, bool>(int)> &gen)
+{
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+        auto [pc, taken] = gen(i);
+        correct += bp.predictAndTrain(pc, taken).directionCorrect;
+    }
+    return static_cast<double>(correct) / n;
+}
+
+TEST(BranchPred, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    double acc = accuracy(bp, 2000, [](int) {
+        return std::make_pair(Addr{0x400}, true);
+    });
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(BranchPred, LearnsPerSiteBias)
+{
+    // i.i.d. outcomes at 90% bias: accuracy should approach the
+    // bias itself (the bimodal side of the tournament).
+    BranchPredictor bp;
+    Rng r(7);
+    double acc = accuracy(bp, 20000, [&](int i) {
+        Addr pc = 0x1000 + static_cast<Addr>(i % 64) * 16;
+        bool majority = (i % 64) % 2 == 0;
+        bool taken = r.nextBool(0.9) ? majority : !majority;
+        return std::make_pair(pc, taken);
+    });
+    EXPECT_GT(acc, 0.85);
+    EXPECT_LT(acc, 0.95);
+}
+
+TEST(BranchPred, LearnsLoopPattern)
+{
+    // Taken 7 times then not-taken: gshare history should learn the
+    // exit, pushing accuracy well above the 87.5% bias level.
+    BranchPredictor bp;
+    double acc = accuracy(bp, 16000, [](int i) {
+        return std::make_pair(Addr{0x2000}, (i % 8) != 7);
+    });
+    EXPECT_GT(acc, 0.97);
+}
+
+TEST(BranchPred, RandomBranchesNearChance)
+{
+    BranchPredictor bp;
+    Rng r(13);
+    double acc = accuracy(bp, 20000, [&](int) {
+        return std::make_pair(Addr{0x3000}, r.nextBool(0.5));
+    });
+    EXPECT_GT(acc, 0.40);
+    EXPECT_LT(acc, 0.60);
+}
+
+TEST(BranchPred, BtbMissUntilTaken)
+{
+    BranchPredictor bp;
+    EXPECT_FALSE(bp.predictAndTrain(0x40, true).btbHit);
+    EXPECT_TRUE(bp.predictAndTrain(0x40, true).btbHit);
+    // A never-taken branch never allocates.
+    EXPECT_FALSE(bp.predictAndTrain(0x80, false).btbHit);
+    EXPECT_FALSE(bp.predictAndTrain(0x80, false).btbHit);
+}
+
+TEST(BranchPred, CountersTrack)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(0x10, true);
+    EXPECT_EQ(bp.lookups(), 100u);
+    EXPECT_LT(bp.mispredicts(), 5u);
+}
+
+TEST(BranchPred, ResetForgets)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndTrain(0x10, true);
+    bp.reset();
+    EXPECT_FALSE(bp.predictAndTrain(0x10, true).btbHit);
+}
+
+TEST(BranchPred, BadParamsRejected)
+{
+    EXPECT_THROW(BranchPredictor(0, 16), FatalError);
+    EXPECT_THROW(BranchPredictor(30, 16), FatalError);
+    EXPECT_THROW(BranchPredictor(12, 17), FatalError);
+    EXPECT_THROW(BranchPredictor(12, 0), FatalError);
+}
+
+/** The tournament should beat or match both components across a
+ *  sweep of bias levels. */
+class BranchBiasTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BranchBiasTest, AccuracyTracksBias)
+{
+    double bias = GetParam();
+    BranchPredictor bp;
+    Rng r(static_cast<std::uint64_t>(bias * 1000));
+    double acc = accuracy(bp, 30000, [&](int i) {
+        Addr pc = 0x5000 + static_cast<Addr>(i % 32) * 16;
+        return std::make_pair(pc, r.nextBool(bias));
+    });
+    // Accuracy should be within a few points of max(bias, 1-bias).
+    double limit = std::max(bias, 1.0 - bias);
+    EXPECT_GT(acc, limit - 0.09) << "bias " << bias;
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, BranchBiasTest,
+                         ::testing::Values(0.6, 0.75, 0.9, 0.97));
+
+} // namespace
+} // namespace cash

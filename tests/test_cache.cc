@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the set-associative cache array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sim/cache.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Cache, GeometryDerivation)
+{
+    SetAssocCache c(16 * 1024, 64, 2);
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.blockSize(), 64u);
+    EXPECT_EQ(c.assoc(), 2u);
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    EXPECT_THROW(SetAssocCache(1000, 64, 2), FatalError);
+    EXPECT_THROW(SetAssocCache(1024, 63, 2), FatalError);
+    EXPECT_THROW(SetAssocCache(1024, 64, 0), FatalError);
+    EXPECT_THROW(SetAssocCache(0, 64, 2), FatalError);
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(4096, 64, 2);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13f, false).hit); // same block
+    EXPECT_FALSE(c.access(0x140, false).hit); // next block
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 ways, 1 set: size = 2 blocks.
+    SetAssocCache c(128, 64, 2);
+    c.access(0x000, false); // A
+    c.access(0x040, false); // B
+    c.access(0x000, false); // touch A -> B is LRU
+    c.access(0x080, false); // C evicts B
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x040));
+    EXPECT_TRUE(c.probe(0x080));
+}
+
+TEST(Cache, DirtyWritebackOnEvict)
+{
+    SetAssocCache c(128, 64, 2);
+    c.access(0x000, true); // dirty A
+    c.access(0x040, false);
+    CacheAccess third = c.access(0x080, false); // evicts dirty A
+    EXPECT_TRUE(third.writeback);
+    EXPECT_EQ(third.victimBlock, 0x000u >> 6);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictNoWriteback)
+{
+    SetAssocCache c(128, 64, 2);
+    c.access(0x000, false);
+    c.access(0x040, false);
+    EXPECT_FALSE(c.access(0x080, false).writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    SetAssocCache c(128, 64, 2);
+    c.access(0x000, false);
+    EXPECT_EQ(c.dirtyLines(), 0u);
+    c.access(0x000, true);
+    EXPECT_EQ(c.dirtyLines(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    SetAssocCache c(128, 64, 2);
+    c.access(0x000, false);
+    std::uint64_t misses = c.misses();
+    EXPECT_FALSE(c.probe(0x999000));
+    EXPECT_EQ(c.misses(), misses);
+    EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(Cache, InvalidateAllCountsDirty)
+{
+    SetAssocCache c(4096, 64, 2);
+    c.access(0x000, true);
+    c.access(0x040, true);
+    c.access(0x080, false);
+    EXPECT_EQ(c.invalidateAll(), 2u);
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_FALSE(c.probe(0x000));
+}
+
+TEST(Cache, InvalidateIfSelective)
+{
+    SetAssocCache c(4096, 64, 2);
+    c.access(0x000, true);
+    c.access(0x040, false);
+    c.access(0x080, true);
+    std::uint64_t dirty = c.invalidateIf(
+        [](Addr block) { return block != 1; }); // keep 0x040
+    EXPECT_EQ(dirty, 2u);
+    EXPECT_FALSE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x040));
+    EXPECT_FALSE(c.probe(0x080));
+}
+
+TEST(Cache, ForEachLineVisitsValidOnly)
+{
+    SetAssocCache c(4096, 64, 2);
+    c.access(0x000, true);
+    c.access(0x040, false);
+    int total = 0, dirty = 0;
+    c.forEachLine([&](Addr, bool d) {
+        ++total;
+        dirty += d;
+    });
+    EXPECT_EQ(total, 2);
+    EXPECT_EQ(dirty, 1);
+}
+
+TEST(Cache, WorkingSetFitBehaviour)
+{
+    // A working set that fits should hit ~100% after one pass; one
+    // that is 2x capacity with LRU + sequential access thrashes.
+    SetAssocCache c(8192, 64, 2);
+    for (Addr a = 0; a < 8192; a += 64)
+        c.access(a, false);
+    std::uint64_t m0 = c.misses();
+    for (Addr a = 0; a < 8192; a += 64)
+        c.access(a, false);
+    EXPECT_EQ(c.misses(), m0); // fully resident
+    SetAssocCache d(8192, 64, 2);
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 16384; a += 64)
+            d.access(a, false);
+    EXPECT_EQ(d.misses(), d.accesses()); // sequential LRU thrash
+}
+
+/** Structural invariants hold across geometries and access mixes. */
+class CacheGeomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeomTest, OccupancyNeverExceedsCapacity)
+{
+    auto [size_kb, block, assoc] = GetParam();
+    SetAssocCache c(static_cast<std::uint64_t>(size_kb) * 1024,
+                    block, assoc);
+    Rng r(size_kb * 131 + assoc);
+    std::uint64_t capacity_lines =
+        c.size() / c.blockSize();
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = r.nextBounded(1u << 22);
+        c.access(a, r.nextBool(0.3));
+        if (i % 1000 == 0) {
+            ASSERT_LE(c.validLines(), capacity_lines);
+            ASSERT_LE(c.dirtyLines(), c.validLines());
+        }
+    }
+    EXPECT_EQ(c.accesses(), 20000u);
+    EXPECT_LE(c.misses(), c.accesses());
+    // Re-touching everything valid must produce pure hits.
+    std::vector<Addr> blocks;
+    c.forEachLine([&](Addr b, bool) { blocks.push_back(b); });
+    std::uint64_t misses = c.misses();
+    for (Addr b : blocks)
+        c.access(b * c.blockSize(), false);
+    EXPECT_EQ(c.misses(), misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeomTest,
+    ::testing::Values(std::make_tuple(4, 64, 1),
+                      std::make_tuple(16, 64, 2),
+                      std::make_tuple(64, 64, 4),
+                      std::make_tuple(64, 128, 8),
+                      std::make_tuple(256, 32, 4)));
+
+} // namespace
+} // namespace cash

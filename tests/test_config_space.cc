@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the configuration space and the EC2-anchored cost model
+ * (paper Sec VI-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/config_space.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(ConfigSpace, PaperSweepIs64Configs)
+{
+    // 1..8 Slices x 64KB..8MB in power-of-two steps.
+    ConfigSpace space;
+    EXPECT_EQ(space.size(), 64u);
+    EXPECT_EQ(space.base(), (VCoreConfig{1, 1}));
+    EXPECT_EQ(space.at(63), (VCoreConfig{8, 128}));
+}
+
+TEST(ConfigSpace, IndexRoundTrip)
+{
+    ConfigSpace space;
+    for (std::size_t k = 0; k < space.size(); ++k)
+        EXPECT_EQ(space.indexOf(space.at(k)), k);
+}
+
+TEST(ConfigSpace, ContainsRejectsNonPow2Banks)
+{
+    ConfigSpace space;
+    EXPECT_TRUE(space.contains({4, 32}));
+    EXPECT_FALSE(space.contains({4, 33}));
+    EXPECT_FALSE(space.contains({0, 1}));
+    EXPECT_FALSE(space.contains({9, 1}));
+    EXPECT_FALSE(space.contains({1, 256}));
+}
+
+TEST(ConfigSpace, IndexOfOutsideFatal)
+{
+    ConfigSpace space;
+    EXPECT_THROW(space.indexOf({4, 33}), FatalError);
+}
+
+TEST(ConfigSpace, NeighboursAreGridAdjacent)
+{
+    ConfigSpace space;
+    std::size_t k = space.indexOf({4, 8});
+    auto ns = space.neighbours(k);
+    EXPECT_EQ(ns.size(), 4u);
+    std::vector<VCoreConfig> expected{
+        {3, 8}, {5, 8}, {4, 4}, {4, 16}};
+    for (std::size_t n : ns) {
+        EXPECT_NE(std::find(expected.begin(), expected.end(),
+                            space.at(n)),
+                  expected.end())
+            << space.at(n).str();
+    }
+}
+
+TEST(ConfigSpace, CornerHasTwoNeighbours)
+{
+    ConfigSpace space;
+    EXPECT_EQ(space.neighbours(space.indexOf({1, 1})).size(), 2u);
+    EXPECT_EQ(space.neighbours(space.indexOf({8, 128})).size(), 2u);
+}
+
+TEST(ConfigSpace, CustomSpace)
+{
+    // The coarse-grain big.LITTLE pair (paper Sec VI-E).
+    ConfigSpace coarse(
+        std::vector<VCoreConfig>{{1, 2}, {8, 64}});
+    EXPECT_EQ(coarse.size(), 2u);
+    EXPECT_EQ(coarse.base(), (VCoreConfig{1, 2}));
+    EXPECT_TRUE(coarse.contains({8, 64}));
+    EXPECT_FALSE(coarse.contains({4, 8}));
+    EXPECT_EQ(coarse.indexOf({8, 64}), 1u);
+    EXPECT_TRUE(coarse.neighbours(0).empty());
+}
+
+TEST(ConfigSpace, EmptyCustomRejected)
+{
+    EXPECT_THROW(ConfigSpace(std::vector<VCoreConfig>{}),
+                 FatalError);
+}
+
+TEST(ConfigSpace, StrFormatting)
+{
+    EXPECT_EQ((VCoreConfig{1, 1}).str(), "1S/64KB");
+    EXPECT_EQ((VCoreConfig{8, 64}).str(), "8S/4MB");
+    EXPECT_EQ((VCoreConfig{2, 16}).str(), "2S/1MB");
+}
+
+TEST(CostModel, PaperPrices)
+{
+    // Sec VI-B: $0.0098/Slice, $0.0032/64KB; minimal config matches
+    // the t2.micro at $0.013/hr.
+    CostModel cost;
+    EXPECT_NEAR(cost.ratePerHour({1, 1}), 0.013, 1e-9);
+    EXPECT_NEAR(cost.ratePerHour({8, 64}),
+                8 * 0.0098 + 64 * 0.0032, 1e-9);
+}
+
+TEST(CostModel, LinearInResources)
+{
+    CostModel cost;
+    double one = cost.ratePerHour({1, 1});
+    double two = cost.ratePerHour({2, 2});
+    EXPECT_NEAR(two, 2 * one, 1e-12);
+}
+
+TEST(CostModel, CycleConversion)
+{
+    CostModel cost(0.0098, 0.0032, 1e9);
+    // 3.6e12 cycles at 1 GHz = 1 hour.
+    EXPECT_NEAR(cost.hours(3'600'000'000'000ull), 1.0, 1e-12);
+    EXPECT_NEAR(cost.cost({1, 1}, 3'600'000'000'000ull), 0.013,
+                1e-9);
+}
+
+TEST(CostModel, BadParamsRejected)
+{
+    EXPECT_THROW(CostModel(-1, 0.1, 1e9), FatalError);
+    EXPECT_THROW(CostModel(0.1, 0.1, 0), FatalError);
+}
+
+/** Cost ordering: strictly monotone in each dimension. */
+class CostMonotoneTest
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CostMonotoneTest, MonotoneInBanks)
+{
+    CostModel cost;
+    std::uint32_t slices = GetParam();
+    double prev = 0.0;
+    for (std::uint32_t b = 1; b <= 128; b *= 2) {
+        double r = cost.ratePerHour({slices, b});
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slices, CostMonotoneTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace cash

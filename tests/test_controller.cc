@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the deadbeat controller (Eqns 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/controller.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Controller, OneStepDeadbeatWithExactGain)
+{
+    // Plant: q = b * s with b = 0.5. From s=1 (q=0.5), one step
+    // must land exactly on the setpoint.
+    DeadbeatController c(0.0, 64.0);
+    double b = 0.5;
+    double s = c.step(b * 1.0, b);
+    EXPECT_NEAR(b * s, 1.0, 1e-12);
+    // And stay there.
+    s = c.step(b * s, b);
+    EXPECT_NEAR(b * s, 1.0, 1e-12);
+}
+
+TEST(Controller, ConvergesUnderGainError)
+{
+    // The controller only has an estimate b_hat = 0.8 * b; the loop
+    // must still converge geometrically.
+    DeadbeatController c(0.0, 64.0);
+    double b = 0.5;
+    double b_hat = 0.4;
+    double s = 1.0;
+    for (int i = 0; i < 30; ++i)
+        s = c.step(b * s, b_hat);
+    EXPECT_NEAR(b * s, 1.0, 1e-6);
+}
+
+TEST(Controller, ErrorTracked)
+{
+    DeadbeatController c;
+    c.step(0.7, 1.0);
+    EXPECT_NEAR(c.error(), 0.3, 1e-12);
+}
+
+TEST(Controller, ClampsAtBounds)
+{
+    DeadbeatController c(0.0, 2.0);
+    for (int i = 0; i < 50; ++i)
+        c.step(0.0, 0.1); // demands explode
+    EXPECT_DOUBLE_EQ(c.speedup(), 2.0);
+    for (int i = 0; i < 50; ++i)
+        c.step(10.0, 0.1); // demands collapse
+    EXPECT_DOUBLE_EQ(c.speedup(), 0.0);
+}
+
+TEST(Controller, SetpointGuardBand)
+{
+    DeadbeatController c(0.0, 64.0, 1.10);
+    double b = 1.0;
+    double s = 1.0;
+    for (int i = 0; i < 10; ++i)
+        s = c.step(b * s, b);
+    EXPECT_NEAR(s, 1.10, 1e-9);
+}
+
+TEST(Controller, DeadbandHoldsCommand)
+{
+    DeadbeatController c(0.0, 64.0, 1.0, 0.05);
+    double s0 = c.step(0.97, 1.0); // |e| = 0.03 < deadband
+    EXPECT_DOUBLE_EQ(s0, 1.0);
+    double s1 = c.step(0.80, 1.0); // outside deadband
+    EXPECT_GT(s1, 1.0);
+}
+
+TEST(Controller, ZeroGainHoldsCommand)
+{
+    DeadbeatController c;
+    double before = c.speedup();
+    c.step(0.5, 0.0);
+    EXPECT_DOUBLE_EQ(c.speedup(), before);
+}
+
+TEST(Controller, ResetClampsToBounds)
+{
+    DeadbeatController c(0.5, 4.0);
+    c.reset(100.0);
+    EXPECT_DOUBLE_EQ(c.speedup(), 4.0);
+    c.reset(0.0);
+    EXPECT_DOUBLE_EQ(c.speedup(), 0.5);
+}
+
+TEST(Controller, BadParamsRejected)
+{
+    EXPECT_THROW(DeadbeatController(-1.0, 2.0), FatalError);
+    EXPECT_THROW(DeadbeatController(2.0, 1.0), FatalError);
+    EXPECT_THROW(DeadbeatController(0.0, 1.0, 0.0), FatalError);
+    EXPECT_THROW(DeadbeatController(0.0, 1.0, 1.0, -0.1),
+                 FatalError);
+}
+
+/** Convergence holds across plant gains. */
+class ControllerGainTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ControllerGainTest, TracksSetpoint)
+{
+    double b = GetParam();
+    DeadbeatController c(0.0, 1000.0);
+    double s = 1.0;
+    for (int i = 0; i < 5; ++i)
+        s = c.step(b * s, b);
+    EXPECT_NEAR(b * s, 1.0, 1e-9) << "gain " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, ControllerGainTest,
+                         ::testing::Values(0.05, 0.3, 1.0, 2.5));
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the CSV table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/log.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Csv, HeaderWrittenImmediately)
+{
+    std::ostringstream out;
+    CsvWriter w(out, {"a", "b"});
+    EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(Csv, RowsAppended)
+{
+    std::ostringstream out;
+    CsvWriter w(out, {"x", "y"});
+    w.row({"1", "2"});
+    w.row({"3", "4"});
+    EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+    EXPECT_EQ(w.rowsWritten(), 2u);
+}
+
+TEST(Csv, WidthMismatchFatal)
+{
+    std::ostringstream out;
+    CsvWriter w(out, {"x", "y"});
+    EXPECT_THROW(w.row({"1"}), FatalError);
+    EXPECT_THROW(w.row({"1", "2", "3"}), FatalError);
+}
+
+TEST(Csv, EmptyHeaderRejected)
+{
+    std::ostringstream out;
+    EXPECT_THROW(CsvWriter(out, {}), FatalError);
+}
+
+TEST(Csv, QuotingCommasAndQuotes)
+{
+    std::ostringstream out;
+    CsvWriter w(out, {"c"});
+    w.row({"hello, world"});
+    w.row({"say \"hi\""});
+    w.row({"line\nbreak"});
+    EXPECT_EQ(out.str(),
+              "c\n\"hello, world\"\n\"say \"\"hi\"\"\"\n"
+              "\"line\nbreak\"\n");
+}
+
+TEST(Csv, NumFormatting)
+{
+    EXPECT_EQ(CsvWriter::num(1.5), "1.5");
+    EXPECT_EQ(CsvWriter::num(0.125, 3), "0.125");
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end tests for the experiment harness at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/experiment.hh"
+
+namespace cash
+{
+namespace
+{
+
+ExperimentParams
+tinyParams()
+{
+    ExperimentParams ep;
+    ep.horizon = 6'000'000;
+    ep.quantum = 200'000;
+    ep.phaseScale = 1.0;
+    return ep;
+}
+
+ProfileParams
+tinyProfile()
+{
+    ProfileParams pp;
+    pp.warmupInsts = 8'000;
+    pp.measureInsts = 15'000;
+    pp.requestWindow = 600'000;
+    pp.rateBins = 3;
+    return pp;
+}
+
+TEST(Experiment, AllPoliciesRunOnThroughputApp)
+{
+    ConfigSpace space(4, 16);
+    CostModel cost;
+    ExperimentParams ep = tinyParams();
+    AppModel app = scalePhases(appByName("sjeng"), 1.0);
+    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
+                                   tinyProfile());
+    for (PolicyKind k :
+         {PolicyKind::Oracle, PolicyKind::ConvexOpt,
+          PolicyKind::RaceToIdle, PolicyKind::Cash}) {
+        RunOutput out = runPolicy(app, prof, k, space, cost, ep);
+        EXPECT_EQ(out.policy, policyName(k));
+        EXPECT_GT(out.stats.samples, 5u) << out.policy;
+        EXPECT_GT(out.stats.cost, 0.0) << out.policy;
+        EXPECT_GT(out.stats.cycles, ep.horizon / 2) << out.policy;
+        EXPECT_FALSE(out.series.empty()) << out.policy;
+        EXPECT_DOUBLE_EQ(out.qosTarget, prof.qosTarget);
+    }
+}
+
+TEST(Experiment, RequestAppRuns)
+{
+    ConfigSpace space(4, 16);
+    CostModel cost;
+    ExperimentParams ep = tinyParams();
+    ep.horizon = 10'000'000;
+    const AppModel &app = appByName("mailserver");
+    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
+                                   tinyProfile());
+    RunOutput cash =
+        runPolicy(app, prof, PolicyKind::Cash, space, cost, ep);
+    EXPECT_GT(cash.stats.samples, 3u);
+    RunOutput race = runPolicy(app, prof, PolicyKind::RaceToIdle,
+                               space, cost, ep);
+    EXPECT_LE(race.stats.reconfigs, 1u);
+}
+
+TEST(Experiment, CoarseGrainSpaceWorks)
+{
+    // Sec VI-E: the big.LITTLE pair under race and adaptive
+    // managers.
+    ConfigSpace coarse(
+        std::vector<VCoreConfig>{{1, 2}, {4, 16}});
+    CostModel cost;
+    ExperimentParams ep = tinyParams();
+    AppModel app = scalePhases(appByName("sjeng"), 1.0);
+    AppProfile prof = characterize(app, coarse, ep.fabric, ep.sim,
+                                   tinyProfile());
+    RunOutput race = runPolicy(app, prof, PolicyKind::RaceToIdle,
+                               coarse, cost, ep);
+    RunOutput adapt =
+        runPolicy(app, prof, PolicyKind::Cash, coarse, cost, ep);
+    EXPECT_GT(race.stats.samples, 5u);
+    EXPECT_GT(adapt.stats.samples, 5u);
+    for (const SeriesPoint &pt : adapt.series)
+        EXPECT_LT(pt.config, 2u);
+}
+
+TEST(Experiment, ScalePhasesMultiplies)
+{
+    AppModel app = appByName("x264");
+    AppModel scaled = scalePhases(app, 3.0);
+    ASSERT_EQ(scaled.phases.size(), app.phases.size());
+    for (std::size_t i = 0; i < app.phases.size(); ++i)
+        EXPECT_EQ(scaled.phases[i].lengthInsts,
+                  app.phases[i].lengthInsts * 3);
+}
+
+TEST(Experiment, DeterministicRuns)
+{
+    ConfigSpace space(4, 16);
+    CostModel cost;
+    ExperimentParams ep = tinyParams();
+    ep.horizon = 3'000'000;
+    AppModel app = scalePhases(appByName("gcc"), 1.0);
+    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
+                                   tinyProfile());
+    RunOutput a =
+        runPolicy(app, prof, PolicyKind::Cash, space, cost, ep);
+    RunOutput b =
+        runPolicy(app, prof, PolicyKind::Cash, space, cost, ep);
+    EXPECT_DOUBLE_EQ(a.stats.cost, b.stats.cost);
+    EXPECT_EQ(a.stats.violations, b.stats.violations);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+} // namespace
+} // namespace cash

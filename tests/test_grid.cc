@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the fabric grid geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "fabric/grid.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Grid, DefaultCounts)
+{
+    FabricGrid g;
+    EXPECT_EQ(g.numSlices(), 64u);
+    EXPECT_EQ(g.numBanks(), 128u);
+}
+
+TEST(Grid, ZeroDimensionRejected)
+{
+    FabricParams p;
+    p.rows = 0;
+    EXPECT_THROW(FabricGrid{p}, FatalError);
+}
+
+TEST(Grid, SliceCoordsDistinct)
+{
+    FabricGrid g;
+    std::set<std::pair<int, int>> seen;
+    for (SliceId s = 0; s < g.numSlices(); ++s) {
+        TileCoord c = g.sliceCoord(s);
+        EXPECT_TRUE(seen.insert({c.x, c.y}).second)
+            << "duplicate coordinate for slice " << s;
+    }
+}
+
+TEST(Grid, BankCoordsDistinctAndDisjointFromSlices)
+{
+    FabricGrid g;
+    std::set<std::pair<int, int>> slices;
+    for (SliceId s = 0; s < g.numSlices(); ++s) {
+        TileCoord c = g.sliceCoord(s);
+        slices.insert({c.x, c.y});
+    }
+    std::set<std::pair<int, int>> banks;
+    for (BankId b = 0; b < g.numBanks(); ++b) {
+        TileCoord c = g.bankCoord(b);
+        EXPECT_TRUE(banks.insert({c.x, c.y}).second);
+        EXPECT_EQ(slices.count({c.x, c.y}), 0u)
+            << "bank " << b << " collides with a slice";
+    }
+}
+
+TEST(Grid, DistanceMetricProperties)
+{
+    FabricGrid g;
+    // Symmetry and identity.
+    for (SliceId a = 0; a < 8; ++a) {
+        EXPECT_EQ(g.sliceDistance(a, a), 0u);
+        for (SliceId b = 0; b < 8; ++b)
+            EXPECT_EQ(g.sliceDistance(a, b), g.sliceDistance(b, a));
+    }
+    // Triangle inequality on a sample.
+    for (SliceId a = 0; a < 6; ++a)
+        for (SliceId b = 0; b < 6; ++b)
+            for (SliceId c = 0; c < 6; ++c)
+                EXPECT_LE(g.sliceDistance(a, c),
+                          g.sliceDistance(a, b)
+                              + g.sliceDistance(b, c));
+}
+
+TEST(Grid, AdjacentSlicesInColumnAreClose)
+{
+    FabricGrid g;
+    // Slices 0 and 1 are adjacent rows of the same column.
+    EXPECT_EQ(g.sliceDistance(0, 1), 1u);
+}
+
+TEST(Grid, MeanAccessDistanceGrowsWithBankSpread)
+{
+    FabricGrid g;
+    std::vector<SliceId> slices{0};
+    std::vector<BankId> near{0};
+    std::vector<BankId> spread;
+    for (BankId b = 0; b < g.numBanks(); b += 16)
+        spread.push_back(b);
+    EXPECT_LT(g.meanAccessDistance(slices, near),
+              g.meanAccessDistance(slices, spread));
+}
+
+TEST(Grid, MeanAccessDistanceEmptySets)
+{
+    FabricGrid g;
+    EXPECT_EQ(g.meanAccessDistance({}, {0}), 0.0);
+    EXPECT_EQ(g.meanAccessDistance({0}, {}), 0.0);
+}
+
+TEST(GridDeath, OutOfRangePanics)
+{
+    FabricGrid g;
+    EXPECT_DEATH(g.sliceCoord(g.numSlices()), "out of range");
+    EXPECT_DEATH(g.bankCoord(g.numBanks()), "out of range");
+}
+
+/** Geometry invariants across fabric shapes. */
+class GridShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GridShapeTest, AllTilesAddressable)
+{
+    auto [sc, bc, rows] = GetParam();
+    FabricParams p;
+    p.sliceCols = sc;
+    p.bankCols = bc;
+    p.rows = rows;
+    FabricGrid g(p);
+    EXPECT_EQ(g.numSlices(), static_cast<unsigned>(sc * rows));
+    EXPECT_EQ(g.numBanks(), static_cast<unsigned>(bc * rows));
+    for (SliceId s = 0; s < g.numSlices(); ++s)
+        EXPECT_GE(g.sliceCoord(s).x, 0);
+    for (BankId b = 0; b < g.numBanks(); ++b)
+        EXPECT_GE(g.bankCoord(b).x, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridShapeTest,
+    ::testing::Values(std::make_tuple(1, 2, 4),
+                      std::make_tuple(2, 4, 8),
+                      std::make_tuple(4, 8, 16),
+                      std::make_tuple(8, 8, 32)));
+
+} // namespace
+} // namespace cash

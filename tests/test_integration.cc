@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Cross-module integration properties: the phenomena the paper's
+ * motivation (Sec II) rests on must actually emerge from the
+ * simulator + workload models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/profile.hh"
+#include "core/config_space.hh"
+#include "workload/apps.hh"
+
+namespace cash
+{
+namespace
+{
+
+/** Count strict local optima of a performance surface on the
+ *  (slices, banks) grid (neighbours: +-1 slice, x/÷2 banks). */
+int
+countLocalOptima(const ConfigSpace &space,
+                 const std::vector<double> &perf, double tol = 0.02)
+{
+    // Global optimum excluded.
+    std::size_t global = 0;
+    for (std::size_t k = 1; k < perf.size(); ++k)
+        if (perf[k] > perf[global])
+            global = k;
+    int count = 0;
+    for (std::size_t k = 0; k < perf.size(); ++k) {
+        if (k == global)
+            continue;
+        bool peak = true;
+        for (std::size_t n : space.neighbours(k))
+            peak = peak && perf[k] >= perf[n] * (1.0 - tol) &&
+                perf[k] > perf[n] * (1.0 - 3 * tol);
+        // Strict-ish: above every neighbour within tolerance and
+        // clearly below the global best.
+        if (peak && perf[k] < perf[global] * 0.95)
+            ++count;
+    }
+    return count;
+}
+
+class X264Surface : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        space_ = new ConfigSpace(8, 32); // 8x6 grid: fast enough
+        const AppModel &app = appByName("x264");
+        perf_ = new std::vector<std::vector<double>>();
+        for (const PhaseParams &p : app.phases) {
+            std::vector<double> row(space_->size());
+            for (std::size_t k = 0; k < space_->size(); ++k) {
+                row[k] = measurePhaseIpc(p, space_->at(k),
+                                         FabricParams{}, SimParams{},
+                                         15'000, 30'000, 77);
+            }
+            perf_->push_back(std::move(row));
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete space_;
+        delete perf_;
+        space_ = nullptr;
+        perf_ = nullptr;
+    }
+
+    static ConfigSpace *space_;
+    static std::vector<std::vector<double>> *perf_;
+};
+
+ConfigSpace *X264Surface::space_ = nullptr;
+std::vector<std::vector<double>> *X264Surface::perf_ = nullptr;
+
+TEST_F(X264Surface, PhasesHaveDistinctOptima)
+{
+    // Paper Fig 1: "no two consecutive phases have the same optimal
+    // configuration". We require most transitions to move the
+    // optimum.
+    std::vector<std::size_t> best;
+    for (const auto &row : *perf_) {
+        best.push_back(static_cast<std::size_t>(
+            std::max_element(row.begin(), row.end())
+            - row.begin()));
+    }
+    int moves = 0;
+    for (std::size_t i = 0; i + 1 < best.size(); ++i)
+        moves += best[i] != best[i + 1];
+    EXPECT_GE(moves, 7) << "optimum must move across phases";
+}
+
+TEST_F(X264Surface, SurfacesAreNonConvex)
+{
+    // Paper Fig 1: six of ten phases have local optima distinct
+    // from the global one. Our surfaces must show the same
+    // character (several phases with interior local peaks).
+    int phases_with_local = 0;
+    for (const auto &row : *perf_)
+        phases_with_local += countLocalOptima(*space_, row) > 0;
+    EXPECT_GE(phases_with_local, 4)
+        << "non-convexity must emerge from the architecture model";
+}
+
+TEST_F(X264Surface, CacheAxisPeaksInsideTheRange)
+{
+    // For working-set-sized phases, performance must rise to a
+    // peak and then fall as L2 distance grows — not be monotone.
+    int interior_peaks = 0;
+    for (const auto &row : *perf_) {
+        // Slice count 1 row of the grid: banks 1..32.
+        std::vector<double> cache_curve;
+        for (std::uint32_t b = 1; b <= 32; b *= 2)
+            cache_curve.push_back(
+                row[space_->indexOf({1, b})]);
+        auto peak = std::max_element(cache_curve.begin(),
+                                     cache_curve.end());
+        if (peak != cache_curve.begin()
+            && peak != cache_curve.end() - 1) {
+            ++interior_peaks;
+        }
+    }
+    EXPECT_GE(interior_peaks, 3);
+}
+
+TEST(Integration, CompeteApplicationsShowDiverseBestConfigs)
+{
+    // Across the suite, best configurations must differ (otherwise
+    // heterogeneity would be pointless).
+    ConfigSpace space(8, 32);
+    std::set<std::size_t> bests;
+    for (const char *name : {"hmmer", "mcf", "sjeng"}) {
+        const AppModel &app = appByName(name);
+        std::vector<double> perf(space.size());
+        for (std::size_t k = 0; k < space.size(); ++k) {
+            perf[k] = measurePhaseIpc(app.phases[0], space.at(k),
+                                      FabricParams{}, SimParams{},
+                                      10'000, 20'000, 5);
+        }
+        bests.insert(static_cast<std::size_t>(
+            std::max_element(perf.begin(), perf.end())
+            - perf.begin()));
+    }
+    EXPECT_GE(bests.size(), 2u);
+}
+
+} // namespace
+} // namespace cash

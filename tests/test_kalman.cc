@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Kalman base-speed estimator (Eqns 3-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "core/kalman.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Kalman, ConvergesToConstantB)
+{
+    KalmanEstimator k(1.0, 1e-4, 1e-2);
+    double b_true = 0.4;
+    for (int i = 0; i < 200; ++i)
+        k.update(b_true * 2.0, 2.0);
+    EXPECT_NEAR(k.estimate(), b_true, 0.02);
+}
+
+TEST(Kalman, TracksStepChange)
+{
+    KalmanEstimator k(1.0, 1e-3, 1e-2);
+    for (int i = 0; i < 100; ++i)
+        k.update(0.5 * 1.5, 1.5);
+    ASSERT_NEAR(k.estimate(), 0.5, 0.05);
+    // Base speed doubles (a phase change).
+    int steps = 0;
+    while (std::abs(k.estimate() - 1.0) > 0.05 && steps < 200) {
+        k.update(1.0 * 1.5, 1.5);
+        ++steps;
+    }
+    EXPECT_LT(steps, 100) << "phase tracking too slow";
+}
+
+TEST(Kalman, InnovationSpikesOnPhaseChange)
+{
+    KalmanEstimator k(1.0, 1e-3, 1e-2);
+    for (int i = 0; i < 50; ++i)
+        k.update(0.5 * 2.0, 2.0);
+    double quiet = k.innovation();
+    k.update(1.5 * 2.0, 2.0); // sudden 3x base speed
+    EXPECT_GT(k.innovation(), quiet * 5);
+    EXPECT_GT(k.innovation(), 0.25);
+}
+
+TEST(Kalman, RobustToMeasurementNoise)
+{
+    KalmanEstimator k(1.0, 1e-4, 4e-2);
+    Rng r(3);
+    double b_true = 0.8;
+    for (int i = 0; i < 500; ++i) {
+        double noise = 1.0 + 0.1 * r.nextGaussian();
+        k.update(b_true * 1.2 * noise, 1.2);
+    }
+    EXPECT_NEAR(k.estimate(), b_true, 0.08);
+}
+
+TEST(Kalman, EstimateStaysPositive)
+{
+    KalmanEstimator k(1.0, 1e-2, 1e-3);
+    for (int i = 0; i < 50; ++i)
+        k.update(0.0, 10.0);
+    EXPECT_GT(k.estimate(), 0.0);
+}
+
+TEST(Kalman, ErrorVarianceShrinksWithObservations)
+{
+    KalmanEstimator k(1.0, 0.0, 1e-2);
+    double e0 = k.errorVariance();
+    for (int i = 0; i < 20; ++i)
+        k.update(0.5, 1.0);
+    EXPECT_LT(k.errorVariance(), e0);
+}
+
+TEST(Kalman, ResetReseeds)
+{
+    KalmanEstimator k;
+    for (int i = 0; i < 50; ++i)
+        k.update(0.2, 1.0);
+    k.reset(3.0);
+    EXPECT_DOUBLE_EQ(k.estimate(), 3.0);
+}
+
+TEST(Kalman, BadVariancesRejected)
+{
+    EXPECT_THROW(KalmanEstimator(1.0, -1e-3, 1e-2), FatalError);
+    EXPECT_THROW(KalmanEstimator(1.0, 1e-3, 0.0), FatalError);
+}
+
+/** Convergence is exponential across base-speed magnitudes — the
+ *  paper's log(|b_i - b_i+1|) claim. */
+class KalmanRangeTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(KalmanRangeTest, ConvergesForAnyB)
+{
+    double b_true = GetParam();
+    KalmanEstimator k(1.0, 1e-3, 1e-2);
+    for (int i = 0; i < 300; ++i)
+        k.update(b_true * 1.0, 1.0);
+    EXPECT_NEAR(k.estimate(), b_true, 0.05 * b_true + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bs, KalmanRangeTest,
+                         ::testing::Values(0.05, 0.5, 1.0, 3.0));
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Log, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad config: %d > %d", 5, 3);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad config: 5 > 3");
+    }
+}
+
+TEST(Log, StrFmt)
+{
+    EXPECT_EQ(strfmt("%s-%03d", "x", 7), "x-007");
+    EXPECT_EQ(strfmt("no args"), "no args");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    warn("this warning must be suppressed");
+    inform("this info must be suppressed");
+    setLogLevel(before);
+}
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d violated", 9),
+                 "invariant 9 violated");
+}
+
+} // namespace
+} // namespace cash

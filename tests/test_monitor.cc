@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for QoS monitoring over the RIN.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/monitor.hh"
+#include "workload/request.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+PhaseParams
+mixPhase()
+{
+    PhaseParams p;
+    p.name = "mix";
+    p.ilpMeanDist = 10;
+    p.memFrac = 0.2;
+    p.lengthInsts = 1'000'000;
+    return p;
+}
+
+TEST(Monitor, ThroughputMatchesCounters)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 2);
+    PhasedTraceSource src({mixPhase()}, 3, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(10'000); // warm
+    VCoreMonitor mon(sim, id, QosKind::Throughput, 0.5);
+    Cycle c0 = sim.vcore(id).now();
+    InstCount i0 = sim.vcore(id).meta().totalCommitted;
+    sim.vcore(id).runUntil(110'000);
+    QosReading r = mon.sample();
+    ASSERT_TRUE(r.valid);
+    double expect_ipc =
+        static_cast<double>(sim.vcore(id).meta().totalCommitted - i0)
+        / static_cast<double>(sim.vcore(id).now() - c0);
+    EXPECT_NEAR(r.raw, expect_ipc, 1e-9);
+    EXPECT_NEAR(r.normalized, expect_ipc / 0.5, 1e-9);
+}
+
+TEST(Monitor, BusyCapacityExcludesIdle)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 2);
+    PhasedTraceSource inner({mixPhase()}, 3, true, 0);
+    // Pace far below capacity: wall IPC == pace, busy IPC ==
+    // capacity >> pace.
+    PacedSource paced(inner, 0.05);
+    sim.vcore(id).bindSource(&paced);
+    sim.vcore(id).runUntil(50'000);
+    VCoreMonitor mon(sim, id, QosKind::Throughput, 0.05);
+    sim.vcore(id).runUntil(1'050'000);
+    QosReading r = mon.sample();
+    ASSERT_TRUE(r.valid);
+    // Measured capacity must exceed the pace clearly.
+    EXPECT_GT(r.normalized, 2.0);
+}
+
+TEST(Monitor, SamplesAreDeltas)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhasedTraceSource src({mixPhase()}, 3, true, 0);
+    sim.vcore(id).bindSource(&src);
+    VCoreMonitor mon(sim, id, QosKind::Throughput, 0.5);
+    sim.vcore(id).runUntil(50'000);
+    QosReading r1 = mon.sample();
+    sim.vcore(id).runUntil(100'000);
+    QosReading r2 = mon.sample();
+    ASSERT_TRUE(r1.valid);
+    ASSERT_TRUE(r2.valid);
+    // Windows cover disjoint spans of similar length.
+    EXPECT_NEAR(static_cast<double>(r1.window),
+                static_cast<double>(r2.window),
+                static_cast<double>(r1.window) * 0.2);
+}
+
+TEST(Monitor, SurvivesReconfiguration)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhasedTraceSource src({mixPhase()}, 3, true, 0);
+    sim.vcore(id).bindSource(&src);
+    VCoreMonitor mon(sim, id, QosKind::Throughput, 0.5);
+    sim.vcore(id).runUntil(50'000);
+    mon.sample();
+    ASSERT_TRUE(sim.command(id, 4, 4).has_value());
+    sim.vcore(id).runUntil(150'000);
+    QosReading r = mon.sample();
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.raw, 0.0);
+    ASSERT_TRUE(sim.command(id, 1, 1).has_value());
+    sim.vcore(id).runUntil(250'000);
+    QosReading r2 = mon.sample();
+    ASSERT_TRUE(r2.valid);
+    EXPECT_GT(r2.raw, 0.0);
+}
+
+TEST(Monitor, LatencyNormalization)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 4);
+    RequestStreamParams rp;
+    rp.baseRatePerMcycle = 20.0;
+    rp.meanInstsPerRequest = 1500;
+    rp.minInstsPerRequest = 300;
+    rp.mix = mixPhase();
+    RequestSource src(rp, 5);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(100'000);
+    double target = 50'000;
+    VCoreMonitor mon(sim, id, QosKind::RequestLatency, target);
+    sim.vcore(id).runUntil(2'100'000);
+    QosReading r = mon.sample();
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.raw, 0.0);
+    EXPECT_NEAR(r.normalized, std::min(target / r.raw, 2.5), 1e-9);
+    EXPECT_LE(r.normalized, 2.5); // saturation cap
+}
+
+TEST(Monitor, LatencyInvalidWithoutCompletions)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    RequestStreamParams rp;
+    rp.baseRatePerMcycle = 0.001; // essentially never
+    rp.meanInstsPerRequest = 1000;
+    rp.minInstsPerRequest = 100;
+    rp.mix = mixPhase();
+    RequestSource src(rp, 5);
+    sim.vcore(id).bindSource(&src);
+    VCoreMonitor mon(sim, id, QosKind::RequestLatency, 50'000);
+    sim.vcore(id).runUntil(10'000);
+    QosReading r = mon.sample();
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(Monitor, BacklogSurfaced)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    RequestStreamParams rp;
+    rp.baseRatePerMcycle = 2000.0; // hopeless overload
+    rp.meanInstsPerRequest = 5000;
+    rp.minInstsPerRequest = 1000;
+    rp.mix = mixPhase();
+    RequestSource src(rp, 5);
+    sim.vcore(id).bindSource(&src);
+    VCoreMonitor mon(sim, id, QosKind::RequestLatency, 50'000);
+    sim.vcore(id).runUntil(1'000'000);
+    QosReading r = mon.sample();
+    EXPECT_GT(r.backlog, 10u);
+}
+
+TEST(Monitor, BadTargetRejected)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    EXPECT_THROW(
+        VCoreMonitor(sim, id, QosKind::Throughput, 0.0),
+        FatalError);
+}
+
+} // namespace
+} // namespace cash

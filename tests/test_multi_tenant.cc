@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Multi-tenant integration: several independent runtimes sharing
+ * one fabric must never overlap resources, must cope with EXPAND
+ * denials when the fabric is tight, and must all keep making
+ * forward progress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/runtime.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+PhaseParams
+tenantPhase(std::uint64_t salt)
+{
+    PhaseParams p;
+    p.name = "tenant";
+    p.ilpMeanDist = 8 + static_cast<double>(salt % 3) * 8;
+    p.memFrac = 0.25;
+    p.workingSet = (128u << (salt % 3)) * kiB;
+    p.dataBase = salt * 64 * miB;
+    p.lengthInsts = 10'000'000;
+    return p;
+}
+
+struct Tenant
+{
+    VCoreId vcore;
+    std::unique_ptr<PhasedTraceSource> app;
+    std::unique_ptr<PacedSource> paced;
+    std::unique_ptr<CashRuntime> runtime;
+};
+
+TEST(MultiTenant, NoResourceOverlapUnderContention)
+{
+    FabricParams fabric;
+    fabric.sliceCols = 2;
+    fabric.bankCols = 4;
+    fabric.rows = 8; // 16 Slices, 32 banks: tight for 4 tenants
+    SSim chip(fabric);
+    ConfigSpace space(4, 16);
+    CostModel pricing;
+    RuntimeParams rp;
+    rp.quantum = 200'000;
+
+    std::vector<Tenant> tenants;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        Tenant t;
+        t.vcore = *chip.createVCore(1, 1);
+        t.app = std::make_unique<PhasedTraceSource>(
+            std::vector<PhaseParams>{tenantPhase(i)}, 31 + i, true,
+            0);
+        t.paced = std::make_unique<PacedSource>(*t.app, 0.3);
+        chip.vcore(t.vcore).bindSource(t.paced.get());
+        t.runtime = std::make_unique<CashRuntime>(
+            chip, t.vcore, QosKind::Throughput, 0.3, space, pricing,
+            rp, 7 + i);
+        tenants.push_back(std::move(t));
+    }
+
+    for (int round = 0; round < 25; ++round) {
+        for (Tenant &t : tenants)
+            t.runtime->step();
+
+        // Invariant: no Slice or bank belongs to two tenants.
+        std::set<SliceId> slices;
+        std::set<BankId> banks;
+        for (Tenant &t : tenants) {
+            const auto &alloc =
+                chip.allocator().allocation(t.vcore);
+            for (SliceId s : alloc.slices)
+                ASSERT_TRUE(slices.insert(s).second);
+            for (BankId b : alloc.banks)
+                ASSERT_TRUE(banks.insert(b).second);
+        }
+        // Plus the runtime's own Slice stays reserved.
+        ASSERT_EQ(slices.count(chip.runtimeSlice()), 0u);
+    }
+
+    // Everyone made progress and was sampled.
+    for (Tenant &t : tenants) {
+        EXPECT_GT(chip.vcore(t.vcore).meta().totalCommitted,
+                  100'000u);
+        EXPECT_GT(t.runtime->totalSamples(), 10u);
+        EXPECT_GT(t.runtime->totalCost(), 0.0);
+    }
+}
+
+TEST(MultiTenant, IndependentClocksAdvance)
+{
+    SSim chip; // default (large) fabric
+    ConfigSpace space(2, 4);
+    CostModel pricing;
+    RuntimeParams rp;
+    rp.quantum = 150'000;
+
+    Tenant a, b;
+    a.vcore = *chip.createVCore(1, 1);
+    b.vcore = *chip.createVCore(1, 1);
+    a.app = std::make_unique<PhasedTraceSource>(
+        std::vector<PhaseParams>{tenantPhase(0)}, 1, true, 0);
+    b.app = std::make_unique<PhasedTraceSource>(
+        std::vector<PhaseParams>{tenantPhase(1)}, 2, true, 0);
+    a.paced = std::make_unique<PacedSource>(*a.app, 0.2);
+    b.paced = std::make_unique<PacedSource>(*b.app, 0.4);
+    chip.vcore(a.vcore).bindSource(a.paced.get());
+    chip.vcore(b.vcore).bindSource(b.paced.get());
+    a.runtime = std::make_unique<CashRuntime>(
+        chip, a.vcore, QosKind::Throughput, 0.2, space, pricing,
+        rp, 3);
+    b.runtime = std::make_unique<CashRuntime>(
+        chip, b.vcore, QosKind::Throughput, 0.4, space, pricing,
+        rp, 4);
+
+    // Advance unevenly: tenant b runs twice as many quanta.
+    for (int i = 0; i < 14; ++i) {
+        a.runtime->step();
+        b.runtime->step();
+        b.runtime->step();
+    }
+    EXPECT_GT(chip.vcore(b.vcore).now(),
+              chip.vcore(a.vcore).now());
+    EXPECT_GT(a.runtime->totalSamples(), 5u);
+    EXPECT_GT(b.runtime->totalSamples(), 10u);
+}
+
+TEST(MultiTenant, DepartingTenantFreesResourcesForOthers)
+{
+    FabricParams fabric;
+    fabric.sliceCols = 1;
+    fabric.bankCols = 2;
+    fabric.rows = 8; // 8 Slices (1 reserved), 16 banks
+    SSim chip(fabric);
+
+    auto hog = *chip.createVCore(5, 8);
+    auto small = *chip.createVCore(1, 1);
+    // The small tenant cannot grow past what is free.
+    EXPECT_FALSE(chip.command(small, 4, 8).has_value());
+    chip.destroyVCore(hog);
+    PhaseParams p = tenantPhase(0);
+    PhasedTraceSource src({p}, 5, true, 0);
+    chip.vcore(small).bindSource(&src);
+    chip.vcore(small).runUntil(10'000);
+    EXPECT_TRUE(chip.command(small, 4, 8).has_value());
+    EXPECT_EQ(chip.vcore(small).numSlices(), 4u);
+}
+
+} // namespace
+} // namespace cash

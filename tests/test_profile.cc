@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the brute-force characterization machinery (Sec V-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "baselines/profile.hh"
+
+namespace cash
+{
+namespace
+{
+
+/** A small config space keeps characterization fast in tests. */
+ConfigSpace
+smallSpace()
+{
+    return ConfigSpace(4, 16); // 4 slices x 5 bank steps = 20
+}
+
+AppModel
+twoPhaseApp()
+{
+    AppModel a;
+    a.name = "toy";
+    a.seed = 3;
+    PhaseParams fast;
+    fast.name = "compute";
+    fast.ilpMeanDist = 30;
+    fast.memFrac = 0.15;
+    fast.workingSet = 64 * kiB;
+    fast.seqFrac = 0.7;
+    fast.lengthInsts = 200'000;
+    PhaseParams slow;
+    slow.name = "memory";
+    slow.ilpMeanDist = 3;
+    slow.memFrac = 0.45;
+    slow.workingSet = 512 * kiB;
+    slow.seqFrac = 0.1;
+    slow.lengthInsts = 200'000;
+    slow.dataBase = 64 * miB;
+    a.phases = {fast, slow};
+    return a;
+}
+
+ProfileParams
+fastParams()
+{
+    ProfileParams p;
+    p.warmupInsts = 10'000;
+    p.measureInsts = 20'000;
+    p.requestWindow = 800'000;
+    p.rateBins = 3;
+    return p;
+}
+
+TEST(Profile, ShapesAndPositivity)
+{
+    ConfigSpace space = smallSpace();
+    AppModel app = twoPhaseApp();
+    AppProfile prof = characterize(app, space, FabricParams{},
+                                   SimParams{}, fastParams());
+    ASSERT_EQ(prof.phasePerf.size(), 2u);
+    for (const auto &row : prof.phasePerf) {
+        ASSERT_EQ(row.size(), space.size());
+        for (double v : row)
+            EXPECT_GT(v, 0.0);
+    }
+    EXPECT_GT(prof.qosTarget, 0.0);
+}
+
+TEST(Profile, TargetIsFeasibleSomewhere)
+{
+    ConfigSpace space = smallSpace();
+    AppProfile prof = characterize(twoPhaseApp(), space,
+                                   FabricParams{}, SimParams{},
+                                   fastParams());
+    // Some config must meet the target in every phase (that is how
+    // the target was derived, modulo the margin).
+    bool feasible = false;
+    for (std::size_t k = 0; k < space.size() && !feasible; ++k) {
+        bool all = true;
+        for (std::size_t ph = 0; ph < prof.regions(); ++ph)
+            all = all && prof.meets(ph, k);
+        feasible = all;
+    }
+    EXPECT_TRUE(feasible);
+}
+
+TEST(Profile, CheapestMeetingIsCheapestAndFeasible)
+{
+    ConfigSpace space = smallSpace();
+    CostModel cost;
+    AppProfile prof = characterize(twoPhaseApp(), space,
+                                   FabricParams{}, SimParams{},
+                                   fastParams());
+    for (std::size_t ph = 0; ph < prof.regions(); ++ph) {
+        std::size_t pick = prof.cheapestMeeting(ph, space, cost);
+        if (prof.meets(ph, pick)) {
+            double rate = cost.ratePerHour(space.at(pick));
+            for (std::size_t k = 0; k < space.size(); ++k) {
+                if (prof.meets(ph, k))
+                    EXPECT_LE(rate,
+                              cost.ratePerHour(space.at(k)) + 1e-12);
+            }
+        }
+    }
+}
+
+TEST(Profile, WorstCaseIsMinOverPhases)
+{
+    ConfigSpace space = smallSpace();
+    AppProfile prof = characterize(twoPhaseApp(), space,
+                                   FabricParams{}, SimParams{},
+                                   fastParams());
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        double wc = prof.worstCasePerf(k);
+        EXPECT_LE(wc, prof.phasePerf[0][k] + 1e-12);
+        EXPECT_LE(wc, prof.phasePerf[1][k] + 1e-12);
+        EXPECT_TRUE(wc == prof.phasePerf[0][k]
+                    || wc == prof.phasePerf[1][k]);
+    }
+}
+
+TEST(Profile, CheapestMeetingAllIsFeasibleEverywhere)
+{
+    ConfigSpace space = smallSpace();
+    CostModel cost;
+    AppProfile prof = characterize(twoPhaseApp(), space,
+                                   FabricParams{}, SimParams{},
+                                   fastParams());
+    std::size_t k = prof.cheapestMeetingAll(space, cost);
+    for (std::size_t ph = 0; ph < prof.regions(); ++ph)
+        EXPECT_TRUE(prof.meets(ph, k));
+}
+
+TEST(Profile, MemoryPhaseRewardsCache)
+{
+    ConfigSpace space = smallSpace();
+    AppProfile prof = characterize(twoPhaseApp(), space,
+                                   FabricParams{}, SimParams{},
+                                   fastParams());
+    // Phase 1 (512 KB working set): 16 banks (1 MB) must beat
+    // 1 bank (64 KB) at equal slice count.
+    std::size_t small_cfg = space.indexOf({1, 1});
+    std::size_t big_cfg = space.indexOf({1, 16});
+    EXPECT_GT(prof.phasePerf[1][big_cfg],
+              prof.phasePerf[1][small_cfg] * 1.3);
+}
+
+TEST(Profile, ComputePhaseRewardsSlices)
+{
+    ConfigSpace space = smallSpace();
+    AppProfile prof = characterize(twoPhaseApp(), space,
+                                   FabricParams{}, SimParams{},
+                                   fastParams());
+    std::size_t one = space.indexOf({1, 1});
+    std::size_t four = space.indexOf({4, 1});
+    EXPECT_GT(prof.phasePerf[0][four],
+              prof.phasePerf[0][one] * 1.5);
+}
+
+TEST(Profile, RequestCharacterization)
+{
+    ConfigSpace space(2, 4); // 2x3 = 6 configs, fast
+    AppModel app;
+    app.name = "toyreq";
+    app.qosKind = QosKind::RequestLatency;
+    app.seed = 9;
+    app.request.baseRatePerMcycle = 15.0;
+    app.request.amplitude = 0.5;
+    app.request.period = 4'000'000;
+    app.request.meanInstsPerRequest = 3000;
+    app.request.minInstsPerRequest = 500;
+    app.request.mix = twoPhaseApp().phases[0];
+    AppProfile prof = characterize(app, space, FabricParams{},
+                                   SimParams{}, fastParams());
+    ASSERT_EQ(prof.binRates.size(), 3u);
+    EXPECT_LT(prof.binRates.front(), prof.binRates.back());
+    for (const auto &row : prof.binLatency)
+        for (double v : row)
+            EXPECT_GT(v, 0.0);
+    EXPECT_GT(prof.qosTarget, 0.0);
+    // Higher arrival rates cannot make the best latency better.
+    double best_lo = *std::min_element(prof.binLatency[0].begin(),
+                                       prof.binLatency[0].end());
+    double best_hi = *std::min_element(prof.binLatency[2].begin(),
+                                       prof.binLatency[2].end());
+    EXPECT_LE(best_lo, best_hi * 1.25);
+}
+
+TEST(Profile, MeasurePhaseIpcDeterministic)
+{
+    PhaseParams p = twoPhaseApp().phases[0];
+    double a = measurePhaseIpc(p, {2, 2}, FabricParams{},
+                               SimParams{}, 5000, 10000, 42);
+    double b = measurePhaseIpc(p, {2, 2}, FabricParams{},
+                               SimParams{}, 5000, 10000, 42);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng r(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 64; ++i)
+        values.insert(r.next());
+    EXPECT_GT(values.size(), 60u); // not stuck
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+    EXPECT_FALSE(Rng(1).nextBool(0.0));
+    EXPECT_TRUE(Rng(1).nextBool(1.0));
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(17);
+    double sum = 0, sum2 = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(19);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextExponential(0.25);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(23);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.nextGeometric(0.5));
+    EXPECT_NEAR(sum / n, 1.0, 0.05); // E = p/(1-p) = 1
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // Child stream should not mirror the parent stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+/** Bounded draws are roughly uniform across a sweep of bounds. */
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundsTest, RoughlyUniform)
+{
+    std::uint64_t bound = GetParam();
+    Rng r(bound * 977 + 5);
+    std::vector<int> counts(bound, 0);
+    const int draws = 4000 * static_cast<int>(bound);
+    for (int i = 0; i < draws; ++i)
+        ++counts[r.nextBounded(bound)];
+    double expect = static_cast<double>(draws) / bound;
+    for (std::uint64_t v = 0; v < bound; ++v)
+        EXPECT_NEAR(counts[v], expect, expect * 0.15)
+            << "bucket " << v << " bound " << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundsTest,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+} // namespace
+} // namespace cash

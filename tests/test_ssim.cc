@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the top-level simulator and the Runtime Interface
+ * Network (Sec III-B2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/ssim.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+PhaseParams
+mixPhase()
+{
+    PhaseParams p;
+    p.name = "mix";
+    p.ilpMeanDist = 8;
+    p.memFrac = 0.3;
+    p.branchFrac = 0.1;
+    p.lengthInsts = 1'000'000;
+    return p;
+}
+
+TEST(SSim, RuntimeSliceReserved)
+{
+    SSim sim;
+    EXPECT_NE(sim.runtimeSlice(), invalidSlice);
+    // The runtime's Slice is not handed out to clients.
+    auto id = sim.createVCore(8, 4);
+    ASSERT_TRUE(id);
+    for (SliceId s : sim.vcore(*id).sliceIds())
+        EXPECT_NE(s, sim.runtimeSlice());
+}
+
+TEST(SSim, CreateAndDestroy)
+{
+    SSim sim;
+    std::uint32_t free0 = sim.allocator().freeSlices();
+    auto id = sim.createVCore(4, 8);
+    ASSERT_TRUE(id);
+    EXPECT_EQ(sim.allocator().freeSlices(), free0 - 4);
+    sim.destroyVCore(*id);
+    EXPECT_EQ(sim.allocator().freeSlices(), free0);
+}
+
+TEST(SSim, CreateFailsWhenFull)
+{
+    SSim sim;
+    // One Slice is the runtime's.
+    auto big = sim.createVCore(sim.grid().numSlices() - 1, 0);
+    ASSERT_TRUE(big);
+    EXPECT_FALSE(sim.createVCore(1, 0).has_value());
+}
+
+TEST(SSimDeath, UnknownVCorePanics)
+{
+    SSim sim;
+    EXPECT_DEATH(sim.vcore(999), "not live");
+}
+
+TEST(SSim, CounterSamplesTimestamped)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 2);
+    PhasedTraceSource src({mixPhase()}, 7, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(50'000);
+    VCoreSample s = sim.readCounters(id);
+    ASSERT_EQ(s.slices.size(), 2u);
+    Cycle now = sim.vcore(id).now();
+    for (const CounterSample &cs : s.slices) {
+        EXPECT_EQ(cs.timestamp, now);
+        // Arrival reflects a round trip over the RIN.
+        EXPECT_GT(cs.arrival, cs.timestamp);
+    }
+    EXPECT_GE(s.arrival, now);
+    EXPECT_EQ(s.meta.totalCommitted,
+              s.slices[0].counters.committedInsts
+                  + s.slices[1].counters.committedInsts);
+}
+
+TEST(SSim, RinMessagesCounted)
+{
+    SSim sim;
+    auto id = *sim.createVCore(3, 1);
+    std::uint64_t before = sim.rinMessages();
+    sim.readCounters(id);
+    // Request + reply per member Slice.
+    EXPECT_EQ(sim.rinMessages(), before + 6);
+    PhasedTraceSource src({mixPhase()}, 7, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(10'000);
+    before = sim.rinMessages();
+    ASSERT_TRUE(sim.command(id, 4, 1).has_value());
+    EXPECT_EQ(sim.rinMessages(), before + 1);
+}
+
+TEST(SSim, CommandResizesVCore)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhasedTraceSource src({mixPhase()}, 7, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(10'000);
+    auto cost = sim.command(id, 4, 16);
+    ASSERT_TRUE(cost);
+    EXPECT_EQ(sim.vcore(id).numSlices(), 4u);
+    EXPECT_EQ(sim.vcore(id).numBanks(), 16u);
+    EXPECT_GT(cost->commandLatency, 0u);
+}
+
+TEST(SSim, CommandFailureLeavesVCoreUntouched)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 2);
+    auto hog = sim.createVCore(sim.grid().numSlices() - 3, 0);
+    ASSERT_TRUE(hog);
+    EXPECT_FALSE(sim.command(id, 8, 2).has_value());
+    EXPECT_EQ(sim.vcore(id).numSlices(), 2u);
+    EXPECT_EQ(sim.vcore(id).numBanks(), 2u);
+}
+
+TEST(SSim, TwoVCoresProgressIndependently)
+{
+    SSim sim;
+    auto a = *sim.createVCore(1, 1);
+    auto b = *sim.createVCore(2, 2);
+    PhasedTraceSource sa({mixPhase()}, 1, true, 0);
+    PhasedTraceSource sb({mixPhase()}, 2, true, 0);
+    sim.vcore(a).bindSource(&sa);
+    sim.vcore(b).bindSource(&sb);
+    sim.vcore(a).runUntil(40'000);
+    sim.vcore(b).runUntil(80'000);
+    EXPECT_GE(sim.vcore(a).now(), 40'000u);
+    EXPECT_GE(sim.vcore(b).now(), 80'000u);
+    EXPECT_GT(sim.vcore(b).meta().totalCommitted, 0u);
+}
+
+TEST(SSim, FartherSlicesSeeLongerRinDelays)
+{
+    SSim sim;
+    auto id = *sim.createVCore(8, 0);
+    PhasedTraceSource src({mixPhase()}, 7, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(5'000);
+    VCoreSample s = sim.readCounters(id);
+    Cycle min_arr = ~Cycle(0), max_arr = 0;
+    for (const CounterSample &cs : s.slices) {
+        min_arr = std::min(min_arr, cs.arrival);
+        max_arr = std::max(max_arr, cs.arrival);
+    }
+    EXPECT_LT(min_arr, max_arr); // distance-dependent staleness
+}
+
+} // namespace
+} // namespace cash

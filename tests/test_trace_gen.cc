@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for synthetic trace generation and pacing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+PhaseParams
+basePhase()
+{
+    PhaseParams p;
+    p.name = "t";
+    p.lengthInsts = 5000;
+    return p;
+}
+
+TEST(TraceGen, DeterministicStream)
+{
+    PhasedTraceSource a({basePhase()}, 42, true, 0);
+    PhasedTraceSource b({basePhase()}, 42, true, 0);
+    for (int i = 0; i < 2000; ++i) {
+        FetchResult fa = a.next(0), fb = b.next(0);
+        ASSERT_EQ(fa.kind, FetchResult::Kind::Inst);
+        EXPECT_EQ(fa.op.op, fb.op.op);
+        EXPECT_EQ(fa.op.pc, fb.op.pc);
+        EXPECT_EQ(fa.op.addr, fb.op.addr);
+        EXPECT_EQ(fa.op.srcDist1, fb.op.srcDist1);
+    }
+}
+
+TEST(TraceGen, SeedsDiffer)
+{
+    PhasedTraceSource a({basePhase()}, 1, true, 0);
+    PhasedTraceSource b({basePhase()}, 2, true, 0);
+    int same = 0;
+    for (int i = 0; i < 500; ++i)
+        same += a.next(0).op.addr == b.next(0).op.addr;
+    EXPECT_LT(same, 450);
+}
+
+TEST(TraceGen, MixMatchesParams)
+{
+    PhaseParams p = basePhase();
+    p.memFrac = 0.3;
+    p.storeFrac = 0.4;
+    p.branchFrac = 0.2;
+    p.lengthInsts = 100000;
+    PhasedTraceSource src({p}, 5, true, 0);
+    int mem = 0, store = 0, branch = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        MicroOp op = src.next(0).op;
+        mem += op.isMem();
+        store += op.op == OpClass::Store;
+        branch += op.op == OpClass::Branch;
+    }
+    EXPECT_NEAR(mem / double(n), 0.3, 0.02);
+    EXPECT_NEAR(store / double(mem), 0.4, 0.04);
+    EXPECT_NEAR(branch / double(n), 0.2, 0.02);
+}
+
+TEST(TraceGen, AddressesStayInWorkingSet)
+{
+    PhaseParams p = basePhase();
+    p.memFrac = 0.5;
+    p.workingSet = 64 * kiB;
+    p.dataBase = 1 * miB;
+    PhasedTraceSource src({p}, 5, true, 0);
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp op = src.next(0).op;
+        if (op.isMem()) {
+            EXPECT_GE(op.addr, p.dataBase);
+            EXPECT_LT(op.addr, p.dataBase + p.workingSet);
+        }
+    }
+}
+
+TEST(TraceGen, DependenceDistancesPositive)
+{
+    PhaseParams p = basePhase();
+    p.ilpMeanDist = 6;
+    PhasedTraceSource src({p}, 5, true, 0);
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp op = src.next(0).op;
+        EXPECT_GE(op.srcDist1, 1);
+        EXPECT_LE(op.srcDist1, 900);
+    }
+}
+
+TEST(TraceGen, PhasesAdvanceAndLoop)
+{
+    PhaseParams a = basePhase();
+    a.name = "a";
+    a.lengthInsts = 100;
+    PhaseParams b = basePhase();
+    b.name = "b";
+    b.lengthInsts = 200;
+    PhasedTraceSource src({a, b}, 5, true, 0);
+    EXPECT_EQ(src.currentPhase(), 0u);
+    for (int i = 0; i < 100; ++i)
+        src.next(0);
+    src.next(0);
+    EXPECT_EQ(src.currentPhase(), 1u);
+    for (int i = 0; i < 200; ++i)
+        src.next(0);
+    EXPECT_EQ(src.currentPhase(), 0u); // wrapped
+    EXPECT_EQ(src.laps(), 1u);
+}
+
+TEST(TraceGen, NonLoopingFinishes)
+{
+    PhaseParams p = basePhase();
+    p.lengthInsts = 50;
+    PhasedTraceSource src({p}, 5, false, 0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(src.next(0).kind, FetchResult::Kind::Inst);
+    EXPECT_EQ(src.next(0).kind, FetchResult::Kind::Finished);
+}
+
+TEST(TraceGen, TotalCapRespected)
+{
+    PhasedTraceSource src({basePhase()}, 5, true, 120);
+    int n = 0;
+    while (src.next(0).kind == FetchResult::Kind::Inst)
+        ++n;
+    EXPECT_EQ(n, 120);
+}
+
+TEST(TraceGen, BadPhaseRejected)
+{
+    PhaseParams p = basePhase();
+    p.lengthInsts = 0;
+    EXPECT_THROW(PhasedTraceSource({p}, 1, true, 0), FatalError);
+    p = basePhase();
+    p.ilpMeanDist = 0.5;
+    EXPECT_THROW(PhasedTraceSource({p}, 1, true, 0), FatalError);
+    EXPECT_THROW(PhasedTraceSource({}, 1, true, 0), FatalError);
+}
+
+TEST(Paced, ChunkArrivalSchedule)
+{
+    PhasedTraceSource inner({basePhase()}, 5, true, 0);
+    PacedSource paced(inner, 0.5, 100); // chunk of 100 insts
+    // First chunk available at cycle 0.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(paced.next(0).kind, FetchResult::Kind::Inst);
+    // Second chunk not before cycle 100/0.5 = 200.
+    FetchResult fr = paced.next(10);
+    ASSERT_EQ(fr.kind, FetchResult::Kind::IdleUntil);
+    EXPECT_EQ(fr.idleUntil, 200u);
+    EXPECT_EQ(paced.next(200).kind, FetchResult::Kind::Inst);
+}
+
+TEST(Paced, BackloggedStreamsFreely)
+{
+    PhasedTraceSource inner({basePhase()}, 5, true, 0);
+    PacedSource paced(inner, 0.5, 100);
+    // At cycle 10000, dozens of chunks are due: no idling.
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_EQ(paced.next(10000).kind, FetchResult::Kind::Inst);
+}
+
+TEST(Paced, BadParamsRejected)
+{
+    PhasedTraceSource inner({basePhase()}, 5, true, 0);
+    EXPECT_THROW(PacedSource(inner, 0.0), FatalError);
+    EXPECT_THROW(PacedSource(inner, 1.0, 0), FatalError);
+}
+
+TEST(Capped, StopsAtCap)
+{
+    PhasedTraceSource inner({basePhase()}, 5, true, 0);
+    CappedSource cap(inner, 10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(cap.next(0).kind, FetchResult::Kind::Inst);
+    EXPECT_EQ(cap.next(0).kind, FetchResult::Kind::Finished);
+    EXPECT_EQ(cap.remaining(), 0u);
+}
+
+TEST(TraceGen, LoopBranchSitesAreDeterministicAcrossLaps)
+{
+    // The same phase re-entered must present identical branch
+    // behaviour (bias table is phase-keyed, not stream-keyed).
+    PhaseParams p = basePhase();
+    p.branchFrac = 1.0;
+    p.staticBranches = 8;
+    p.lengthInsts = 64;
+    PhasedTraceSource src({p}, 5, true, 0);
+    std::vector<Addr> first_lap;
+    for (int i = 0; i < 64; ++i)
+        first_lap.push_back(src.next(0).op.pc);
+    // PCs come from the same 8 sites on every lap.
+    std::set<Addr> sites(first_lap.begin(), first_lap.end());
+    EXPECT_LE(sites.size(), 8u);
+    for (int lap = 0; lap < 3; ++lap) {
+        for (int i = 0; i < 64; ++i) {
+            Addr pc = src.next(0).op.pc;
+            EXPECT_TRUE(sites.count(pc)) << "unknown site";
+        }
+    }
+}
+
+} // namespace
+} // namespace cash

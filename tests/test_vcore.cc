@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the virtual-core timing model, including the paper's
+ * reconfiguration overheads (Sec VI-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/log.hh"
+#include "sim/ssim.hh"
+#include "workload/request.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+constexpr Cycle forever = std::numeric_limits<Cycle>::max() / 2;
+
+PhaseParams
+aluPhase(double ilp)
+{
+    PhaseParams p;
+    p.name = "alu";
+    p.ilpMeanDist = ilp;
+    p.twoSrcFrac = 0.0;
+    p.memFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.fpFrac = 0.0;
+    p.lengthInsts = 1'000'000;
+    return p;
+}
+
+double
+runIpc(SSim &sim, VCoreId id, const PhaseParams &p, InstCount warm,
+       InstCount measure)
+{
+    VirtualCore &vc = sim.vcore(id);
+    PhasedTraceSource warm_src({p}, 42, true, 0);
+    CappedSource warm_cap(warm_src, warm);
+    vc.bindSource(&warm_cap);
+    vc.runUntil(forever);
+    Cycle c0 = vc.now();
+    InstCount i0 = vc.meta().totalCommitted;
+    PhasedTraceSource src({p}, 43, true, 0);
+    CappedSource cap(src, measure);
+    vc.bindSource(&cap);
+    vc.runUntil(forever);
+    return static_cast<double>(vc.meta().totalCommitted - i0)
+        / static_cast<double>(vc.now() - c0);
+}
+
+TEST(VCore, SingleSliceAluBoundIpcNearOne)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    double ipc = runIpc(sim, id, aluPhase(400), 20000, 50000);
+    EXPECT_GT(ipc, 0.9);
+    EXPECT_LE(ipc, 1.05); // one ALU per Slice caps throughput
+}
+
+TEST(VCore, SlicesScaleForHighIlp)
+{
+    double prev = 0.0;
+    for (std::uint32_t slices : {1u, 2u, 4u}) {
+        SSim sim;
+        auto id = *sim.createVCore(slices, 1);
+        double ipc = runIpc(sim, id, aluPhase(400), 20000, 50000);
+        EXPECT_GT(ipc, prev * 1.3)
+            << slices << " slices should clearly beat "
+            << slices / 2;
+        prev = ipc;
+    }
+}
+
+TEST(VCore, SlicesDoNotHelpSerialChains)
+{
+    SSim sim1, sim8;
+    auto id1 = *sim1.createVCore(1, 1);
+    auto id8 = *sim8.createVCore(8, 1);
+    PhaseParams serial = aluPhase(1.2); // tight chains
+    double ipc1 = runIpc(sim1, id1, serial, 20000, 50000);
+    double ipc8 = runIpc(sim8, id8, serial, 20000, 50000);
+    EXPECT_LT(ipc8, ipc1 * 1.3); // no meaningful speedup
+}
+
+TEST(VCore, CacheCapacityMatters)
+{
+    PhaseParams p = aluPhase(8);
+    p.memFrac = 0.4;
+    p.workingSet = 1 * miB;
+    p.seqFrac = 0.0;
+    SSim small, large;
+    auto ids = *small.createVCore(1, 1);   // 64 KB L2
+    auto idl = *large.createVCore(1, 16);  // 1 MB L2
+    double ipc_small = runIpc(small, ids, p, 40000, 60000);
+    double ipc_large = runIpc(large, idl, p, 40000, 60000);
+    EXPECT_GT(ipc_large, ipc_small * 1.5);
+}
+
+TEST(VCore, OversizedCacheHurts)
+{
+    // Working set fits in 2 banks; 128 banks only add distance.
+    PhaseParams p = aluPhase(8);
+    p.memFrac = 0.4;
+    p.workingSet = 96 * kiB;
+    p.seqFrac = 0.0;
+    SSim fit, huge;
+    auto idf = *fit.createVCore(1, 2);
+    auto idh = *huge.createVCore(1, 128);
+    double ipc_fit = runIpc(fit, idf, p, 40000, 60000);
+    double ipc_huge = runIpc(huge, idh, p, 40000, 60000);
+    EXPECT_GT(ipc_fit, ipc_huge * 1.05)
+        << "distance-driven hit latency must penalize oversizing";
+}
+
+TEST(VCore, DeterministicForSameSeed)
+{
+    auto run = []() {
+        SSim sim;
+        auto id = *sim.createVCore(2, 4);
+        PhaseParams p = aluPhase(10);
+        p.memFrac = 0.3;
+        p.branchFrac = 0.1;
+        PhasedTraceSource src({p}, 99, true, 0);
+        CappedSource cap(src, 30000);
+        sim.vcore(id).bindSource(&cap);
+        sim.vcore(id).runUntil(forever);
+        return sim.vcore(id).now();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(VCore, IdleJumpsClock)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhaseParams p = aluPhase(8);
+    PhasedTraceSource inner({p}, 5, true, 0);
+    PacedSource paced(inner, 0.001, 100);
+    sim.vcore(id).bindSource(&paced);
+    RunResult rr = sim.vcore(id).runUntil(500'000);
+    EXPECT_GT(rr.idleCycles, 400'000u);
+    EXPECT_LT(rr.committed, 1000u);
+}
+
+TEST(VCore, FinishedPropagates)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhaseParams p = aluPhase(8);
+    PhasedTraceSource src({p}, 5, false, 0); // single pass
+    sim.vcore(id).bindSource(&src);
+    RunResult rr = sim.vcore(id).runUntil(forever);
+    EXPECT_TRUE(rr.finished);
+    EXPECT_EQ(rr.committed, p.lengthInsts);
+}
+
+TEST(VCore, ExpandCostIsPipelineFlush)
+{
+    // Paper Sec VI-A: Slice expansion ~15 cycles (plus command
+    // delivery); no register traffic, no L2 change.
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhaseParams p = aluPhase(8);
+    PhasedTraceSource src({p}, 5, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(20'000);
+    auto cost = sim.command(id, 2, 1);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_EQ(cost->pipelineFlush,
+              sim.params().net.pipelineFlushLat);
+    EXPECT_EQ(cost->regsFlushed, 0u);
+    EXPECT_EQ(cost->regFlushCycles, 0u);
+    EXPECT_EQ(cost->l2DirtyFlushed, 0u);
+}
+
+TEST(VCore, ShrinkAddsBoundedRegisterFlush)
+{
+    // Paper: contraction takes at most 64 cycles more than
+    // expansion (128 globals at 2 registers/cycle).
+    SSim sim;
+    auto id = *sim.createVCore(4, 1);
+    PhaseParams p = aluPhase(8);
+    PhasedTraceSource src({p}, 5, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(100'000);
+    auto cost = sim.command(id, 1, 1);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_GT(cost->regsFlushed, 0u);
+    EXPECT_LE(cost->regFlushCycles, 64u);
+    EXPECT_EQ(cost->pipelineFlush,
+              sim.params().net.pipelineFlushLat);
+}
+
+TEST(VCore, L2ShrinkChargesDirtyFlush)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 8);
+    PhaseParams p = aluPhase(8);
+    p.memFrac = 0.5;
+    p.storeFrac = 0.8;
+    p.workingSet = 512 * kiB;
+    p.seqFrac = 0.0;
+    PhasedTraceSource src({p}, 5, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(600'000);
+    auto cost = sim.command(id, 1, 1);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_GT(cost->l2DirtyFlushed, 0u);
+    EXPECT_EQ(cost->l2FlushCycles,
+              cost->l2DirtyFlushed * sim.params().cache.blockSize
+                  / sim.params().cache.flushNetBytes);
+    // Stall observed by the vcore includes the flush.
+    EXPECT_GE(cost->totalStall(), cost->l2FlushCycles);
+}
+
+TEST(VCore, ReconfigStallAdvancesClock)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 4);
+    PhaseParams p = aluPhase(8);
+    p.memFrac = 0.4;
+    p.storeFrac = 0.5;
+    p.workingSet = 256 * kiB;
+    PhasedTraceSource src({p}, 5, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(300'000);
+    Cycle before = sim.vcore(id).now();
+    auto cost = sim.command(id, 2, 2);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_GE(sim.vcore(id).now(), before + cost->totalStall());
+    EXPECT_EQ(sim.vcore(id).meta().reconfigStallCycles,
+              cost->totalStall());
+}
+
+TEST(VCore, RequestLatencyAccounting)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 2);
+    RequestStreamParams rp;
+    rp.baseRatePerMcycle = 10.0;
+    rp.meanInstsPerRequest = 2000;
+    rp.minInstsPerRequest = 500;
+    rp.mix = aluPhase(8);
+    RequestSource src(rp, 17);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(3'000'000);
+    VCoreMeta m = sim.vcore(id).meta();
+    EXPECT_GT(m.requestsDone, 10u);
+    EXPECT_EQ(m.requestsDone, src.completed());
+    // Mean latency from vcore counters matches the source's view.
+    double vc_mean = static_cast<double>(m.requestLatencySum)
+        / static_cast<double>(m.requestsDone);
+    EXPECT_NEAR(vc_mean, src.latency().mean(), 1.0);
+}
+
+TEST(VCore, CountersSumToTotal)
+{
+    SSim sim;
+    auto id = *sim.createVCore(4, 2);
+    PhaseParams p = aluPhase(30);
+    p.memFrac = 0.3;
+    p.branchFrac = 0.1;
+    PhasedTraceSource src({p}, 21, true, 0);
+    CappedSource cap(src, 40000);
+    sim.vcore(id).bindSource(&cap);
+    sim.vcore(id).runUntil(forever);
+    InstCount sum = 0;
+    for (std::uint32_t m = 0; m < 4; ++m)
+        sum += sim.vcore(id).counters(m).committedInsts;
+    EXPECT_EQ(sum, sim.vcore(id).meta().totalCommitted);
+    EXPECT_EQ(sum, 40000u);
+}
+
+TEST(VCore, BadConstructionRejected)
+{
+    FabricGrid g;
+    SimParams sp;
+    EXPECT_THROW(VirtualCore(g, sp, 0, {}, {}), FatalError);
+    sp.depWindow = 16; // < robSize * 8
+    EXPECT_THROW(VirtualCore(g, sp, 0, {0}, {}), FatalError);
+}
+
+TEST(VCore, RunWithoutSourceFatal)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    EXPECT_THROW(sim.vcore(id).runUntil(1000), FatalError);
+}
+
+/** Branch-heavy phases lose throughput to mispredict flushes in
+ *  proportion to predictability. */
+class VCoreBranchTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VCoreBranchTest, MispredictsReduceIpc)
+{
+    double bias = GetParam();
+    PhaseParams p = aluPhase(60);
+    p.branchFrac = 0.15;
+    p.branchBias = bias;
+    SSim sim;
+    auto id = *sim.createVCore(4, 1);
+    double ipc = runIpc(sim, id, p, 30000, 60000);
+    PhaseParams clean = aluPhase(60);
+    SSim sim2;
+    auto id2 = *sim2.createVCore(4, 1);
+    double ipc_clean = runIpc(sim2, id2, clean, 30000, 60000);
+    EXPECT_LT(ipc, ipc_clean);
+    if (bias < 0.7) {
+        EXPECT_LT(ipc, ipc_clean * 0.6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, VCoreBranchTest,
+                         ::testing::Values(0.55, 0.8, 0.95));
+
+} // namespace
+} // namespace cash
