@@ -2,7 +2,9 @@
  * @file
  * Ablation study of the CASH runtime's design choices (the knobs
  * DESIGN.md calls out beyond the paper's equations): what each
- * mechanism buys on a phase-heavy throughput workload.
+ * mechanism buys on a phase-heavy throughput workload. All
+ * variants (plus the quantum sweep) share one characterization and
+ * run as parallel engine cells.
  *
  * Variants, cumulative against the full runtime:
  *   full          — everything on (the shipped defaults)
@@ -38,11 +40,7 @@ main()
     ConfigSpace space;
     CostModel cost;
     ExperimentParams ep = bench::benchParams();
-    AppModel app = scalePhases(appByName("x264"), ep.phaseScale);
-    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
-                                   bench::benchProfile());
-    std::printf("=== Ablation: CASH runtime design choices on "
-                "x264 (target %.4f IPC) ===\n\n", prof.qosTarget);
+    AppModel app = harness::prepareApp(appByName("x264"), ep);
 
     RuntimeParams base;
     std::vector<Variant> variants;
@@ -72,6 +70,33 @@ main()
         p.guardBand = 1.0;
         variants.push_back({"no-guardband", p});
     }
+    const Cycle quanta[] = {500'000, 1'000'000, 2'000'000,
+                           4'000'000};
+
+    // One spec per variant, then one per quantum setting; all CASH
+    // runs over the same app, space and characterization.
+    harness::ExperimentEngine engine;
+    std::vector<harness::EvalSpec> specs;
+    for (const Variant &v : variants) {
+        ExperimentParams run = ep;
+        run.runtime = v.params;
+        specs.push_back({v.name, app, PolicyKind::Cash, &space,
+                         run});
+    }
+    for (Cycle q : quanta) {
+        ExperimentParams run = ep;
+        run.quantum = q;
+        specs.push_back({strfmt("tau=%lluK",
+                                static_cast<unsigned long long>(
+                                    q / 1000)),
+                         app, PolicyKind::Cash, &space, run});
+    }
+    std::vector<harness::EvalResult> results = harness::runEvalGrid(
+        engine, specs, cost, bench::benchProfile());
+
+    std::printf("=== Ablation: CASH runtime design choices on "
+                "x264 (target %.4f IPC) ===\n\n",
+                results[0].profile.qosTarget);
 
     bench::CsvSink csv("ablation",
                        {"variant", "cost_rate", "viol_pct",
@@ -79,40 +104,28 @@ main()
 
     std::printf("%-16s %12s %10s %10s %10s\n", "variant",
                 "rate $/hr", "viol %", "mean QoS", "reconfigs");
-    for (const Variant &v : variants) {
-        ExperimentParams run = ep;
-        run.runtime = v.params;
-        RunOutput out = runPolicy(app, prof, PolicyKind::Cash,
-                                  space, cost, run);
-        double hours =
-            static_cast<double>(out.stats.cycles) / 1e9 / 3600.0;
-        double rate = hours > 0 ? out.stats.cost / hours : 0.0;
-        std::printf("%-16s %12.4f %10.1f %10.2f %10u\n", v.name,
-                    rate, out.stats.violationPct(),
-                    out.stats.meanQos(), out.stats.reconfigs);
-        csv.row({v.name, CsvWriter::num(rate, 5),
-                 CsvWriter::num(out.stats.violationPct(), 2),
-                 CsvWriter::num(out.stats.meanQos(), 3),
-                 std::to_string(out.stats.reconfigs)});
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const harness::EvalResult &r = results[i];
+        std::printf("%-16s %12.4f %10.1f %10.2f %10u\n",
+                    r.label.c_str(), r.costRate,
+                    r.out.stats.violationPct(),
+                    r.out.stats.meanQos(), r.out.stats.reconfigs);
+        csv.row({r.label, CsvWriter::num(r.costRate, 5),
+                 CsvWriter::num(r.out.stats.violationPct(), 2),
+                 CsvWriter::num(r.out.stats.meanQos(), 3),
+                 std::to_string(r.out.stats.reconfigs)});
     }
 
     // Quantum sensitivity.
     std::printf("\nquantum (tau) sensitivity:\n");
-    for (Cycle q : {Cycle{500'000}, Cycle{1'000'000},
-                    Cycle{2'000'000}, Cycle{4'000'000}}) {
-        ExperimentParams run = ep;
-        run.quantum = q;
-        RunOutput out = runPolicy(app, prof, PolicyKind::Cash,
-                                  space, cost, run);
-        double hours =
-            static_cast<double>(out.stats.cycles) / 1e9 / 3600.0;
-        std::printf("  tau=%4lluK: rate $%.4f/hr, viol %5.1f%%, "
+    for (std::size_t i = variants.size(); i < results.size(); ++i) {
+        const harness::EvalResult &r = results[i];
+        std::printf("  %s: rate $%.4f/hr, viol %5.1f%%, "
                     "reconfigs %u\n",
-                    static_cast<unsigned long long>(q / 1000),
-                    out.stats.cost / hours,
-                    out.stats.violationPct(), out.stats.reconfigs);
-        std::fflush(stdout);
+                    r.label.c_str(), r.costRate,
+                    r.out.stats.violationPct(),
+                    r.out.stats.reconfigs);
     }
+    bench::finishBench(engine, "ablation");
     return 0;
 }

@@ -4,7 +4,8 @@
  * heterogeneity vs CASH's fine-grain configurability, each under
  * race-to-idle and adaptive management.
  *
- * Four points per application:
+ * Four points per application, declared as engine cells (one
+ * characterization per (app, space) pair, policy runs in parallel):
  *   CoarseGrain,race   — {big, little} space, worst-case config
  *   CoarseGrain,adapt  — {big, little} space, CASH runtime
  *   FineGrain,race     — full 64-config space, worst-case config
@@ -32,56 +33,57 @@ main()
         std::vector<VCoreConfig>{{1, 2}, {8, 64}});
     CostModel cost;
 
-    struct Cell
+    struct Scheme
     {
         const char *label;
         const ConfigSpace *space;
         PolicyKind kind;
     };
-    const Cell cells[] = {
+    const Scheme schemes[] = {
         {"CoarseGrain,race", &coarse, PolicyKind::RaceToIdle},
         {"CoarseGrain,adapt", &coarse, PolicyKind::Cash},
         {"FineGrain,race", &fine, PolicyKind::RaceToIdle},
         {"CASH", &fine, PolicyKind::Cash},
     };
 
+    harness::ExperimentEngine engine;
+    std::vector<harness::EvalSpec> specs;
+    for (const AppModel &raw : allApps()) {
+        ExperimentParams ep =
+            bench::benchParams(raw.isRequestDriven());
+        AppModel app = harness::prepareApp(raw, ep);
+        for (const Scheme &s : schemes)
+            specs.push_back({s.label, app, s.kind, s.space, ep});
+    }
+    std::vector<harness::EvalResult> results = harness::runEvalGrid(
+        engine, specs, cost, bench::benchProfile());
+
     std::printf("=== Fig 10: coarse vs fine grain, race vs "
                 "adaptive ===\n");
     std::printf("big = 8S/4MB, little = 1S/128KB\n\n");
     std::printf("%-12s", "app");
-    for (const Cell &c : cells)
-        std::printf(" %17s$ %6s%%", c.label, "viol");
+    for (const Scheme &s : schemes)
+        std::printf(" %17s$ %6s%%", s.label, "viol");
     std::printf("\n");
 
     bench::CsvSink csv("fig10_heterogeneous",
                        {"app", "scheme", "cost_rate", "viol_pct"});
 
-    std::map<const char *, std::vector<double>> rates;
+    std::map<std::string, std::vector<double>> rates;
+    std::size_t i = 0;
     for (const AppModel &raw : allApps()) {
-        ExperimentParams ep =
-            bench::benchParams(raw.isRequestDriven());
-        AppModel app = raw.isRequestDriven()
-            ? raw
-            : scalePhases(raw, ep.phaseScale);
-        std::printf("%-12s", app.name.c_str());
-        for (const Cell &c : cells) {
-            AppProfile prof = characterize(
-                app, *c.space, ep.fabric, ep.sim,
-                bench::benchProfile());
-            RunOutput out = runPolicy(app, prof, c.kind, *c.space,
-                                      cost, ep);
-            double hours =
-                static_cast<double>(out.stats.cycles) / 1e9
-                / 3600.0;
-            double rate = hours > 0 ? out.stats.cost / hours : 0;
-            rates[c.label].push_back(rate);
-            std::printf(" %18.4f %6.1f", rate,
-                        out.stats.violationPct());
-            csv.row({app.name, c.label, CsvWriter::num(rate, 5),
-                     CsvWriter::num(out.stats.violationPct(), 2)});
+        std::printf("%-12s", raw.name.c_str());
+        for (const Scheme &s : schemes) {
+            const harness::EvalResult &r = results[i++];
+            rates[s.label].push_back(r.costRate);
+            std::printf(" %18.4f %6.1f", r.costRate,
+                        r.out.stats.violationPct());
+            csv.row({r.appName, r.label,
+                     CsvWriter::num(r.costRate, 5),
+                     CsvWriter::num(r.out.stats.violationPct(),
+                                    2)});
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
 
     std::printf("\n=== Sec VI-E summary (geometric means) ===\n");
@@ -89,14 +91,15 @@ main()
                 "geomean $/hr", "vs CG,race", "paper $");
     const char *paper[] = {"0.062", "0.048", "0.029", "0.017"};
     double cg_race = geomean(rates["CoarseGrain,race"]);
-    int i = 0;
-    for (const Cell &c : cells) {
-        double geo = geomean(rates[c.label]);
-        std::printf("%-20s %14.4f %11.1f%% %14s\n", c.label, geo,
-                    100.0 * (1.0 - geo / cg_race), paper[i++]);
+    int p = 0;
+    for (const Scheme &s : schemes) {
+        double geo = geomean(rates[s.label]);
+        std::printf("%-20s %14.4f %11.1f%% %14s\n", s.label, geo,
+                    100.0 * (1.0 - geo / cg_race), paper[p++]);
     }
     std::printf("\npaper reference: adaptation alone saves ~25%%, "
                 "fine-grain alone >50%%, and CASH's combination "
                 ">70%% vs racing on the heterogeneous pair.\n");
+    bench::finishBench(engine, "fig10_heterogeneous");
     return 0;
 }

@@ -3,12 +3,14 @@
  * Paper Fig 1 (a-k): x264's per-phase performance over every virtual
  * core built from 1..8 Slices and 64 KB..8 MB of L2.
  *
- * Prints one IPC table per phase (the data behind each contour
- * plot), marks the global optimum (*) and strict local optima (+),
- * and ends with the Fig 1k phase-breakdown summary. The paper's
- * headline properties are checked: at least six of ten phases have
- * local optima distinct from the global one, and no two consecutive
- * phases share an optimal configuration.
+ * All (phase, configuration) sweep points are independent cells run
+ * in parallel by the experiment engine; the tables are formatted
+ * from the collected results. Prints one IPC table per phase (the
+ * data behind each contour plot), marks the global optimum (*) and
+ * strict local optima (+), and ends with the Fig 1k phase-breakdown
+ * summary. The paper's headline properties are checked: at least
+ * six of ten phases have local optima distinct from the global one,
+ * and no two consecutive phases share an optimal configuration.
  */
 
 #include <algorithm>
@@ -48,6 +50,25 @@ main()
     const AppModel &x264 = appByName("x264");
     ProfileParams pp = bench::benchProfile();
 
+    // One cell per (phase, configuration) point.
+    harness::ExperimentEngine engine;
+    const std::size_t nk = space.size();
+    const std::size_t nph = x264.phases.size();
+    std::vector<double> flat = engine.map<double>(
+        nph * nk,
+        [&](std::size_t i) {
+            std::size_t ph = i / nk, k = i % nk;
+            return measurePhaseIpc(x264.phases[ph], space.at(k),
+                                   FabricParams{}, SimParams{},
+                                   pp.warmupInsts, pp.measureInsts,
+                                   77 + ph);
+        },
+        [&](std::size_t i) {
+            return harness::CellKey{
+                "x264", "phase:" + x264.phases[i / nk].name,
+                i % nk, 77 + i / nk};
+        });
+
     std::printf("=== Fig 1: phases of x264 on the CASH "
                 "architecture ===\n");
     std::printf("IPC per (Slices, L2) configuration; "
@@ -59,13 +80,11 @@ main()
     std::vector<std::size_t> best_of_phase;
     std::vector<int> locals_per_phase;
 
-    for (std::size_t ph = 0; ph < x264.phases.size(); ++ph) {
+    for (std::size_t ph = 0; ph < nph; ++ph) {
         const PhaseParams &phase = x264.phases[ph];
-        std::vector<double> perf(space.size());
-        for (std::size_t k = 0; k < space.size(); ++k) {
-            perf[k] = measurePhaseIpc(
-                phase, space.at(k), FabricParams{}, SimParams{},
-                pp.warmupInsts, pp.measureInsts, 77 + ph);
+        std::vector<double> perf(flat.begin() + ph * nk,
+                                 flat.begin() + (ph + 1) * nk);
+        for (std::size_t k = 0; k < nk; ++k) {
             csv.row({std::to_string(ph),
                      std::to_string(space.at(k).slices),
                      std::to_string(space.at(k).banks),
@@ -126,5 +145,6 @@ main()
                 "(paper: 9 / 9, \"no two consecutive phases have "
                 "the same optimal configuration\")\n",
                 optimum_moves, best_of_phase.size() - 1);
+    bench::finishBench(engine, "fig1_phases");
     return 0;
 }

@@ -3,10 +3,12 @@
  * Paper Fig 2: the motivational comparison of fine-grain resource
  * allocators on x264 — Optimal vs Race-to-idle vs ConvexOpt.
  *
- * Prints cost rate ($/hr) and normalized performance as a time
- * series, then the total-cost ratios (the paper reports both
- * race-to-idle and convex optimization above 4.5x optimal for
- * x264's non-convex, phase-heavy profile).
+ * The three policy runs are declared as engine cells (sharing one
+ * characterization) and executed in parallel. Prints cost rate
+ * ($/hr) and normalized performance as a time series, then the
+ * total-cost ratios (the paper reports both race-to-idle and convex
+ * optimization above 4.5x optimal for x264's non-convex,
+ * phase-heavy profile).
  */
 
 #include <cstdio>
@@ -21,23 +23,26 @@ main()
     ConfigSpace space;
     CostModel cost;
     ExperimentParams ep = bench::seriesParams();
-    AppModel app = scalePhases(appByName("x264"), ep.phaseScale);
-    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
-                                   bench::benchProfile());
+    AppModel app = harness::prepareApp(appByName("x264"), ep);
+
+    harness::ExperimentEngine engine;
+    std::vector<harness::EvalSpec> specs;
+    for (PolicyKind k : {PolicyKind::Oracle, PolicyKind::RaceToIdle,
+                         PolicyKind::ConvexOpt})
+        specs.push_back({"", app, k, &space, ep});
+    std::vector<harness::EvalResult> runs = harness::runEvalGrid(
+        engine, specs, cost, bench::benchProfile());
 
     std::printf("=== Fig 2: fine-grain resource allocators on "
                 "x264 ===\n");
-    std::printf("QoS target: %.4f IPC\n\n", prof.qosTarget);
+    std::printf("QoS target: %.4f IPC\n\n",
+                runs[0].profile.qosTarget);
 
     bench::CsvSink csv("fig2_motivation",
                        {"policy", "mcycles", "cost_rate", "qos"});
-
-    std::vector<RunOutput> runs;
-    for (PolicyKind k : {PolicyKind::Oracle, PolicyKind::RaceToIdle,
-                         PolicyKind::ConvexOpt}) {
-        runs.push_back(runPolicy(app, prof, k, space, cost, ep));
-        for (const SeriesPoint &pt : runs.back().series) {
-            csv.row({runs.back().policy,
+    for (const harness::EvalResult &r : runs) {
+        for (const SeriesPoint &pt : r.out.series) {
+            csv.row({r.out.policy,
                      CsvWriter::num(pt.cycle / 1e6, 2),
                      CsvWriter::num(pt.costRate, 5),
                      CsvWriter::num(pt.qos, 4)});
@@ -46,17 +51,17 @@ main()
 
     // Downsampled time-series table.
     std::printf("%-10s", "Mcycles");
-    for (const RunOutput &r : runs)
-        std::printf("  %10s$/hr %9sQoS", r.policy.c_str(),
-                    r.policy.c_str());
+    for (const harness::EvalResult &r : runs)
+        std::printf("  %10s$/hr %9sQoS", r.out.policy.c_str(),
+                    r.out.policy.c_str());
     std::printf("\n");
-    std::size_t points = runs[0].series.size();
+    std::size_t points = runs[0].out.series.size();
     for (std::size_t i = 0; i < points; i += 4) {
         std::printf("%-10.0f",
-                    runs[0].series[i].cycle / 1e6);
-        for (const RunOutput &r : runs) {
+                    runs[0].out.series[i].cycle / 1e6);
+        for (const harness::EvalResult &r : runs) {
             const SeriesPoint &pt =
-                r.series[std::min(i, r.series.size() - 1)];
+                r.out.series[std::min(i, r.out.series.size() - 1)];
             std::printf("  %13.4f  %9.3f", pt.costRate, pt.qos);
         }
         std::printf("\n");
@@ -64,17 +69,16 @@ main()
 
     std::printf("\n%-12s %12s %10s %12s\n", "policy", "rate $/hr",
                 "viol %", "vs optimal");
-    double optimal_rate = runs[0].stats.cost
-        / (static_cast<double>(runs[0].stats.cycles) / 1e9 / 3600);
-    for (const RunOutput &r : runs) {
-        double rate = r.stats.cost
-            / (static_cast<double>(r.stats.cycles) / 1e9 / 3600);
+    double optimal_rate = runs[0].costRate;
+    for (const harness::EvalResult &r : runs) {
         std::printf("%-12s %12.4f %10.1f %11.2fx\n",
-                    r.policy.c_str(), rate,
-                    r.stats.violationPct(), rate / optimal_rate);
+                    r.out.policy.c_str(), r.costRate,
+                    r.out.stats.violationPct(),
+                    r.costRate / optimal_rate);
     }
     std::printf("\npaper reference: race-to-idle and convex "
                 "optimization both exceed 4.5x optimal cost on "
                 "x264; convex also violates QoS repeatedly.\n");
+    bench::finishBench(engine, "fig2_motivation");
     return 0;
 }

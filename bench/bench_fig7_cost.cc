@@ -4,6 +4,11 @@
  * fine-grain resource allocators (Optimal, ConvexOpt, Race-to-idle,
  * CASH) across all 13 applications.
  *
+ * The 13 x 4 grid is declared as evaluation cells and executed in
+ * parallel by the experiment engine; results are formatted in
+ * declaration order afterwards, so the output is identical at any
+ * CASH_BENCH_THREADS.
+ *
  * Costs are reported as mean cost rate in $/hr (the paper's "Cost
  * ($)" bars are proportional). Table III's geometric means and
  * cost ratios to optimal are printed at the end next to the paper's
@@ -28,6 +33,18 @@ main()
                                 PolicyKind::RaceToIdle,
                                 PolicyKind::Cash};
 
+    harness::ExperimentEngine engine;
+    std::vector<harness::EvalSpec> specs;
+    for (const AppModel &raw : allApps()) {
+        ExperimentParams ep =
+            bench::benchParams(raw.isRequestDriven());
+        AppModel app = harness::prepareApp(raw, ep);
+        for (PolicyKind k : kinds)
+            specs.push_back({"", app, k, &space, ep});
+    }
+    std::vector<harness::EvalResult> results = harness::runEvalGrid(
+        engine, specs, cost, bench::benchProfile());
+
     std::printf("=== Fig 7: cost and QoS violations per "
                 "application ===\n\n");
     std::printf("%-12s", "app");
@@ -40,34 +57,21 @@ main()
                         "mean_qos", "reconfigs"});
 
     std::map<PolicyKind, std::vector<double>> rates;
+    std::size_t i = 0;
     for (const AppModel &raw : allApps()) {
-        ExperimentParams ep =
-            bench::benchParams(raw.isRequestDriven());
-        AppModel app = raw.isRequestDriven()
-            ? raw
-            : scalePhases(raw, ep.phaseScale);
-        AppProfile prof = characterize(app, space, ep.fabric,
-                                       ep.sim,
-                                       bench::benchProfile());
-        std::printf("%-12s", app.name.c_str());
+        std::printf("%-12s", raw.name.c_str());
         for (PolicyKind k : kinds) {
-            RunOutput out =
-                runPolicy(app, prof, k, space, cost, ep);
-            double hours =
-                static_cast<double>(out.stats.cycles) / 1e9
-                / 3600.0;
-            double rate = hours > 0 ? out.stats.cost / hours : 0;
-            rates[k].push_back(rate);
-            std::printf(" %11.4f %9.1f", rate,
-                        out.stats.violationPct());
-            csv.row({app.name, out.policy,
-                     CsvWriter::num(rate, 5),
-                     CsvWriter::num(out.stats.violationPct(), 2),
-                     CsvWriter::num(out.stats.meanQos(), 3),
-                     std::to_string(out.stats.reconfigs)});
+            const harness::EvalResult &r = results[i++];
+            rates[k].push_back(r.costRate);
+            std::printf(" %11.4f %9.1f", r.costRate,
+                        r.out.stats.violationPct());
+            csv.row({r.appName, r.out.policy,
+                     CsvWriter::num(r.costRate, 5),
+                     CsvWriter::num(r.out.stats.violationPct(), 2),
+                     CsvWriter::num(r.out.stats.meanQos(), 3),
+                     std::to_string(r.out.stats.reconfigs)});
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
 
     std::printf("\n=== Table III: cost comparison (geometric "
@@ -76,15 +80,16 @@ main()
                 "geomean $/hr", "ratio", "paper ratio");
     double opt_geo = geomean(rates[PolicyKind::Oracle]);
     const char *paper_ratio[] = {"1.00", "1.23", "1.78", "1.03"};
-    int i = 0;
+    int p = 0;
     for (PolicyKind k : kinds) {
         double geo = geomean(rates[k]);
         std::printf("%-14s %14.4f %13.2fx %16s\n", policyName(k),
-                    geo, geo / opt_geo, paper_ratio[i++]);
+                    geo, geo / opt_geo, paper_ratio[p++]);
     }
     std::printf("\npaper reference: CASH within ~3%% of optimal "
                 "cost with <2%% violations; convex optimization "
                 "1.23x with frequent violations; race-to-idle "
                 "1.78x with none.\n");
+    bench::finishBench(engine, "fig7_cost");
     return 0;
 }

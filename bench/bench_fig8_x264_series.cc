@@ -3,6 +3,7 @@
  * Paper Fig 8: time-series behaviour on x264 — ConvexOpt vs
  * Race-to-idle vs CASH cost rate and normalized performance.
  *
+ * The three runs are engine cells sharing one characterization.
  * The paper's narrative: around phase 3 the true optimum is
  * expensive; convex optimization reaches it but then stays in the
  * costly configuration, while CASH detects the phase change and
@@ -21,23 +22,25 @@ main()
     ConfigSpace space;
     CostModel cost;
     ExperimentParams ep = bench::seriesParams();
-    AppModel app = scalePhases(appByName("x264"), ep.phaseScale);
-    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
-                                   bench::benchProfile());
+    AppModel app = harness::prepareApp(appByName("x264"), ep);
+
+    harness::ExperimentEngine engine;
+    std::vector<harness::EvalSpec> specs;
+    for (PolicyKind k : {PolicyKind::ConvexOpt,
+                         PolicyKind::RaceToIdle, PolicyKind::Cash})
+        specs.push_back({"", app, k, &space, ep});
+    std::vector<harness::EvalResult> runs = harness::runEvalGrid(
+        engine, specs, cost, bench::benchProfile());
 
     std::printf("=== Fig 8: time series for x264 (target %.4f "
-                "IPC) ===\n\n", prof.qosTarget);
+                "IPC) ===\n\n", runs[0].profile.qosTarget);
 
     bench::CsvSink csv("fig8_x264",
                        {"policy", "mcycles", "cost_rate", "qos",
                         "config"});
-
-    std::vector<RunOutput> runs;
-    for (PolicyKind k : {PolicyKind::ConvexOpt,
-                         PolicyKind::RaceToIdle, PolicyKind::Cash}) {
-        runs.push_back(runPolicy(app, prof, k, space, cost, ep));
-        for (const SeriesPoint &pt : runs.back().series) {
-            csv.row({runs.back().policy,
+    for (const harness::EvalResult &r : runs) {
+        for (const SeriesPoint &pt : r.out.series) {
+            csv.row({r.out.policy,
                      CsvWriter::num(pt.cycle / 1e6, 2),
                      CsvWriter::num(pt.costRate, 5),
                      CsvWriter::num(pt.qos, 4),
@@ -46,16 +49,16 @@ main()
     }
 
     std::printf("%-9s", "Mcycles");
-    for (const RunOutput &r : runs)
-        std::printf(" %9s$/hr %7sQoS %10scfg", r.policy.c_str(),
-                    r.policy.c_str(), r.policy.c_str());
+    for (const harness::EvalResult &r : runs)
+        std::printf(" %9s$/hr %7sQoS %10scfg", r.out.policy.c_str(),
+                    r.out.policy.c_str(), r.out.policy.c_str());
     std::printf("\n");
-    std::size_t points = runs[2].series.size();
+    std::size_t points = runs[2].out.series.size();
     for (std::size_t i = 0; i < points; i += 3) {
-        std::printf("%-9.0f", runs[2].series[i].cycle / 1e6);
-        for (const RunOutput &r : runs) {
+        std::printf("%-9.0f", runs[2].out.series[i].cycle / 1e6);
+        for (const harness::EvalResult &r : runs) {
             const SeriesPoint &pt =
-                r.series[std::min(i, r.series.size() - 1)];
+                r.out.series[std::min(i, r.out.series.size() - 1)];
             std::printf(" %12.4f %10.3f %13s", pt.costRate, pt.qos,
                         space.at(pt.config).str().c_str());
         }
@@ -63,16 +66,16 @@ main()
     }
 
     std::printf("\nsummary:\n");
-    for (const RunOutput &r : runs) {
-        double hours =
-            static_cast<double>(r.stats.cycles) / 1e9 / 3600.0;
+    for (const harness::EvalResult &r : runs) {
         std::printf("  %-11s rate $%.4f/hr, violations %.1f%%, "
                     "reconfigs %u\n",
-                    r.policy.c_str(), r.stats.cost / hours,
-                    r.stats.violationPct(), r.stats.reconfigs);
+                    r.out.policy.c_str(), r.costRate,
+                    r.out.stats.violationPct(),
+                    r.out.stats.reconfigs);
     }
     std::printf("\npaper reference: CASH tracks phases and "
                 "releases the expensive phase-3 configuration; "
                 "convex stays stuck in it until ~144 Mcycles.\n");
+    bench::finishBench(engine, "fig8_x264");
     return 0;
 }

@@ -2,7 +2,8 @@
  * @file
  * Paper Fig 9: apache under an oscillating request stream —
  * request rate, cost rate, and normalized request latency over
- * time for ConvexOpt, Race-to-idle and CASH.
+ * time for ConvexOpt, Race-to-idle and CASH, run as parallel
+ * engine cells over one shared characterization.
  *
  * The paper's narrative: every method tracks the load, race-to-idle
  * is most expensive because it reserves worst-case resources the
@@ -23,22 +24,23 @@ main()
     CostModel cost;
     ExperimentParams ep = bench::benchParams(/*request=*/true);
     const AppModel &app = appByName("apache");
-    AppProfile prof = characterize(app, space, ep.fabric, ep.sim,
-                                   bench::benchProfile());
+
+    harness::ExperimentEngine engine;
+    std::vector<harness::EvalSpec> specs;
+    for (PolicyKind k : {PolicyKind::ConvexOpt,
+                         PolicyKind::RaceToIdle, PolicyKind::Cash})
+        specs.push_back({"", app, k, &space, ep});
+    std::vector<harness::EvalResult> runs = harness::runEvalGrid(
+        engine, specs, cost, bench::benchProfile());
 
     std::printf("=== Fig 9: time series for apache ===\n");
     std::printf("QoS target: %.0f cycles/request (paper: 110K "
-                "cycles/request at its scale)\n\n", prof.qosTarget);
+                "cycles/request at its scale)\n\n",
+                runs[0].profile.qosTarget);
 
     bench::CsvSink csv("fig9_apache",
                        {"policy", "mcycles", "req_rate",
                         "cost_rate", "qos"});
-
-    std::vector<RunOutput> runs;
-    for (PolicyKind k : {PolicyKind::ConvexOpt,
-                         PolicyKind::RaceToIdle, PolicyKind::Cash}) {
-        runs.push_back(runPolicy(app, prof, k, space, cost, ep));
-    }
 
     auto rate_at = [&](Cycle t) {
         double phase = 2.0 * M_PI
@@ -49,19 +51,19 @@ main()
     };
 
     std::printf("%-9s %9s", "Mcycles", "req/Mc");
-    for (const RunOutput &r : runs)
-        std::printf(" %9s$/hr %7sQoS", r.policy.c_str(),
-                    r.policy.c_str());
+    for (const harness::EvalResult &r : runs)
+        std::printf(" %9s$/hr %7sQoS", r.out.policy.c_str(),
+                    r.out.policy.c_str());
     std::printf("\n");
-    std::size_t points = runs[2].series.size();
+    std::size_t points = runs[2].out.series.size();
     for (std::size_t i = 0; i < points; i += 4) {
-        Cycle t = runs[2].series[i].cycle;
+        Cycle t = runs[2].out.series[i].cycle;
         std::printf("%-9.0f %9.1f", t / 1e6, rate_at(t));
-        for (const RunOutput &r : runs) {
+        for (const harness::EvalResult &r : runs) {
             const SeriesPoint &pt =
-                r.series[std::min(i, r.series.size() - 1)];
+                r.out.series[std::min(i, r.out.series.size() - 1)];
             std::printf(" %12.4f %10.3f", pt.costRate, pt.qos);
-            csv.row({r.policy, CsvWriter::num(t / 1e6, 2),
+            csv.row({r.out.policy, CsvWriter::num(t / 1e6, 2),
                      CsvWriter::num(rate_at(t), 2),
                      CsvWriter::num(pt.costRate, 5),
                      CsvWriter::num(pt.qos, 4)});
@@ -71,24 +73,21 @@ main()
 
     std::printf("\nsummary:\n");
     double convex_rate = 0;
-    for (const RunOutput &r : runs) {
-        double hours =
-            static_cast<double>(r.stats.cycles) / 1e9 / 3600.0;
-        double rate = r.stats.cost / hours;
-        if (r.policy == "ConvexOpt")
-            convex_rate = rate;
+    for (const harness::EvalResult &r : runs) {
+        if (r.out.policy == "ConvexOpt")
+            convex_rate = r.costRate;
         std::printf("  %-11s rate $%.4f/hr, violations %.1f%%, "
                     "mean normalized latency QoS %.3f\n",
-                    r.policy.c_str(), rate,
-                    r.stats.violationPct(), r.stats.meanQos());
+                    r.out.policy.c_str(), r.costRate,
+                    r.out.stats.violationPct(),
+                    r.out.stats.meanQos());
     }
     if (convex_rate > 0) {
-        double cash_rate = runs[2].stats.cost
-            / (static_cast<double>(runs[2].stats.cycles) / 1e9
-               / 3600.0);
+        double cash_rate = runs[2].costRate;
         std::printf("\nCASH vs convex cost: %+.1f%% "
                     "(paper: about -18%%)\n",
                     100.0 * (cash_rate / convex_rate - 1.0));
     }
+    bench::finishBench(engine, "fig9_apache");
     return 0;
 }

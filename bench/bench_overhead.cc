@@ -8,7 +8,10 @@
  * contraction (+ register flush, bounded by the global register
  * count), and L2 flush cycles as a function of dirty state (the
  * paper's worst case: a fully dirty 64 KB bank over a 64-bit
- * network, which it quotes as ~8000 cycles).
+ * network, which it quotes as ~8000 cycles). Each deterministic
+ * measurement is one engine cell; only the wall-clock decision
+ * micro (inherently nondeterministic) runs inline, after the
+ * cells have drained.
  *
  * Runtime overhead is reported two ways: wall-clock nanoseconds per
  * CashRuntime decision (the O(1) claim), and modeled cycles for
@@ -21,6 +24,7 @@
 
 #include "bench_util.hh"
 #include "core/runtime.hh"
+#include "sim/reconfig.hh"
 #include "workload/trace_gen.hh"
 
 using namespace cash;
@@ -77,11 +81,98 @@ runtimeKernelPhase()
     return p;
 }
 
+/** Slice expand + contract on one warmed simulator (one cell: the
+ *  two commands share simulator state by design). */
+struct SliceCosts
+{
+    ReconfigCost expand;
+    ReconfigCost shrink;
+};
+
+SliceCosts
+measureSliceCosts()
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 1);
+    PhaseParams p = runtimeKernelPhase();
+    p.workingSet = 64 * kiB;
+    PhasedTraceSource src({p}, 5, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(50'000);
+    SliceCosts costs;
+    costs.expand = *sim.command(id, 2, 1);
+    sim.vcore(id).runUntil(150'000);
+    costs.shrink = *sim.command(id, 1, 1);
+    return costs;
+}
+
+/** L2 flush cost after dirtying cache state at one store ratio. */
+ReconfigCost
+measureL2Flush(double store_frac)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 8);
+    PhaseParams p = runtimeKernelPhase();
+    p.memFrac = 0.5;
+    p.storeFrac = store_frac;
+    p.workingSet = 512 * kiB;
+    p.seqFrac = 0.0;
+    PhasedTraceSource src({p}, 5, true, 0);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(800'000);
+    return *sim.command(id, 1, 1);
+}
+
+/** Modeled cycles per Algorithm-1 iteration on `slices` Slices. */
+Cycle
+measureIterationCycles(std::uint32_t slices)
+{
+    const InstCount algo_insts = 1800;
+    SSim sim;
+    auto id = *sim.createVCore(slices, 1);
+    PhasedTraceSource warm({runtimeKernelPhase()}, 5, true, 0);
+    CappedSource warm_cap(warm, 20'000);
+    sim.vcore(id).bindSource(&warm_cap);
+    sim.vcore(id).runUntil(~Cycle(0) / 2);
+    Cycle c0 = sim.vcore(id).now();
+    PhasedTraceSource body({runtimeKernelPhase()}, 6, true, 0);
+    CappedSource cap(body, algo_insts * 100);
+    sim.vcore(id).bindSource(&cap);
+    sim.vcore(id).runUntil(~Cycle(0) / 2);
+    return (sim.vcore(id).now() - c0) / 100;
+}
+
 } // namespace
 
 int
 main()
 {
+    const double store_fracs[] = {0.1, 0.4, 0.8};
+    const std::uint32_t slice_counts[] = {1, 2, 3};
+
+    // Fan the deterministic measurements out as engine cells.
+    harness::ExperimentEngine engine;
+    SliceCosts slice_costs;
+    std::vector<ReconfigCost> l2_costs(3);
+    std::vector<Cycle> iter_cycles(3);
+    {
+        std::vector<harness::Cell> cells;
+        cells.push_back({{"overhead", "slice-commands", 0, 5},
+                         [&] { slice_costs = measureSliceCosts(); }});
+        for (std::size_t i = 0; i < 3; ++i) {
+            cells.push_back(
+                {{"overhead", "l2-flush", i, 5}, [&, i] {
+                     l2_costs[i] = measureL2Flush(store_fracs[i]);
+                 }});
+            cells.push_back(
+                {{"overhead", "iteration", i, 5}, [&, i] {
+                     iter_cycles[i] =
+                         measureIterationCycles(slice_counts[i]);
+                 }});
+        }
+        engine.run(std::move(cells));
+    }
+
     printInputTables();
 
     // ---------------- Architectural overheads ----------------
@@ -90,14 +181,7 @@ main()
     bench::CsvSink csv("overhead",
                        {"operation", "cycles", "detail"});
     {
-        SSim sim;
-        auto id = *sim.createVCore(1, 1);
-        PhaseParams p = runtimeKernelPhase();
-        p.workingSet = 64 * kiB;
-        PhasedTraceSource src({p}, 5, true, 0);
-        sim.vcore(id).bindSource(&src);
-        sim.vcore(id).runUntil(50'000);
-        auto expand = *sim.command(id, 2, 1);
+        const ReconfigCost &expand = slice_costs.expand;
         std::printf("Slice expansion: pipeline flush %llu "
                     "(paper: ~15), command delivery %llu, "
                     "LS-repartition L1 flush %llu "
@@ -113,8 +197,7 @@ main()
         csv.row({"slice_expand",
                  std::to_string(expand.totalStall()), "1->2"});
 
-        sim.vcore(id).runUntil(150'000);
-        auto shrink = *sim.command(id, 1, 1);
+        const ReconfigCost &shrink = slice_costs.shrink;
         std::printf("Slice contraction: register flush %llu "
                     "cycles for %u registers (paper: at most 64 "
                     "cycles), pipeline flush %llu, LS-repartition "
@@ -137,25 +220,15 @@ main()
     std::printf("\nL2 contraction flush (8 banks -> 1):\n");
     std::printf("%-14s %14s %14s\n", "store frac", "dirty lines",
                 "flush cycles");
-    for (double store_frac : {0.1, 0.4, 0.8}) {
-        SSim sim;
-        auto id = *sim.createVCore(1, 8);
-        PhaseParams p = runtimeKernelPhase();
-        p.memFrac = 0.5;
-        p.storeFrac = store_frac;
-        p.workingSet = 512 * kiB;
-        p.seqFrac = 0.0;
-        PhasedTraceSource src({p}, 5, true, 0);
-        sim.vcore(id).bindSource(&src);
-        sim.vcore(id).runUntil(800'000);
-        auto cost = *sim.command(id, 1, 1);
-        std::printf("%-14.1f %14llu %14llu\n", store_frac,
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ReconfigCost &cost = l2_costs[i];
+        std::printf("%-14.1f %14llu %14llu\n", store_fracs[i],
                     static_cast<unsigned long long>(
                         cost.l2DirtyFlushed),
                     static_cast<unsigned long long>(
                         cost.l2FlushCycles));
         csv.row({"l2_flush", std::to_string(cost.l2FlushCycles),
-                 CsvWriter::num(store_frac, 2)});
+                 CsvWriter::num(store_fracs[i], 2)});
     }
     std::printf("worst case: one fully dirty 64KB bank = "
                 "65536B / 8B = 8192 cycles (paper rounds to "
@@ -166,7 +239,9 @@ main()
     {
         // Wall-clock cost of one decision (the O(1) claim): run
         // Algorithm 1 against a chip and time only the decision
-        // maths by measuring many steps of a tiny quantum.
+        // maths by measuring many steps of a tiny quantum. This is
+        // host timing, so it stays inline, after the engine's
+        // cells have drained.
         ConfigSpace space;
         CostModel cost;
         SSim sim;
@@ -196,30 +271,17 @@ main()
         // Slice virtual cores.
         std::printf("modeled cycles per runtime iteration "
                     "(paper: 2000 / 1100 / 977):\n");
-        const InstCount algo_insts = 1800;
-        for (std::uint32_t slices : {1u, 2u, 3u}) {
-            SSim sim;
-            auto id = *sim.createVCore(slices, 1);
-            PhasedTraceSource warm({runtimeKernelPhase()}, 5, true,
-                                   0);
-            CappedSource warm_cap(warm, 20'000);
-            sim.vcore(id).bindSource(&warm_cap);
-            sim.vcore(id).runUntil(~Cycle(0) / 2);
-            Cycle c0 = sim.vcore(id).now();
-            PhasedTraceSource body({runtimeKernelPhase()}, 6, true,
-                                   0);
-            CappedSource cap(body, algo_insts * 100);
-            sim.vcore(id).bindSource(&cap);
-            sim.vcore(id).runUntil(~Cycle(0) / 2);
-            Cycle per_iter =
-                (sim.vcore(id).now() - c0) / 100;
-            std::printf("  %u Slice%s: %llu cycles\n", slices,
-                        slices > 1 ? "s" : " ",
-                        static_cast<unsigned long long>(per_iter));
+        for (std::size_t i = 0; i < 3; ++i) {
+            std::printf("  %u Slice%s: %llu cycles\n",
+                        slice_counts[i],
+                        slice_counts[i] > 1 ? "s" : " ",
+                        static_cast<unsigned long long>(
+                            iter_cycles[i]));
             csv.row({"runtime_iteration",
-                     std::to_string(per_iter),
-                     std::to_string(slices) + " slices"});
+                     std::to_string(iter_cycles[i]),
+                     std::to_string(slice_counts[i]) + " slices"});
         }
     }
+    bench::finishBench(engine, "overhead");
     return 0;
 }

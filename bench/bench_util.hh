@@ -4,10 +4,16 @@
  *
  * Every bench regenerates one of the paper's tables or figures and
  * prints (a) the measured data and (b) the paper's reference values
- * next to it where the paper states them. Scale knobs:
+ * next to it where the paper states them. Benches declare their
+ * evaluation cells against harness::ExperimentEngine, which runs
+ * them in parallel and hands results back in declaration order, so
+ * stdout/CSV output is byte-identical at any thread count. Scale
+ * and execution knobs:
  *
- *   CASH_BENCH_FAST=1  shrink horizons ~4x for a quick smoke run
- *   CASH_BENCH_CSV=dir also emit machine-readable CSV into `dir`
+ *   CASH_BENCH_FAST=1    shrink horizons ~4x for a quick smoke run
+ *   CASH_BENCH_CSV=dir   also emit machine-readable CSV into `dir`
+ *   CASH_BENCH_THREADS=n worker threads (default: hardware
+ *                        concurrency); results do not depend on n
  */
 
 #ifndef CASH_BENCH_BENCH_UTIL_HH
@@ -21,6 +27,9 @@
 
 #include "baselines/experiment.hh"
 #include "common/csv.hh"
+#include "common/log.hh"
+#include "harness/eval_grid.hh"
+#include "harness/experiment_engine.hh"
 
 namespace cash::bench
 {
@@ -69,6 +78,23 @@ benchProfile()
     return pp;
 }
 
+/**
+ * Emit the bench's engine summary ({cells, per-cell wall clock,
+ * thread count}) as <name>_engine.json next to the CSV output, and
+ * report the wall clock to stderr (never stdout: stdout stays
+ * byte-identical across thread counts).
+ */
+inline void
+finishBench(harness::ExperimentEngine &engine,
+            const std::string &name)
+{
+    engine.writeJsonSummary(name);
+    inform("%s: %zu cells on %zu threads, %.0f ms engine wall "
+           "clock",
+           name.c_str(), engine.report().cells.size(),
+           engine.threads(), engine.report().wallMillis);
+}
+
 /** Open a CSV file when CASH_BENCH_CSV is set. */
 class CsvSink
 {
@@ -79,9 +105,18 @@ class CsvSink
         const char *dir = std::getenv("CASH_BENCH_CSV");
         if (!dir)
             return;
-        file_.open(std::string(dir) + "/" + name + ".csv");
-        if (file_.is_open())
+        std::string path = std::string(dir) + "/" + name + ".csv";
+        file_.open(path);
+        if (file_.is_open()) {
             writer_.emplace(file_, std::move(header));
+        } else {
+            // A missing directory (or unwritable file) used to
+            // drop every row silently; say so once instead.
+            warn("CASH_BENCH_CSV: cannot open '%s'; CSV output "
+                 "for this bench is disabled (does the directory "
+                 "exist?)",
+                 path.c_str());
+        }
     }
 
     void

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "harness/experiment_engine.hh"
 #include "sim/ssim.hh"
 #include "workload/request.hh"
 #include "workload/trace_gen.hh"
@@ -190,61 +191,100 @@ AppProfile::averagePerf(std::size_t k) const
 }
 
 AppProfile
-characterize(const AppModel &app, const ConfigSpace &space,
-             const FabricParams &fabric, const SimParams &sim_params,
-             const ProfileParams &params)
+characterize(harness::ExperimentEngine &engine, const AppModel &app,
+             const ConfigSpace &space, const FabricParams &fabric,
+             const SimParams &sim_params, const ProfileParams &params)
 {
     AppProfile prof;
     prof.kind = app.qosKind;
+    const std::size_t nk = space.size();
 
     if (app.qosKind == QosKind::Throughput) {
-        prof.phasePerf.resize(app.phases.size());
-        for (std::size_t ph = 0; ph < app.phases.size(); ++ph) {
-            prof.phasePerf[ph].resize(space.size());
-            for (std::size_t k = 0; k < space.size(); ++k) {
-                prof.phasePerf[ph][k] = measurePhaseIpc(
-                    app.phases[ph], space.at(k), fabric, sim_params,
-                    params.warmupInsts, params.measureInsts,
-                    params.seed + ph);
-            }
+        // Every (phase, configuration) point is an independent
+        // fresh-simulator run whose seed depends only on the
+        // point, so the sweep fans out through the engine and is
+        // scattered back by index.
+        const std::size_t nph = app.phases.size();
+        std::vector<double> flat = engine.map<double>(
+            nph * nk,
+            [&](std::size_t i) {
+                std::size_t ph = i / nk, k = i % nk;
+                return measurePhaseIpc(app.phases[ph], space.at(k),
+                                       fabric, sim_params,
+                                       params.warmupInsts,
+                                       params.measureInsts,
+                                       params.seed + ph);
+            },
+            [&](std::size_t i) {
+                return harness::CellKey{
+                    app.name, "phase:" + app.phases[i / nk].name,
+                    i % nk, params.seed};
+            });
+        prof.phasePerf.assign(nph, std::vector<double>(nk));
+        for (std::size_t ph = 0; ph < nph; ++ph) {
+            for (std::size_t k = 0; k < nk; ++k)
+                prof.phasePerf[ph][k] = flat[ph * nk + k];
         }
         // Target: the best IPC achievable in the worst phase.
         double best_worst = 0.0;
-        for (std::size_t k = 0; k < space.size(); ++k)
+        for (std::size_t k = 0; k < nk; ++k)
             best_worst = std::max(best_worst, prof.worstCasePerf(k));
         prof.qosTarget = best_worst * params.targetMargin;
     } else {
-        prof.binRates.resize(params.rateBins);
-        prof.binLatency.resize(params.rateBins);
+        const std::size_t nb = params.rateBins;
+        prof.binRates.resize(nb);
         double lo = app.request.baseRatePerMcycle
             * (1.0 - app.request.amplitude);
         double hi = app.request.baseRatePerMcycle
             * (1.0 + app.request.amplitude);
-        for (std::uint32_t b = 0; b < params.rateBins; ++b) {
-            double frac = params.rateBins > 1
+        for (std::size_t b = 0; b < nb; ++b) {
+            double frac = nb > 1
                 ? static_cast<double>(b)
-                      / static_cast<double>(params.rateBins - 1)
+                      / static_cast<double>(nb - 1)
                 : 0.5;
             prof.binRates[b] = lo + frac * (hi - lo);
-            prof.binLatency[b].resize(space.size());
-            for (std::size_t k = 0; k < space.size(); ++k) {
-                prof.binLatency[b][k] = measureRequestLatency(
+        }
+        std::vector<double> flat = engine.map<double>(
+            nb * nk,
+            [&](std::size_t i) {
+                std::size_t b = i / nk, k = i % nk;
+                return measureRequestLatency(
                     app.request, prof.binRates[b], space.at(k),
                     fabric, sim_params, params.requestWindow,
                     params.seed + b);
-            }
+            },
+            [&](std::size_t i) {
+                return harness::CellKey{
+                    app.name,
+                    strfmt("bin:%zu", i / nk), i % nk,
+                    params.seed};
+            });
+        prof.binLatency.assign(nb, std::vector<double>(nk));
+        for (std::size_t b = 0; b < nb; ++b) {
+            for (std::size_t k = 0; k < nk; ++k)
+                prof.binLatency[b][k] = flat[b * nk + k];
         }
         // Target: smallest achievable worst-bin latency, padded.
         double best_worst = std::numeric_limits<double>::max();
-        for (std::size_t k = 0; k < space.size(); ++k) {
+        for (std::size_t k = 0; k < nk; ++k) {
             double worst = 0.0;
-            for (std::uint32_t b = 0; b < params.rateBins; ++b)
+            for (std::size_t b = 0; b < nb; ++b)
                 worst = std::max(worst, prof.binLatency[b][k]);
             best_worst = std::min(best_worst, worst);
         }
         prof.qosTarget = best_worst * params.latencyHeadroom;
     }
     return prof;
+}
+
+AppProfile
+characterize(const AppModel &app, const ConfigSpace &space,
+             const FabricParams &fabric, const SimParams &sim_params,
+             const ProfileParams &params)
+{
+    harness::ExperimentEngine engine;
+    return characterize(engine, app, space, fabric, sim_params,
+                        params);
 }
 
 } // namespace cash

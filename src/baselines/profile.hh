@@ -37,6 +37,11 @@
 namespace cash
 {
 
+namespace harness
+{
+class ExperimentEngine;
+} // namespace harness
+
 /**
  * Characterization effort knobs.
  */
@@ -106,13 +111,28 @@ struct AppProfile
 };
 
 /**
- * Characterize one application over a configuration space.
+ * Characterize one application over a configuration space, fanning
+ * the (phase | rate bin) x configuration sweep out through the
+ * engine. Every sweep point runs on a fresh simulator with a seed
+ * derived only from the profile parameters and the point itself,
+ * so the result is bit-identical at any thread count.
  *
+ * @param engine parallel execution engine for the sweep
  * @param app the application model
  * @param space configurations to sweep
  * @param fabric chip geometry
  * @param sim_params microarchitecture parameters
  * @param params effort knobs
+ */
+AppProfile
+characterize(harness::ExperimentEngine &engine, const AppModel &app,
+             const ConfigSpace &space, const FabricParams &fabric,
+             const SimParams &sim_params,
+             const ProfileParams &params = ProfileParams());
+
+/**
+ * Convenience overload running the sweep on a private engine
+ * (CASH_BENCH_THREADS or hardware-concurrency workers).
  */
 AppProfile
 characterize(const AppModel &app, const ConfigSpace &space,

@@ -1,0 +1,159 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("CASH_BENCH_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1) {
+            warn("CASH_BENCH_THREADS='%s' is not a positive "
+                 "integer; using 1 thread", env);
+            return 1;
+        }
+        return static_cast<std::size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    queues_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        // queued_ rises before the push so a worker whose predicate
+        // sees it cannot have missed the task; the worst case is a
+        // momentary re-scan while the push completes.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+        ++queued_;
+        target = nextQueue_;
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    workAvailable_.notify_one();
+    allDone_.notify_all(); // wake helpers in wait() to lend a hand
+}
+
+bool
+ThreadPool::popTask(std::size_t victim, bool steal,
+                    std::function<void()> &out)
+{
+    WorkerQueue &q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    if (steal) {
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+    } else {
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+    }
+    return true;
+}
+
+bool
+ThreadPool::tryRunOne(std::size_t home)
+{
+    std::function<void()> task;
+    bool found = popTask(home, /*steal=*/false, task);
+    for (std::size_t i = 1; !found && i < queues_.size(); ++i)
+        found = popTask((home + i) % queues_.size(), /*steal=*/true,
+                        task);
+    if (!found)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --queued_;
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --pending_;
+    }
+    allDone_.notify_all();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        if (tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        // Sleep only while no task sits in a deque. queued_ (not
+        // pending_) is the predicate so workers don't spin while a
+        // long task *runs* elsewhere with nothing left to steal;
+        // submit bumps queued_ under this mutex before pushing, so
+        // a wakeup can't be lost.
+        workAvailable_.wait(
+            lock, [&] { return stopping_ || queued_ > 0; });
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    // Help drain: the waiting thread executes tasks too, keeping a
+    // 1-thread pool from deadlocking when its owner blocks on work
+    // that itself submits work.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (pending_ == 0)
+                return;
+        }
+        if (tryRunOne(0))
+            continue;
+        // Nothing to help with right now: sleep until either all
+        // work drains or new work is queued (submit notifies
+        // allDone_ too, so a task spawning tasks re-engages us).
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock,
+                      [&] { return pending_ == 0 || queued_ > 0; });
+        if (pending_ == 0)
+            return;
+    }
+}
+
+} // namespace cash

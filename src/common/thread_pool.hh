@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment harness.
+ *
+ * The evaluation workload is a grid of fully independent cells of
+ * very uneven duration (a 1-Slice/64KB characterization point is an
+ * order of magnitude cheaper than an 8-Slice/8MB one), so a single
+ * shared queue would serialize on the mutex and a static partition
+ * would load-imbalance. Instead every worker owns a deque: it pushes
+ * and pops at the back, and steals from the front of a victim when
+ * its own deque runs dry. Tasks are plain `void()` closures; result
+ * ordering and exception propagation are the caller's concern (see
+ * ExperimentEngine, which collects results by cell index so output
+ * is deterministic regardless of the thread count).
+ *
+ * The pool size defaults to CASH_BENCH_THREADS when set, else
+ * std::thread::hardware_concurrency(). A pool of size 1 still runs
+ * tasks on one worker thread, so the execution environment is the
+ * same shape at every size.
+ */
+
+#ifndef CASH_COMMON_THREAD_POOL_HH
+#define CASH_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cash
+{
+
+/** Pool size from CASH_BENCH_THREADS, else hardware concurrency
+ *  (at least 1). Values that fail to parse fall back to 1. */
+std::size_t defaultThreadCount();
+
+/**
+ * A fixed-size pool of workers with per-worker stealing deques.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means defaultThreadCount(). */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue one task. Tasks may be submitted from any thread,
+     * including from inside another task. Submissions are
+     * round-robined over the worker deques so a burst of uneven
+     * tasks starts spread out; stealing rebalances from there.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far (and every task those
+     * tasks submitted) has finished. The calling thread lends a
+     * hand: it executes queued tasks instead of sleeping, so
+     * wait() from a 1-thread pool's owner still makes progress
+     * even if the single worker is busy.
+     */
+    void wait();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool tryRunOne(std::size_t home);
+    bool popTask(std::size_t victim, bool steal,
+                 std::function<void()> &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0; ///< queued + running tasks
+    std::size_t queued_ = 0;  ///< tasks sitting in a deque
+    std::size_t nextQueue_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace cash
+
+#endif // CASH_COMMON_THREAD_POOL_HH

@@ -1,0 +1,62 @@
+#include "harness/eval_grid.hh"
+
+#include <map>
+#include <utility>
+
+namespace cash::harness
+{
+
+AppModel
+prepareApp(const AppModel &raw, const ExperimentParams &params)
+{
+    return raw.isRequestDriven() ? raw
+                                 : scalePhases(raw, params.phaseScale);
+}
+
+std::vector<EvalResult>
+runEvalGrid(ExperimentEngine &engine,
+            const std::vector<EvalSpec> &specs, const CostModel &cost,
+            const ProfileParams &profile_params)
+{
+    // Stage 1: one characterization per distinct (app, space).
+    // The sweeps themselves fan out through the engine, so this
+    // stage is already parallel across configuration points.
+    std::map<std::pair<std::string, const ConfigSpace *>, AppProfile>
+        profiles;
+    for (const EvalSpec &spec : specs) {
+        auto key = std::make_pair(spec.app.name, spec.space);
+        if (profiles.count(key))
+            continue;
+        profiles.emplace(key, characterize(engine, spec.app,
+                                           *spec.space,
+                                           spec.params.fabric,
+                                           spec.params.sim,
+                                           profile_params));
+    }
+
+    // Stage 2: every policy run is one engine cell.
+    std::vector<EvalResult> results(specs.size());
+    std::vector<Cell> cells;
+    cells.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const EvalSpec &spec = specs[i];
+        EvalResult &slot = results[i];
+        slot.appName = spec.app.name;
+        slot.label = spec.label.empty() ? policyName(spec.kind)
+                                        : spec.label;
+        slot.profile =
+            profiles.at(std::make_pair(spec.app.name, spec.space));
+        CellKey key{spec.app.name, slot.label, i, spec.params.seed};
+        cells.push_back(Cell{key, [&spec, &slot, &cost] {
+            slot.out = runPolicy(spec.app, slot.profile, spec.kind,
+                                 *spec.space, cost, spec.params);
+            double hours = cost.hours(slot.out.stats.cycles);
+            slot.costRate =
+                hours > 0 ? slot.out.stats.cost / hours : 0.0;
+        }});
+    }
+    engine.run(std::move(cells));
+    return results;
+}
+
+} // namespace cash::harness

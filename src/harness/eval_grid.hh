@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Declarative (app x policy) evaluation grids on ExperimentEngine.
+ *
+ * Every figure bench used to hand-roll the same loop: scale the
+ * app's phases, run the 64-configuration oracle characterization,
+ * then run each policy and derive the mean cost rate. runEvalGrid()
+ * replaces that boilerplate: a bench declares its cells as
+ * EvalSpecs, the grid characterizes every distinct (app, space)
+ * pair exactly once — each sweep fanned out through the engine —
+ * then executes all policy runs in parallel, and hands back results
+ * in declaration order so formatting is identical at any thread
+ * count.
+ */
+
+#ifndef CASH_HARNESS_EVAL_GRID_HH
+#define CASH_HARNESS_EVAL_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "baselines/experiment.hh"
+#include "harness/experiment_engine.hh"
+
+namespace cash::harness
+{
+
+/** One declared (app, policy) evaluation cell. */
+struct EvalSpec
+{
+    /** Scheme label for reports; empty means policyName(kind). */
+    std::string label;
+    /** The application, already phase-scaled if desired (see
+     *  prepareApp()). */
+    AppModel app;
+    PolicyKind kind = PolicyKind::Oracle;
+    /** Configuration space; must outlive the grid run. */
+    const ConfigSpace *space = nullptr;
+    ExperimentParams params;
+};
+
+/** One executed cell, in declaration order. */
+struct EvalResult
+{
+    std::string appName;
+    std::string label;
+    /** The (app, space) characterization this run used. */
+    AppProfile profile;
+    RunOutput out;
+    /** Mean cost rate over the run, $/hr (0 if no cycles ran). */
+    double costRate = 0.0;
+};
+
+/**
+ * The app/scale dance shared by all benches: request-driven apps
+ * run unscaled, throughput apps get their phases stretched to the
+ * experiment's timescale.
+ */
+AppModel prepareApp(const AppModel &raw,
+                    const ExperimentParams &params);
+
+/**
+ * Execute a declared grid. Characterization runs once per distinct
+ * (app name, space) pair, using the fabric/sim parameters of the
+ * first spec declaring the pair; policy cells then run in parallel.
+ * Results are returned in the order the specs were declared.
+ */
+std::vector<EvalResult>
+runEvalGrid(ExperimentEngine &engine, const std::vector<EvalSpec> &specs,
+            const CostModel &cost, const ProfileParams &profile_params);
+
+} // namespace cash::harness
+
+#endif // CASH_HARNESS_EVAL_GRID_HH

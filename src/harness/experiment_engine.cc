@@ -1,0 +1,195 @@
+#include "harness/experiment_engine.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace cash::harness
+{
+
+namespace
+{
+
+/** FNV-1a over a string, with a field terminator so that adjacent
+ *  fields cannot alias ({"ab","c"} vs {"a","bc"}). */
+void
+mixField(std::uint64_t &h, const std::string &s)
+{
+    constexpr std::uint64_t prime = 0x100000001b3ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= prime;
+    }
+    h ^= 0xffu; // terminator outside the byte alphabet's common use
+    h *= prime;
+}
+
+void
+mixField(std::uint64_t &h, std::uint64_t v)
+{
+    constexpr std::uint64_t prime = 0x100000001b3ull;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= prime;
+    }
+    h ^= 0xffu;
+    h *= prime;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+CellKey::str() const
+{
+    std::string s = subject;
+    if (!variant.empty())
+        s += "/" + variant;
+    s += strfmt("[%llu]@%llu",
+                static_cast<unsigned long long>(config),
+                static_cast<unsigned long long>(seed));
+    return s;
+}
+
+std::uint64_t
+cellStream(const CellKey &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    mixField(h, key.subject);
+    mixField(h, key.variant);
+    mixField(h, key.config);
+    mixField(h, key.seed);
+    // Decorrelate nearby keys through the xoshiro256** split: seed
+    // a generator with the hash and fork off the cell's stream.
+    return Rng(h).fork().next();
+}
+
+Rng
+cellRng(const CellKey &key)
+{
+    return Rng(cellStream(key));
+}
+
+ExperimentEngine::ExperimentEngine(std::size_t threads)
+    : pool_(threads)
+{
+    report_.threads = pool_.threadCount();
+}
+
+void
+ExperimentEngine::run(std::vector<Cell> cells)
+{
+    using clock = std::chrono::steady_clock;
+    const std::size_t base = report_.cells.size();
+    report_.cells.resize(base + cells.size());
+    std::vector<std::exception_ptr> errors(cells.size());
+
+    auto t0 = clock::now();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        Cell &cell = cells[i];
+        CellTiming &timing = report_.cells[base + i];
+        timing.key = cell.key;
+        std::exception_ptr &error = errors[i];
+        pool_.submit([&cell, &timing, &error] {
+            auto c0 = clock::now();
+            try {
+                cell.fn();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            timing.millis =
+                std::chrono::duration<double, std::milli>(
+                    clock::now() - c0)
+                    .count();
+        });
+    }
+    pool_.wait();
+    report_.wallMillis +=
+        std::chrono::duration<double, std::milli>(clock::now() - t0)
+            .count();
+
+    // Deterministic propagation: first failure in declaration
+    // order, regardless of which cell happened to fail first.
+    for (std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+std::string
+ExperimentEngine::jsonSummary(const std::string &bench_name) const
+{
+    std::string out = strfmt(
+        "{\"bench\":\"%s\",\"threads\":%zu,\"wall_ms\":%.3f,"
+        "\"cells\":[",
+        jsonEscape(bench_name).c_str(), report_.threads,
+        report_.wallMillis);
+    for (std::size_t i = 0; i < report_.cells.size(); ++i) {
+        const CellTiming &t = report_.cells[i];
+        if (i)
+            out += ",";
+        out += strfmt("{\"subject\":\"%s\",\"variant\":\"%s\","
+                      "\"config\":%llu,\"seed\":%llu,"
+                      "\"ms\":%.3f}",
+                      jsonEscape(t.key.subject).c_str(),
+                      jsonEscape(t.key.variant).c_str(),
+                      static_cast<unsigned long long>(t.key.config),
+                      static_cast<unsigned long long>(t.key.seed),
+                      t.millis);
+    }
+    out += "]}\n";
+    return out;
+}
+
+void
+ExperimentEngine::writeJsonSummary(const std::string &bench_name)
+{
+    const char *dir = std::getenv("CASH_BENCH_CSV");
+    if (!dir)
+        return;
+    std::string path =
+        std::string(dir) + "/" + bench_name + "_engine.json";
+    std::ofstream file(path);
+    if (!file.is_open()) {
+        if (!warnedJson_)
+            warn("CASH_BENCH_CSV: cannot open '%s' for the engine "
+                 "summary; is the directory missing?",
+                 path.c_str());
+        warnedJson_ = true;
+        return;
+    }
+    file << jsonSummary(bench_name);
+}
+
+} // namespace cash::harness

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the ExperimentEngine layer: deterministic collection,
+ * exception propagation, reporting, and the headline determinism
+ * regression — one Fig-7-style cell set run with 1 thread and with
+ * N threads must produce bit-identical RunOutput stats and series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hh"
+#include "harness/eval_grid.hh"
+#include "harness/experiment_engine.hh"
+
+namespace cash
+{
+namespace
+{
+
+TEST(ExperimentEngine, MapCollectsInIndexOrder)
+{
+    harness::ExperimentEngine engine(4);
+    std::vector<std::uint64_t> out = engine.map<std::uint64_t>(
+        100, [](std::size_t i) { return Rng(i).next(); });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], Rng(i).next());
+}
+
+TEST(ExperimentEngine, PropagatesFirstExceptionInDeclarationOrder)
+{
+    harness::ExperimentEngine engine(4);
+    std::vector<harness::Cell> cells;
+    for (std::size_t i = 0; i < 16; ++i) {
+        cells.push_back({{"test", "throws", i, 0}, [i] {
+            // Two cells throw; the one declared first must win no
+            // matter which thread reaches it first.
+            if (i == 3)
+                fatal("cell three failed");
+            if (i == 11)
+                fatal("cell eleven failed");
+        }});
+    }
+    try {
+        engine.run(std::move(cells));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "cell three failed");
+    }
+}
+
+TEST(ExperimentEngine, ReportRecordsEveryCell)
+{
+    harness::ExperimentEngine engine(2);
+    EXPECT_EQ(engine.threads(), 2u);
+    engine.map<int>(7, [](std::size_t i) {
+        return static_cast<int>(i);
+    });
+    engine.map<int>(5, [](std::size_t i) {
+        return static_cast<int>(i);
+    });
+    EXPECT_EQ(engine.report().cells.size(), 12u);
+    EXPECT_EQ(engine.report().threads, 2u);
+    for (const harness::CellTiming &t : engine.report().cells)
+        EXPECT_GE(t.millis, 0.0);
+}
+
+TEST(ExperimentEngine, JsonSummaryListsCells)
+{
+    harness::ExperimentEngine engine(1);
+    engine.map<int>(
+        3, [](std::size_t i) { return static_cast<int>(i); },
+        [](std::size_t i) {
+            return harness::CellKey{"subj", "var\"iant", i, 9};
+        });
+    std::string json = engine.jsonSummary("mybench");
+    EXPECT_NE(json.find("\"bench\":\"mybench\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"subject\":\"subj\""), std::string::npos);
+    EXPECT_NE(json.find("var\\\"iant"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
+}
+
+TEST(ExperimentEngine, WritesJsonSummaryNextToCsv)
+{
+    std::string dir = ::testing::TempDir();
+    ASSERT_EQ(setenv("CASH_BENCH_CSV", dir.c_str(), 1), 0);
+    {
+        harness::ExperimentEngine engine(1);
+        engine.map<int>(2, [](std::size_t i) {
+            return static_cast<int>(i);
+        });
+        engine.writeJsonSummary("enginetest");
+    }
+    unsetenv("CASH_BENCH_CSV");
+    std::ifstream file(dir + "/enginetest_engine.json");
+    ASSERT_TRUE(file.is_open());
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"bench\":\"enginetest\""),
+              std::string::npos);
+    EXPECT_NE(content.find("\"cells\":["), std::string::npos);
+}
+
+// ---- Determinism regression (Fig-7-style cells) ----
+
+AppModel
+phasedApp()
+{
+    AppModel a;
+    a.name = "toy";
+    a.seed = 3;
+    PhaseParams fast;
+    fast.name = "compute";
+    fast.ilpMeanDist = 30;
+    fast.memFrac = 0.15;
+    fast.workingSet = 64 * kiB;
+    fast.seqFrac = 0.7;
+    fast.lengthInsts = 400'000;
+    PhaseParams slow;
+    slow.name = "memory";
+    slow.ilpMeanDist = 3;
+    slow.memFrac = 0.45;
+    slow.workingSet = 512 * kiB;
+    slow.seqFrac = 0.1;
+    slow.lengthInsts = 400'000;
+    slow.dataBase = 64 * miB;
+    a.phases = {fast, slow};
+    return a;
+}
+
+std::vector<harness::EvalResult>
+runFig7Cells(std::size_t threads)
+{
+    ConfigSpace space(4, 8); // 4 slices x 4 bank steps = 16
+    CostModel cost;
+    ExperimentParams ep;
+    ep.horizon = 6'000'000;
+    ep.quantum = 500'000;
+    ep.phaseScale = 2.0;
+    AppModel app = harness::prepareApp(phasedApp(), ep);
+
+    ProfileParams pp;
+    pp.warmupInsts = 5'000;
+    pp.measureInsts = 10'000;
+
+    harness::ExperimentEngine engine(threads);
+    std::vector<harness::EvalSpec> specs;
+    for (PolicyKind k : {PolicyKind::Oracle, PolicyKind::ConvexOpt,
+                         PolicyKind::RaceToIdle, PolicyKind::Cash})
+        specs.push_back({"", app, k, &space, ep});
+    return harness::runEvalGrid(engine, specs, cost, pp);
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeResults)
+{
+    std::vector<harness::EvalResult> serial = runFig7Cells(1);
+    std::vector<harness::EvalResult> parallel = runFig7Cells(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const harness::EvalResult &a = serial[i];
+        const harness::EvalResult &b = parallel[i];
+        SCOPED_TRACE(a.label);
+        EXPECT_EQ(a.appName, b.appName);
+        EXPECT_EQ(a.label, b.label);
+        EXPECT_EQ(a.out.policy, b.out.policy);
+
+        // Characterization: bit-identical profiles.
+        ASSERT_EQ(a.profile.phasePerf.size(),
+                  b.profile.phasePerf.size());
+        for (std::size_t ph = 0; ph < a.profile.phasePerf.size();
+             ++ph)
+            EXPECT_EQ(a.profile.phasePerf[ph],
+                      b.profile.phasePerf[ph]);
+        EXPECT_EQ(a.profile.qosTarget, b.profile.qosTarget);
+
+        // Run stats: bit-identical (== on doubles, no tolerance).
+        EXPECT_EQ(a.out.stats.cost, b.out.stats.cost);
+        EXPECT_EQ(a.out.stats.cycles, b.out.stats.cycles);
+        EXPECT_EQ(a.out.stats.busyCycles, b.out.stats.busyCycles);
+        EXPECT_EQ(a.out.stats.samples, b.out.stats.samples);
+        EXPECT_EQ(a.out.stats.violations, b.out.stats.violations);
+        EXPECT_EQ(a.out.stats.qosSum, b.out.stats.qosSum);
+        EXPECT_EQ(a.out.stats.reconfigs, b.out.stats.reconfigs);
+        EXPECT_EQ(a.out.qosTarget, b.out.qosTarget);
+        EXPECT_EQ(a.costRate, b.costRate);
+
+        // Full time series: bit-identical point by point.
+        ASSERT_EQ(a.out.series.size(), b.out.series.size());
+        for (std::size_t p = 0; p < a.out.series.size(); ++p) {
+            EXPECT_EQ(a.out.series[p].cycle, b.out.series[p].cycle);
+            EXPECT_EQ(a.out.series[p].costRate,
+                      b.out.series[p].costRate);
+            EXPECT_EQ(a.out.series[p].qos, b.out.series[p].qos);
+            EXPECT_EQ(a.out.series[p].config,
+                      b.out.series[p].config);
+        }
+    }
+}
+
+} // namespace
+} // namespace cash

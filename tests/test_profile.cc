@@ -101,9 +101,10 @@ TEST(Profile, CheapestMeetingIsCheapestAndFeasible)
         if (prof.meets(ph, pick)) {
             double rate = cost.ratePerHour(space.at(pick));
             for (std::size_t k = 0; k < space.size(); ++k) {
-                if (prof.meets(ph, k))
+                if (prof.meets(ph, k)) {
                     EXPECT_LE(rate,
                               cost.ratePerHour(space.at(k)) + 1e-12);
+                }
             }
         }
     }
