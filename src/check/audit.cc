@@ -1,0 +1,104 @@
+#include "check/audit.hh"
+
+#include <algorithm>
+
+#include "check/invariant.hh"
+
+namespace cash
+{
+
+void
+auditAllocator(const FabricAllocator &alloc)
+{
+    const FabricGrid &grid = alloc.grid();
+    std::vector<bool> slice_owned(grid.numSlices(), false);
+    std::vector<bool> bank_owned(grid.numBanks(), false);
+
+    std::uint32_t owned_slices = 0;
+    std::uint32_t owned_banks = 0;
+    for (VCoreId id : alloc.liveIds()) {
+        const VCoreAllocation *a = alloc.find(id);
+        CASH_AUDIT(a != nullptr, "live vcore %u has no allocation",
+                   id);
+        CASH_AUDIT(!a->slices.empty(), "vcore %u owns no Slices", id);
+        for (SliceId s : a->slices) {
+            CASH_AUDIT(s < grid.numSlices(),
+                       "vcore %u owns out-of-grid slice %u", id, s);
+            CASH_AUDIT(!slice_owned[s],
+                       "slice %u owned by two vcores", s);
+            slice_owned[s] = true;
+            ++owned_slices;
+        }
+        for (BankId b : a->banks) {
+            CASH_AUDIT(b < grid.numBanks(),
+                       "vcore %u owns out-of-grid bank %u", id, b);
+            CASH_AUDIT(!bank_owned[b], "bank %u owned by two vcores",
+                       b);
+            bank_owned[b] = true;
+            ++owned_banks;
+        }
+    }
+
+    CASH_AUDIT(alloc.freeSlices() + owned_slices == grid.numSlices(),
+               "slice conservation broken: %u free + %u owned != %u",
+               alloc.freeSlices(), owned_slices, grid.numSlices());
+    CASH_AUDIT(alloc.freeBanks() + owned_banks == grid.numBanks(),
+               "bank conservation broken: %u free + %u owned != %u",
+               alloc.freeBanks(), owned_banks, grid.numBanks());
+}
+
+void
+auditVCore(const VirtualCore &vc, const SimParams &params)
+{
+    CASH_AUDIT(vc.numSlices() >= 1, "vcore %u has no member Slices",
+               vc.id());
+    CASH_AUDIT(vc.rename().numSlices() == vc.numSlices(),
+               "vcore %u rename tracks %u members, core has %u",
+               vc.id(), vc.rename().numSlices(), vc.numSlices());
+
+    const L2System &l2 = vc.l2();
+    std::uint64_t capacity_lines =
+        l2.totalSize() / params.cache.blockSize;
+    CASH_AUDIT(l2.dirtyLines() <= capacity_lines,
+               "vcore %u L2 reports %llu dirty lines in a %llu-line "
+               "cache", vc.id(),
+               static_cast<unsigned long long>(l2.dirtyLines()),
+               static_cast<unsigned long long>(capacity_lines));
+    CASH_AUDIT(l2.misses() <= l2.accesses(),
+               "vcore %u L2 misses exceed accesses", vc.id());
+
+    VCoreMeta meta = vc.meta();
+    CASH_AUDIT(meta.clock == vc.now(), "vcore %u meta clock skewed",
+               vc.id());
+    // Member counters of removed Slices leave with them, so the
+    // per-member sum is a lower bound of the lifetime aggregate.
+    InstCount member_committed = 0;
+    for (std::uint32_t m = 0; m < vc.numSlices(); ++m)
+        member_committed += vc.counters(m).committedInsts;
+    CASH_AUDIT(member_committed <= meta.totalCommitted,
+               "vcore %u member commits exceed the aggregate",
+               vc.id());
+}
+
+void
+auditSim(const SSim &sim, const std::vector<VCoreId> &live)
+{
+    auditAllocator(sim.allocator());
+    for (VCoreId id : live) {
+        const VirtualCore &vc = sim.vcore(id);
+        auditVCore(vc, sim.params());
+
+        const VCoreAllocation *a = sim.allocator().find(id);
+        CASH_AUDIT(a != nullptr,
+                   "vcore %u live in SSim but unknown to the "
+                   "allocator", id);
+        CASH_AUDIT(a->slices == vc.sliceIds(),
+                   "vcore %u Slice membership diverges from the "
+                   "allocator's grant", id);
+        CASH_AUDIT(a->banks.size() == vc.numBanks(),
+                   "vcore %u holds %zu banks, allocator granted %u",
+                   id, a->banks.size(), vc.numBanks());
+    }
+}
+
+} // namespace cash

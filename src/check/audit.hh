@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cross-layer structural auditors.
+ *
+ * Where CASH_INVARIANT hooks live *inside* a component and check its
+ * own algebra, these auditors stand outside and check that separate
+ * layers agree with each other — the fabric allocator's ownership
+ * bitmap against its live allocations, a virtual core's membership
+ * against what the allocator thinks it granted, the L2's dirty-line
+ * census against its capacity. They are always compiled in (they run
+ * only when explicitly called — from tests and from the fuzz driver
+ * after every operation) and throw InvariantError on violation.
+ */
+
+#ifndef CASH_CHECK_AUDIT_HH
+#define CASH_CHECK_AUDIT_HH
+
+#include <vector>
+
+#include "fabric/allocator.hh"
+#include "sim/ssim.hh"
+
+namespace cash
+{
+
+/**
+ * Allocator conservation: every tile owned by exactly one live
+ * vcore or free, ownership bitmap exactly mirrors the live set, and
+ * free + allocated == grid totals.
+ */
+void auditAllocator(const FabricAllocator &alloc);
+
+/**
+ * Virtual-core internal agreement: rename membership matches the
+ * member-Slice count, the L2 census fits its capacity, aggregate
+ * counters are conservative sums of the member counters.
+ */
+void auditVCore(const VirtualCore &vc, const SimParams &params);
+
+/**
+ * Whole-chip agreement: allocator conservation, plus every live
+ * vcore's Slice/bank membership byte-identical to the allocator's
+ * record of what it granted, plus per-vcore audits.
+ *
+ * @param live the vcore ids the caller believes are live
+ */
+void auditSim(const SSim &sim, const std::vector<VCoreId> &live);
+
+} // namespace cash
+
+#endif // CASH_CHECK_AUDIT_HH

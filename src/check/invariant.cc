@@ -1,0 +1,66 @@
+#include "check/invariant.hh"
+
+#include <cstdarg>
+
+#include "common/log.hh"
+
+namespace cash
+{
+
+namespace
+{
+Fault armedFault = Fault::None;
+} // namespace
+
+void
+invariantFailure(const char *file, int line, const char *expr,
+                 const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    throw InvariantError(strfmt("invariant violated at %s:%d: %s — %s",
+                                file, line, expr, msg.c_str()));
+}
+
+void
+setInjectedFault(Fault f)
+{
+    armedFault = f;
+}
+
+Fault
+injectedFault()
+{
+    return armedFault;
+}
+
+Fault
+faultFromName(const std::string &name)
+{
+    if (name == "none")
+        return Fault::None;
+    if (name == "alloc-leak")
+        return Fault::AllocatorLeakSlice;
+    if (name == "l2-undercount")
+        return Fault::L2FlushUndercount;
+    if (name == "rename-drop")
+        return Fault::RenameDropFlush;
+    fatal("unknown fault '%s' (try alloc-leak, l2-undercount, "
+          "rename-drop)", name.c_str());
+}
+
+const char *
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::None: return "none";
+      case Fault::AllocatorLeakSlice: return "alloc-leak";
+      case Fault::L2FlushUndercount: return "l2-undercount";
+      case Fault::RenameDropFlush: return "rename-drop";
+    }
+    return "?";
+}
+
+} // namespace cash

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Machine-checked invariants for the simulator and runtime.
+ *
+ * The CASH evaluation leans on the structural model staying
+ * conservative across millions of reconfigurations (register
+ * flushes, L2 dirty-line flushes, fabric re-allocation). This header
+ * provides the hooks that let the hot layers state their own
+ * invariants without paying for them in release builds:
+ *
+ *  - CASH_INVARIANT(cond, fmt, ...) — compiled to nothing unless the
+ *    build sets -DCASH_CHECK_INVARIANTS=1 (the CMake option of the
+ *    same name). With checks on, a violated condition throws
+ *    InvariantError carrying file/line/expression/message, so the
+ *    fuzz driver can catch, shrink, and report instead of aborting.
+ *  - CASH_AUDIT(cond, fmt, ...) — always-on variant for the explicit
+ *    cross-layer auditors in check/audit.hh (never on a hot path).
+ *  - Fault injection — named, deliberately wrong code paths
+ *    (mutation tests) that exist only in checking builds; the fuzz
+ *    driver enables one to prove the checker actually catches the
+ *    class of bug it claims to.
+ *
+ * panic() is still the right tool for "this cannot happen" API
+ * misuse; CASH_INVARIANT is for *algebraic* properties (conservation,
+ * monotonicity, bounds) whose evaluation costs something.
+ */
+
+#ifndef CASH_CHECK_INVARIANT_HH
+#define CASH_CHECK_INVARIANT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#ifndef CASH_CHECK_INVARIANTS
+#define CASH_CHECK_INVARIANTS 0
+#endif
+
+namespace cash
+{
+
+/** A stated invariant of the model was violated: a bug in this
+ *  library (or an injected fault proving the checker works). */
+class InvariantError : public std::logic_error
+{
+  public:
+    explicit InvariantError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** True in builds compiled with -DCASH_CHECK_INVARIANTS=1. */
+constexpr bool invariantsEnabled = CASH_CHECK_INVARIANTS != 0;
+
+/** Format and throw InvariantError (never returns). */
+[[noreturn]] void
+invariantFailure(const char *file, int line, const char *expr,
+                 const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Deliberate bugs for mutation-testing the checker. Exactly one may
+ * be armed at a time; every fault point is compiled out unless
+ * CASH_CHECK_INVARIANTS is on, so release binaries contain none of
+ * this machinery's branches.
+ */
+enum class Fault : std::uint8_t
+{
+    None = 0,
+    /** FabricAllocator::release leaks one slice's used mark. */
+    AllocatorLeakSlice,
+    /** L2System::rebuildBanks halves the reported flush cycles. */
+    L2FlushUndercount,
+    /** RenameState::shrink drops the pushed value's survivor copy. */
+    RenameDropFlush,
+};
+
+/** Arm a fault (Fault::None disarms). Affects checking builds only. */
+void setInjectedFault(Fault f);
+
+/** The currently armed fault. */
+Fault injectedFault();
+
+/** Parse a fault name ("none", "alloc-leak", "l2-undercount",
+ *  "rename-drop"); throws FatalError on unknown names. */
+Fault faultFromName(const std::string &name);
+
+/** The CLI name of a fault. */
+const char *faultName(Fault f);
+
+} // namespace cash
+
+/** Always-on structural check, for the explicit auditors. */
+#define CASH_AUDIT(cond, ...)                                         \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::cash::invariantFailure(__FILE__, __LINE__, #cond,       \
+                                     __VA_ARGS__);                    \
+    } while (0)
+
+#if CASH_CHECK_INVARIANTS
+
+/** Compile-time-selectable invariant hook (hot layers). */
+#define CASH_INVARIANT(cond, ...) CASH_AUDIT(cond, __VA_ARGS__)
+
+/** True when the named fault is armed (checking builds only). */
+#define CASH_FAULT_ARMED(f) (::cash::injectedFault() == (f))
+
+#else
+
+#define CASH_INVARIANT(cond, ...) ((void)0)
+#define CASH_FAULT_ARMED(f) false
+
+#endif // CASH_CHECK_INVARIANTS
+
+#endif // CASH_CHECK_INVARIANT_HH

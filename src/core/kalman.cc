@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -37,6 +38,16 @@ KalmanEstimator::update(double q, double s)
     bHat_ = std::max(bHat_, 1e-9);
 
     lastS_ = s;
+
+    // The scalar Riccati recursion must keep the error covariance
+    // positive and finite, or every later gain is garbage.
+    CASH_INVARIANT(errVar_ > 0.0 && std::isfinite(errVar_),
+                   "Kalman covariance left the positive reals "
+                   "(%g)", errVar_);
+    CASH_INVARIANT(std::isfinite(bHat_) && bHat_ > 0.0,
+                   "Kalman estimate diverged (%g)", bHat_);
+    CASH_INVARIANT(std::isfinite(gain_),
+                   "Kalman gain diverged (%g)", gain_);
     return bHat_;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -16,6 +17,31 @@ TwoConfigOptimizer::TwoConfigOptimizer(const ConfigSpace &space,
 
 QuantumSchedule
 TwoConfigOptimizer::solve(
+    double s, Cycle tau,
+    const std::function<double(std::size_t)> &speedup_of) const
+{
+    QuantumSchedule sched = solveImpl(s, tau, speedup_of);
+    // LP feasibility: the mix covers the quantum exactly, both
+    // selected configurations exist, and the promised speedup is a
+    // real number — the properties Eqn 6 is allowed to assume.
+    CASH_INVARIANT(sched.tOver + sched.tUnder + sched.tIdle == tau,
+                   "schedule times sum to %llu, quantum is %llu",
+                   static_cast<unsigned long long>(
+                       sched.tOver + sched.tUnder + sched.tIdle),
+                   static_cast<unsigned long long>(tau));
+    CASH_INVARIANT(sched.over < space_.size()
+                       && sched.under < space_.size(),
+                   "schedule picked configurations outside the "
+                   "%zu-point space", space_.size());
+    CASH_INVARIANT(std::isfinite(sched.expectedSpeedup)
+                       && sched.expectedSpeedup >= 0.0,
+                   "schedule promises speedup %g",
+                   sched.expectedSpeedup);
+    return sched;
+}
+
+QuantumSchedule
+TwoConfigOptimizer::solveImpl(
     double s, Cycle tau,
     const std::function<double(std::size_t)> &speedup_of) const
 {

@@ -79,6 +79,14 @@ class TwoConfigOptimizer
     double scheduleRate(const QuantumSchedule &sched) const;
 
   private:
+    /** The unchecked LP selection; solve() wraps it with the
+     *  feasibility invariants (slot times sum to tau, indices in
+     *  range) when CASH_CHECK_INVARIANTS is on. */
+    QuantumSchedule
+    solveImpl(double s, Cycle tau,
+              const std::function<double(std::size_t)> &speedup_of)
+        const;
+
     const ConfigSpace &space_;
     const CostModel &cost_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -229,6 +230,23 @@ CashRuntime::step()
                                                  : sched.tOver;
         donor = donor >= t_explore ? donor - t_explore : 0;
     }
+
+    // After slot merging and exploration carving the plan must
+    // still fit the quantum (the carve may briefly overshoot by at
+    // most the exploration slot when both donors run dry), and the
+    // learned table feeding it must have stayed numeric.
+    CASH_INVARIANT(sched.tOver + sched.tUnder + sched.tIdle
+                           + t_explore
+                       <= params_.quantum + t_explore,
+                   "quantum plan exceeds tau by more than the "
+                   "exploration slot");
+    CASH_INVARIANT(std::isfinite(learner_.qhat(sched.over))
+                       && learner_.qhat(sched.over) >= 0.0
+                       && std::isfinite(learner_.qhat(sched.under))
+                       && learner_.qhat(sched.under) >= 0.0,
+                   "learned QoS table left the non-negative reals");
+    CASH_INVARIANT(std::isfinite(q_demand) && q_demand >= 0.0,
+                   "controller demand diverged (%g)", q_demand);
 
     // --- Execute Algorithm 1's schedule. QoS is assessed at
     // quantum granularity: the schedule's *average* must meet the

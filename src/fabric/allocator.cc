@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -146,6 +147,42 @@ FabricAllocator::markBanks(const std::vector<BankId> &ids, bool used)
         bankUsed_[b] = used;
 }
 
+void
+FabricAllocator::checkConsistency() const
+{
+    std::vector<bool> slice_owned(grid_.numSlices(), false);
+    std::vector<bool> bank_owned(grid_.numBanks(), false);
+    for (const auto &[id, a] : live_) {
+        CASH_INVARIANT(!a.slices.empty(), "vcore %u owns no Slices",
+                       id);
+        for (SliceId s : a.slices) {
+            CASH_INVARIANT(s < grid_.numSlices(),
+                           "vcore %u owns out-of-grid slice %u", id,
+                           s);
+            CASH_INVARIANT(!slice_owned[s],
+                           "slice %u owned by two vcores", s);
+            slice_owned[s] = true;
+        }
+        for (BankId b : a.banks) {
+            CASH_INVARIANT(b < grid_.numBanks(),
+                           "vcore %u owns out-of-grid bank %u", id,
+                           b);
+            CASH_INVARIANT(!bank_owned[b],
+                           "bank %u owned by two vcores", b);
+            bank_owned[b] = true;
+        }
+    }
+    // Bitmap == ownership implies free + allocated == grid totals.
+    for (SliceId s = 0; s < grid_.numSlices(); ++s)
+        CASH_INVARIANT(sliceUsed_[s] == slice_owned[s],
+                       "slice %u mark (%d) disagrees with ownership",
+                       s, int(sliceUsed_[s]));
+    for (BankId b = 0; b < grid_.numBanks(); ++b)
+        CASH_INVARIANT(bankUsed_[b] == bank_owned[b],
+                       "bank %u mark (%d) disagrees with ownership",
+                       b, int(bankUsed_[b]));
+}
+
 std::optional<VCoreAllocation>
 FabricAllocator::allocate(std::uint32_t num_slices,
                           std::uint32_t num_banks)
@@ -166,6 +203,9 @@ FabricAllocator::allocate(std::uint32_t num_slices,
     markSlices(alloc.slices, true);
     markBanks(alloc.banks, true);
     live_[alloc.id] = alloc;
+#if CASH_CHECK_INVARIANTS
+    checkConsistency();
+#endif
     return alloc;
 }
 
@@ -175,7 +215,7 @@ FabricAllocator::resize(VCoreId id, std::uint32_t num_slices,
 {
     auto it = live_.find(id);
     if (it == live_.end())
-        panic("resize of unknown vcore %u", id);
+        fatal("resize of unknown vcore %u", id);
     if (num_slices == 0)
         fatal("a virtual core needs at least one Slice");
 
@@ -207,6 +247,9 @@ FabricAllocator::resize(VCoreId id, std::uint32_t num_slices,
         // Roll back: re-mark the original tiles.
         markSlices(cur.slices, true);
         markBanks(cur.banks, true);
+#if CASH_CHECK_INVARIANTS
+        checkConsistency();
+#endif
         return std::nullopt;
     }
 
@@ -214,6 +257,9 @@ FabricAllocator::resize(VCoreId id, std::uint32_t num_slices,
     cur.banks = std::move(banks);
     markSlices(cur.slices, true);
     markBanks(cur.banks, true);
+#if CASH_CHECK_INVARIANTS
+    checkConsistency();
+#endif
     return cur;
 }
 
@@ -222,19 +268,47 @@ FabricAllocator::release(VCoreId id)
 {
     auto it = live_.find(id);
     if (it == live_.end())
-        panic("release of unknown vcore %u", id);
+        fatal("release of unknown vcore %u", id);
     markSlices(it->second.slices, false);
     markBanks(it->second.banks, false);
+#if CASH_CHECK_INVARIANTS
+    // Mutation test: leak one slice's used mark so the conservation
+    // checker has a deliberate bug to catch (see check/invariant.hh).
+    if (CASH_FAULT_ARMED(Fault::AllocatorLeakSlice)
+        && !it->second.slices.empty()) {
+        sliceUsed_[it->second.slices.front()] = true;
+    }
+#endif
     live_.erase(it);
+#if CASH_CHECK_INVARIANTS
+    checkConsistency();
+#endif
+}
+
+const VCoreAllocation *
+FabricAllocator::find(VCoreId id) const
+{
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : &it->second;
 }
 
 const VCoreAllocation &
 FabricAllocator::allocation(VCoreId id) const
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
-        panic("allocation query for unknown vcore %u", id);
-    return it->second;
+    const VCoreAllocation *a = find(id);
+    if (!a)
+        fatal("allocation query for unknown vcore %u", id);
+    return *a;
+}
+
+std::vector<VCoreId>
+FabricAllocator::liveIds() const
+{
+    std::vector<VCoreId> ids;
+    ids.reserve(live_.size());
+    for (const auto &[id, a] : live_)
+        ids.push_back(id);
+    return ids;
 }
 
 std::vector<VCoreId>
@@ -275,6 +349,9 @@ FabricAllocator::compact()
         if (cur.slices != old_slices || cur.banks != old_banks)
             moved.push_back(id);
     }
+#if CASH_CHECK_INVARIANTS
+    checkConsistency();
+#endif
     return moved;
 }
 

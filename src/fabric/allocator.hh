@@ -71,11 +71,20 @@ class FabricAllocator
     std::optional<VCoreAllocation>
     resize(VCoreId id, std::uint32_t num_slices, std::uint32_t num_banks);
 
-    /** Release all resources of a virtual core; panics on bad id. */
+    /** Release all resources of a virtual core; throws FatalError
+     *  on unknown ids. */
     void release(VCoreId id);
 
-    /** Current allocation of a live virtual core; panics on bad id. */
+    /** Current allocation of a live virtual core, or nullptr for an
+     *  id that is not live (the checked lookup path). */
+    const VCoreAllocation *find(VCoreId id) const;
+
+    /** Current allocation of a live virtual core; throws FatalError
+     *  on unknown ids (use find() to probe). */
     const VCoreAllocation &allocation(VCoreId id) const;
+
+    /** Ids of all live virtual cores, ascending. */
+    std::vector<VCoreId> liveIds() const;
 
     /**
      * Reschedule all live virtual cores to minimize their footprint
@@ -103,6 +112,10 @@ class FabricAllocator
 
     void markSlices(const std::vector<SliceId> &ids, bool used);
     void markBanks(const std::vector<BankId> &ids, bool used);
+
+    /** Invariant hook: ownership bitmap exactly mirrors the live
+     *  set (no double-ownership, no leaked marks). */
+    void checkConsistency() const;
 
     const FabricGrid &grid_;
     std::vector<bool> sliceUsed_;

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -86,6 +87,15 @@ SetAssocCache::access(Addr addr, bool write)
     line.valid = true;
     line.dirty = write;
     line.lastUse = useClock_;
+    CASH_INVARIANT(misses_ <= accesses_,
+                   "cache misses (%llu) exceed accesses (%llu)",
+                   static_cast<unsigned long long>(misses_),
+                   static_cast<unsigned long long>(accesses_));
+    CASH_INVARIANT(writebacks_ <= misses_,
+                   "writebacks (%llu) exceed misses (%llu): a "
+                   "writeback needs an eviction",
+                   static_cast<unsigned long long>(writebacks_),
+                   static_cast<unsigned long long>(misses_));
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <unordered_map>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -94,6 +95,13 @@ void
 L2System::rebuildBanks(const std::vector<BankId> &new_banks,
                        L2ReconfigCost &cost)
 {
+#if CASH_CHECK_INVARIANTS
+    // Every dirty line must either survive in a kept bank or be
+    // counted as flushed — snapshot the census to prove it below.
+    const std::uint64_t dirty_before = dirtyLines();
+    const std::uint64_t flushed_before = cost.dirtyLinesFlushed;
+    const Cycle cycles_before = cost.flushCycles;
+#endif
     // Map new bank id -> new index; detect duplicates.
     std::unordered_map<BankId, std::uint32_t> new_index;
     for (std::uint32_t i = 0; i < new_banks.size(); ++i) {
@@ -218,6 +226,46 @@ L2System::rebuildBanks(const std::vector<BankId> &new_banks,
 
     cost.flushCycles += cost.dirtyLinesFlushed * params_.blockSize
         / params_.flushNetBytes;
+
+#if CASH_CHECK_INVARIANTS
+    // Mutation test: misreport the flush bill so the dirty-byte
+    // accounting invariant has a deliberate bug to catch.
+    if (CASH_FAULT_ARMED(Fault::L2FlushUndercount))
+        cost.flushCycles = cycles_before
+            + (cost.flushCycles - cycles_before) / 2;
+
+    CASH_INVARIANT(arrays_.size() == banks_.size(),
+                   "bank/array lists diverged (%zu vs %zu)",
+                   banks_.size(), arrays_.size());
+    for (std::size_t i = 0; i < arrays_.size(); ++i) {
+        CASH_INVARIANT(arrays_[i] != nullptr,
+                       "bank %u has no cache array", banks_[i]);
+        std::uint64_t lines = params_.l2BankSize / params_.blockSize;
+        CASH_INVARIANT(arrays_[i]->validLines() <= lines,
+                       "bank %u census exceeds capacity", banks_[i]);
+    }
+    CASH_INVARIANT(hashTable_.size() == params_.bankHashEntries,
+                   "hash table resized to %zu entries",
+                   hashTable_.size());
+    if (!banks_.empty()) {
+        for (std::uint32_t e = 0; e < hashTable_.size(); ++e)
+            CASH_INVARIANT(hashTable_[e] < banks_.size(),
+                           "hash entry %u points past the bank list",
+                           e);
+    }
+    const std::uint64_t flushed_now =
+        cost.dirtyLinesFlushed - flushed_before;
+    CASH_INVARIANT(dirty_before == dirtyLines() + flushed_now,
+                   "dirty lines not conserved: %llu before, %llu "
+                   "after + %llu flushed",
+                   static_cast<unsigned long long>(dirty_before),
+                   static_cast<unsigned long long>(dirtyLines()),
+                   static_cast<unsigned long long>(flushed_now));
+    CASH_INVARIANT(cost.flushCycles - cycles_before
+                       == flushed_now * params_.blockSize
+                              / params_.flushNetBytes,
+                   "flush cycles disagree with flushed dirty bytes");
+#endif
 }
 
 L2ReconfigCost

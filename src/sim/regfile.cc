@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -84,6 +85,11 @@ RenameState::shrink(std::uint32_t new_count)
     std::uint64_t survivor_mask = (new_count == 64)
         ? ~std::uint64_t(0) : ((1ull << new_count) - 1);
 
+#if CASH_CHECK_INVARIANTS
+    // A shrink moves values; it must never create or destroy them.
+    const std::uint32_t live_before = liveGlobals();
+#endif
+
     std::uint32_t flushed = 0;
     for (GlobalReg &reg : globals_) {
         if (!reg.live)
@@ -101,12 +107,28 @@ RenameState::shrink(std::uint32_t new_count)
                       std::countr_zero(surviving_copies))
                 : 0;
             reg.copies = surviving_copies | (1ull << reg.primary);
+#if CASH_CHECK_INVARIANTS
+            // Mutation test: lose the pushed value's survivor copy,
+            // the exact bug the conservation checker exists for.
+            if (CASH_FAULT_ARMED(Fault::RenameDropFlush))
+                reg.copies = surviving_copies;
+#endif
         } else {
             reg.copies &= survivor_mask;
             reg.copies |= 1ull << reg.primary;
         }
     }
     numSlices_ = new_count;
+
+#if CASH_CHECK_INVARIANTS
+    CASH_INVARIANT(liveGlobals() == live_before,
+                   "shrink changed the live-register census "
+                   "(%u -> %u)", live_before, liveGlobals());
+    CASH_INVARIANT(flushed <= live_before,
+                   "flushed %u registers but only %u were live",
+                   flushed, live_before);
+    checkConsistency();
+#endif
     return flushed;
 }
 
@@ -119,6 +141,55 @@ RenameState::expand(std::uint32_t new_count)
     if (new_count > 64)
         fatal("RenameState copy mask supports at most 64 Slices");
     numSlices_ = new_count;
+#if CASH_CHECK_INVARIANTS
+    checkConsistency();
+#endif
+}
+
+void
+RenameState::checkConsistency() const
+{
+#if CASH_CHECK_INVARIANTS
+    std::uint64_t member_mask = (numSlices_ == 64)
+        ? ~std::uint64_t(0) : ((1ull << numSlices_) - 1);
+
+    std::uint32_t live = 0;
+    for (std::size_t g = 0; g < globals_.size(); ++g) {
+        const GlobalReg &reg = globals_[g];
+        if (!reg.live)
+            continue;
+        ++live;
+        CASH_INVARIANT(reg.primary < numSlices_,
+                       "global %zu primary %u outside the %u members",
+                       g, reg.primary, numSlices_);
+        CASH_INVARIANT((reg.copies & ~member_mask) == 0,
+                       "global %zu holds copies on removed members",
+                       g);
+        CASH_INVARIANT((reg.copies >> reg.primary) & 1,
+                       "global %zu primary member %u holds no copy",
+                       g, reg.primary);
+    }
+
+    CASH_INVARIANT(live + freeList_.size() == globals_.size(),
+                   "register conservation broken: %u live + %zu "
+                   "free != %zu total",
+                   live, freeList_.size(), globals_.size());
+
+    // Each arch register binds a distinct, live global.
+    std::vector<bool> bound(globals_.size(), false);
+    for (std::size_t a = 0; a < archBinding_.size(); ++a) {
+        std::uint32_t g = archBinding_[a];
+        if (g == ~std::uint32_t(0))
+            continue;
+        CASH_INVARIANT(g < globals_.size(),
+                       "arch %zu bound past the global file", a);
+        CASH_INVARIANT(globals_[g].live,
+                       "arch %zu bound to dead global %u", a, g);
+        CASH_INVARIANT(!bound[g],
+                       "global %u bound to two arch registers", g);
+        bound[g] = true;
+    }
+#endif
 }
 
 std::uint32_t

@@ -93,6 +93,11 @@ class RenameState
     std::uint64_t crossSliceReads() const { return crossSliceReads_; }
 
   private:
+    /** Invariant hook: register conservation and copy-set sanity
+     *  (free + live == physRegs, primaries hold copies, copy masks
+     *  confined to members, bindings point at live globals). */
+    void checkConsistency() const;
+
     struct GlobalReg
     {
         bool live = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
 #include "common/log.hh"
 
 namespace cash
@@ -198,6 +199,9 @@ Cycle
 VirtualCore::processInst(const MicroOp &op)
 {
     const SliceParams &sp = params_.slice;
+#if CASH_CHECK_INVARIANTS
+    const Cycle clock_before = clock_;
+#endif
 
     // ------ Source lookup first (steering needs the producers).
     const HistEnt *producers[2] = {nullptr, nullptr};
@@ -338,6 +342,29 @@ VirtualCore::processInst(const MicroOp &op)
     lastCommit_ = commit;
     clock_ = commit;
 
+    // Structural-floor ordering: an instruction moves strictly
+    // forward through fetch -> dispatch -> issue -> completion ->
+    // commit, and the vcore clock never runs backward.
+    CASH_INVARIANT(d >= f, "dispatch at %llu before fetch at %llu",
+                   static_cast<unsigned long long>(d),
+                   static_cast<unsigned long long>(f));
+    CASH_INVARIANT(issue > d,
+                   "issue at %llu not after dispatch at %llu",
+                   static_cast<unsigned long long>(issue),
+                   static_cast<unsigned long long>(d));
+    CASH_INVARIANT(complete >= issue,
+                   "completion at %llu before issue at %llu",
+                   static_cast<unsigned long long>(complete),
+                   static_cast<unsigned long long>(issue));
+    CASH_INVARIANT(commit > complete,
+                   "commit at %llu not after completion at %llu",
+                   static_cast<unsigned long long>(commit),
+                   static_cast<unsigned long long>(complete));
+    CASH_INVARIANT(clock_ >= clock_before,
+                   "vcore clock ran backward (%llu -> %llu)",
+                   static_cast<unsigned long long>(clock_before),
+                   static_cast<unsigned long long>(clock_));
+
     // Store drains after commit: run the cache access now, charge
     // occupancy until the drain completes.
     if (op.op == OpClass::Store) {
@@ -409,6 +436,10 @@ VirtualCore::advanceFloors(Cycle when)
     commitSlotCycle_ = std::max(commitSlotCycle_, when);
     commitSlotUsed_ = 0;
     clock_ = std::max(clock_, when);
+    CASH_INVARIANT(clock_ >= when && lastCommit_ >= when
+                       && nextFetch_ >= when,
+                   "structural floors below the advance target "
+                   "%llu", static_cast<unsigned long long>(when));
 }
 
 RunResult
@@ -524,9 +555,35 @@ VirtualCore::reconfigure(std::vector<SliceId> new_slices,
     cost.l2DirtyFlushed = l2cost.dirtyLinesFlushed;
     cost.l2FlushCycles = l2cost.flushCycles;
 
+#if CASH_CHECK_INVARIANTS
+    CASH_INVARIANT(rename_.numSlices() == slices_.size(),
+                   "rename tracks %u members, core has %zu",
+                   rename_.numSlices(), slices_.size());
+    CASH_INVARIANT(l2_.numBanks() == new_banks.size(),
+                   "L2 holds %u banks after a reconfigure to %zu",
+                   l2_.numBanks(), new_banks.size());
+    if (new_count < old_count) {
+        // The paper's bound: at most all global registers move, at
+        // regFlushPerCycle per cycle.
+        std::uint32_t per_cycle = params_.net.regFlushPerCycle;
+        CASH_INVARIANT(cost.regsFlushed <= params_.slice.physRegs,
+                       "flushed %u registers from a %u-register "
+                       "file", cost.regsFlushed,
+                       params_.slice.physRegs);
+        CASH_INVARIANT(cost.regFlushCycles
+                           <= (params_.slice.physRegs + per_cycle
+                               - 1) / per_cycle,
+                       "register flush exceeded the paper bound");
+    }
+    const Cycle clock_pre = clock_;
+#endif
+
     Cycle stall = cost.totalStall();
     reconfigStall_ += stall;
     advanceFloors(clock_ + stall);
+
+    CASH_INVARIANT(clock_ == clock_pre + stall,
+                   "reconfiguration stall not charged to the clock");
     return cost;
 }
 

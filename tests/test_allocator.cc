@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "fabric/allocator.hh"
@@ -89,10 +91,45 @@ TEST(Allocator, ReleaseRecycles)
     EXPECT_EQ(alloc.liveVCores(), 0u);
 }
 
-TEST(AllocatorDeath, ReleaseUnknownPanics)
+TEST(Allocator, UnknownIdsAreCheckedErrors)
+{
+    // Unknown vcore ids are caller mistakes, not internal bugs:
+    // every lookup path reports them as catchable FatalErrors
+    // rather than aborting the process.
+    FabricAllocator alloc(grid());
+    EXPECT_THROW(alloc.release(1234), FatalError);
+    EXPECT_THROW(alloc.resize(1234, 2, 2), FatalError);
+    EXPECT_THROW(alloc.allocation(1234), FatalError);
+}
+
+TEST(Allocator, FindReturnsNullForUnknown)
 {
     FabricAllocator alloc(grid());
-    EXPECT_DEATH(alloc.release(1234), "unknown vcore");
+    EXPECT_EQ(alloc.find(1234), nullptr);
+    auto a = alloc.allocate(2, 2);
+    ASSERT_TRUE(a.has_value());
+    const VCoreAllocation *found = alloc.find(a->id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id, a->id);
+    EXPECT_EQ(found->slices, a->slices);
+    alloc.release(a->id);
+    EXPECT_EQ(alloc.find(a->id), nullptr);
+}
+
+TEST(Allocator, LiveIdsTracksAllocations)
+{
+    FabricAllocator alloc(grid());
+    EXPECT_TRUE(alloc.liveIds().empty());
+    auto a = alloc.allocate(1, 0);
+    auto b = alloc.allocate(1, 0);
+    ASSERT_TRUE(a && b);
+    auto ids = alloc.liveIds();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    alloc.release(a->id);
+    ids = alloc.liveIds();
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], b->id);
 }
 
 TEST(Allocator, PlacementIsCompact)
@@ -243,6 +280,49 @@ TEST_P(AllocatorFuzzTest, NoOverlapEver)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzzTest,
                          ::testing::Values(1, 2, 3, 4));
+
+/**
+ * Long random allocate/resize/release round trip: after 10k ops and
+ * a full teardown the allocator must hand back the entire grid, with
+ * the structural audit holding at every sampled step along the way.
+ */
+TEST(Allocator, RandomRoundTripReturnsWholeGrid)
+{
+    Rng r(0xCA54);
+    FabricAllocator alloc(grid());
+    std::vector<VCoreId> live;
+    for (int step = 0; step < 10'000; ++step) {
+        int op = static_cast<int>(r.nextBounded(4));
+        if (op == 0 || live.empty()) {
+            auto s = 1 + static_cast<std::uint32_t>(r.nextBounded(8));
+            auto b = static_cast<std::uint32_t>(r.nextBounded(17));
+            if (auto a = alloc.allocate(s, b))
+                live.push_back(a->id);
+        } else if (op == 1) {
+            std::size_t i = r.nextBounded(live.size());
+            alloc.release(live[i]);
+            live.erase(live.begin() + static_cast<long>(i));
+        } else if (op == 2) {
+            std::size_t i = r.nextBounded(live.size());
+            auto s = 1 + static_cast<std::uint32_t>(r.nextBounded(8));
+            auto b = static_cast<std::uint32_t>(r.nextBounded(17));
+            alloc.resize(live[i], s, b);
+        } else {
+            alloc.compact();
+        }
+        if (step % 256 == 0) {
+            auditAllocator(alloc);
+            checkNoOverlap(alloc, live);
+        }
+    }
+    for (VCoreId id : live)
+        alloc.release(id);
+    EXPECT_EQ(alloc.freeSlices(), grid().numSlices());
+    EXPECT_EQ(alloc.freeBanks(), grid().numBanks());
+    EXPECT_EQ(alloc.liveVCores(), 0u);
+    EXPECT_TRUE(alloc.liveIds().empty());
+    auditAllocator(alloc);
+}
 
 } // namespace
 } // namespace cash

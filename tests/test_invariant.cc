@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the invariant-checking subsystem itself: the macro and
+ * error machinery, the always-on cross-layer auditors, and — in
+ * CASH_CHECK_INVARIANTS builds — the mutation test that each
+ * deliberately injected conservation bug is actually caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/audit.hh"
+#include "check/invariant.hh"
+#include "common/log.hh"
+#include "sim/ssim.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+/** Re-arm Fault::None even when a test fails mid-way. */
+struct FaultGuard
+{
+    explicit FaultGuard(Fault f) { setInjectedFault(f); }
+    ~FaultGuard() { setInjectedFault(Fault::None); }
+};
+
+TEST(Invariant, AuditThrowsWithContext)
+{
+    try {
+        CASH_AUDIT(1 + 1 == 3, "math broke: %d", 42);
+        FAIL() << "CASH_AUDIT(false) must throw";
+    } catch (const InvariantError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("1 + 1 == 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("math broke: 42"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("test_invariant.cc"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(Invariant, AuditPassesSilently)
+{
+    EXPECT_NO_THROW(CASH_AUDIT(2 + 2 == 4, "unused"));
+}
+
+TEST(Invariant, MacroCompiledOutWhenDisabled)
+{
+    // CASH_INVARIANT must be free when the option is off — in
+    // particular its arguments must not be evaluated.
+    int evals = 0;
+    auto touch = [&evals]() {
+        ++evals;
+        return true;
+    };
+    (void)touch; // referenced only when the macro is live
+    CASH_INVARIANT(touch(), "eval counter %d", evals);
+    if (invariantsEnabled)
+        EXPECT_EQ(evals, 1);
+    else
+        EXPECT_EQ(evals, 0);
+}
+
+TEST(Invariant, FaultNamesRoundTrip)
+{
+    for (Fault f : {Fault::None, Fault::AllocatorLeakSlice,
+                    Fault::L2FlushUndercount,
+                    Fault::RenameDropFlush})
+        EXPECT_EQ(faultFromName(faultName(f)), f);
+    EXPECT_THROW(faultFromName("no-such-fault"), FatalError);
+}
+
+TEST(Invariant, InjectedFaultIsSticky)
+{
+    FaultGuard guard(Fault::AllocatorLeakSlice);
+    EXPECT_EQ(injectedFault(), Fault::AllocatorLeakSlice);
+    setInjectedFault(Fault::None);
+    EXPECT_EQ(injectedFault(), Fault::None);
+}
+
+PhaseParams
+dirtyPhase()
+{
+    PhaseParams p;
+    p.name = "dirty";
+    p.memFrac = 0.45;
+    p.storeFrac = 0.6;
+    p.workingSet = 256 * kiB;
+    p.lengthInsts = 50'000;
+    return p;
+}
+
+TEST(Audit, HealthyAllocatorPasses)
+{
+    FabricGrid grid;
+    FabricAllocator alloc(grid);
+    auto a = alloc.allocate(4, 8);
+    auto b = alloc.allocate(2, 4);
+    ASSERT_TRUE(a && b);
+    EXPECT_NO_THROW(auditAllocator(alloc));
+    alloc.resize(a->id, 6, 2);
+    alloc.release(b->id);
+    alloc.compact();
+    EXPECT_NO_THROW(auditAllocator(alloc));
+}
+
+TEST(Audit, HealthySimPasses)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 4);
+    PhasedTraceSource src({dirtyPhase()}, 17, true);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(100'000);
+    sim.command(id, 3, 2);
+    sim.vcore(id).runUntil(sim.vcore(id).now() + 50'000);
+    EXPECT_NO_THROW(auditSim(sim, {id}));
+}
+
+// ---------------------------------------------------------------
+// Mutation tests: arm each deliberate bug and require the checker
+// to catch it. The fault points only exist in CASH_CHECK_INVARIANTS
+// builds, so plain builds skip.
+// ---------------------------------------------------------------
+
+TEST(Mutation, AllocatorLeakIsCaught)
+{
+    if (!invariantsEnabled)
+        GTEST_SKIP() << "needs -DCASH_CHECK_INVARIANTS=ON";
+    FabricGrid grid;
+    FabricAllocator alloc(grid);
+    auto a = alloc.allocate(4, 4);
+    ASSERT_TRUE(a.has_value());
+    FaultGuard guard(Fault::AllocatorLeakSlice);
+    EXPECT_THROW(alloc.release(a->id), InvariantError);
+}
+
+TEST(Mutation, L2FlushUndercountIsCaught)
+{
+    if (!invariantsEnabled)
+        GTEST_SKIP() << "needs -DCASH_CHECK_INVARIANTS=ON";
+    SSim sim;
+    auto id = *sim.createVCore(2, 8);
+    PhasedTraceSource src({dirtyPhase()}, 23, true);
+    sim.vcore(id).bindSource(&src);
+    // Run long enough that a bank shrink has dirty lines to flush;
+    // the armed fault halves the reported flush bill, which the
+    // dirty-byte accounting invariant must notice.
+    sim.vcore(id).runUntil(400'000);
+    FaultGuard guard(Fault::L2FlushUndercount);
+    EXPECT_THROW(sim.command(id, 2, 1), InvariantError);
+}
+
+TEST(Mutation, RenameDropFlushIsCaught)
+{
+    if (!invariantsEnabled)
+        GTEST_SKIP() << "needs -DCASH_CHECK_INVARIANTS=ON";
+    SSim sim;
+    auto id = *sim.createVCore(4, 2);
+    PhasedTraceSource src({dirtyPhase()}, 29, true);
+    sim.vcore(id).bindSource(&src);
+    sim.vcore(id).runUntil(100'000);
+    FaultGuard guard(Fault::RenameDropFlush);
+    EXPECT_THROW(sim.command(id, 1, 2), InvariantError);
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Deterministic reconfiguration fuzzer.
+ *
+ * Replays seed-derived sequences of multi-tenant fabric operations —
+ * allocate / resize / release / compact at the allocator layer, and
+ * create / EXPAND-SHRINK / trace-execution / destroy at the chip
+ * layer — and audits the structural invariants (check/audit.hh)
+ * after every single operation. Builds compiled with
+ * -DCASH_CHECK_INVARIANTS=ON additionally run every CASH_INVARIANT
+ * hook inside the hot layers.
+ *
+ * Every sequence is a pure function of its seed, and every op list
+ * is replayable as a subsequence (ops whose target slot is in the
+ * wrong state are skipped), so a failing seed is shrunk to a minimal
+ * op-list reproducer by iterated single-op deletion.
+ *
+ *   fuzz_reconfig --seeds 1000              # fuzz seeds 0..999
+ *   fuzz_reconfig --seed 1234 --verbose     # replay one seed
+ *   fuzz_reconfig --seeds 64 --inject alloc-leak   # mutation test:
+ *       the named deliberate bug must be caught and shrunk
+ *       (requires a CASH_CHECK_INVARIANTS build)
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/audit.hh"
+#include "check/invariant.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sim/ssim.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+constexpr std::size_t kSlots = 4;
+
+enum class OpKind : std::uint8_t
+{
+    // Allocator-layer ops.
+    Alloc,
+    Resize,
+    Release,
+    Compact,
+    // Chip-layer ops.
+    Create,
+    Command,
+    Run,
+    Sample,
+    Destroy,
+};
+
+struct Op
+{
+    OpKind kind;
+    std::uint32_t slot = 0;
+    std::uint32_t a = 0; ///< slices, or run cycles (x1000)
+    std::uint32_t b = 0; ///< banks
+
+    std::string
+    str() const
+    {
+        switch (kind) {
+          case OpKind::Alloc:
+            return strfmt("alloc   slot=%u slices=%u banks=%u", slot,
+                          a, b);
+          case OpKind::Resize:
+            return strfmt("resize  slot=%u slices=%u banks=%u", slot,
+                          a, b);
+          case OpKind::Release:
+            return strfmt("release slot=%u", slot);
+          case OpKind::Compact:
+            return "compact";
+          case OpKind::Create:
+            return strfmt("create  slot=%u slices=%u banks=%u", slot,
+                          a, b);
+          case OpKind::Command:
+            return strfmt("command slot=%u slices=%u banks=%u", slot,
+                          a, b);
+          case OpKind::Run:
+            return strfmt("run     slot=%u kcycles=%u", slot, a);
+          case OpKind::Sample:
+            return strfmt("sample  slot=%u", slot);
+          case OpKind::Destroy:
+            return strfmt("destroy slot=%u", slot);
+        }
+        return "?";
+    }
+};
+
+/** The failure a replay ended in. */
+struct Failure
+{
+    std::size_t opIndex = 0;
+    std::string message;
+};
+
+// ---------------------------------------------------------------
+// Sequence generation: a pure function of (seed, mode, op count).
+// ---------------------------------------------------------------
+
+std::vector<Op>
+genAllocOps(std::uint64_t seed, std::uint32_t count)
+{
+    Rng rng(seed * 2 + 0);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Op op;
+        std::uint64_t pick = rng.nextBounded(10);
+        if (pick < 4)
+            op.kind = OpKind::Alloc;
+        else if (pick < 7)
+            op.kind = OpKind::Resize;
+        else if (pick < 9)
+            op.kind = OpKind::Release;
+        else
+            op.kind = OpKind::Compact;
+        op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
+        op.a = 1 + static_cast<std::uint32_t>(rng.nextBounded(8));
+        op.b = static_cast<std::uint32_t>(rng.nextBounded(17));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::vector<Op>
+genSimOps(std::uint64_t seed, std::uint32_t count)
+{
+    Rng rng(seed * 2 + 1);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Op op;
+        std::uint64_t pick = rng.nextBounded(12);
+        if (pick < 3)
+            op.kind = OpKind::Create;
+        else if (pick < 6)
+            op.kind = OpKind::Command;
+        else if (pick < 9)
+            op.kind = OpKind::Run;
+        else if (pick < 10)
+            op.kind = OpKind::Sample;
+        else
+            op.kind = OpKind::Destroy;
+        op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
+        op.a = 1 + static_cast<std::uint32_t>(rng.nextBounded(8));
+        op.b = static_cast<std::uint32_t>(rng.nextBounded(17));
+        if (op.kind == OpKind::Run)
+            op.a = 2 + static_cast<std::uint32_t>(rng.nextBounded(16));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+// ---------------------------------------------------------------
+// Replay. Ops whose slot is in the wrong state are no-ops, so any
+// subsequence of a valid sequence is itself valid — the property
+// the shrinker depends on.
+// ---------------------------------------------------------------
+
+std::optional<Failure>
+replayAlloc(const std::vector<Op> &ops)
+{
+    FabricGrid grid;
+    FabricAllocator alloc(grid);
+    std::vector<std::optional<VCoreId>> slots(kSlots);
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        try {
+            switch (op.kind) {
+              case OpKind::Alloc: {
+                if (slots[op.slot])
+                    break;
+                auto a = alloc.allocate(op.a, op.b);
+                if (a)
+                    slots[op.slot] = a->id;
+                break;
+              }
+              case OpKind::Resize:
+                if (slots[op.slot])
+                    alloc.resize(*slots[op.slot], op.a, op.b);
+                break;
+              case OpKind::Release:
+                if (slots[op.slot]) {
+                    alloc.release(*slots[op.slot]);
+                    slots[op.slot].reset();
+                }
+                break;
+              case OpKind::Compact:
+                alloc.compact();
+                break;
+              default:
+                break;
+            }
+            auditAllocator(alloc);
+        } catch (const InvariantError &e) {
+            return Failure{i, e.what()};
+        } catch (const FatalError &e) {
+            return Failure{i, strfmt("unexpected FatalError: %s",
+                                     e.what())};
+        }
+    }
+    return std::nullopt;
+}
+
+/** One simulated tenant: a vcore driven by a looping phased trace. */
+struct Tenant
+{
+    VCoreId id = invalidVCore;
+    std::unique_ptr<PhasedTraceSource> source;
+};
+
+std::unique_ptr<PhasedTraceSource>
+makeTenantSource(std::uint64_t seed, std::uint32_t slot)
+{
+    // Store-heavy, cache-straining mixes so reconfigurations find
+    // dirty lines to flush and live registers to push.
+    PhaseParams phase;
+    phase.name = strfmt("fuzz-%u", slot);
+    phase.memFrac = 0.35;
+    phase.storeFrac = 0.45;
+    phase.workingSet = (64 + 64 * ((seed + slot) % 8)) * kiB;
+    phase.lengthInsts = 20'000;
+    phase.dataBase = slot * 64 * miB;
+    return std::make_unique<PhasedTraceSource>(
+        std::vector<PhaseParams>{phase}, seed ^ (0x5151u + slot),
+        /*loop=*/true);
+}
+
+std::optional<Failure>
+replaySim(const std::vector<Op> &ops, std::uint64_t seed)
+{
+    SSim sim;
+    std::vector<Tenant> slots(kSlots);
+
+    auto live = [&slots]() {
+        std::vector<VCoreId> ids;
+        for (const Tenant &t : slots)
+            if (t.id != invalidVCore)
+                ids.push_back(t.id);
+        return ids;
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        Tenant &t = slots[op.slot];
+        try {
+            switch (op.kind) {
+              case OpKind::Create: {
+                if (t.id != invalidVCore)
+                    break;
+                auto id = sim.createVCore(op.a, op.b);
+                if (id) {
+                    t.id = *id;
+                    t.source = makeTenantSource(seed, op.slot);
+                    sim.vcore(t.id).bindSource(t.source.get());
+                }
+                break;
+              }
+              case OpKind::Command:
+                if (t.id != invalidVCore)
+                    sim.command(t.id, op.a, op.b);
+                break;
+              case OpKind::Run:
+                if (t.id != invalidVCore) {
+                    VirtualCore &vc = sim.vcore(t.id);
+                    vc.runUntil(vc.now() + op.a * 1000ull);
+                }
+                break;
+              case OpKind::Sample:
+                if (t.id != invalidVCore)
+                    sim.readCounters(t.id);
+                break;
+              case OpKind::Destroy:
+                if (t.id != invalidVCore) {
+                    sim.destroyVCore(t.id);
+                    t.id = invalidVCore;
+                    t.source.reset();
+                }
+                break;
+              default:
+                break;
+            }
+            auditSim(sim, live());
+        } catch (const InvariantError &e) {
+            return Failure{i, e.what()};
+        } catch (const FatalError &e) {
+            return Failure{i, strfmt("unexpected FatalError: %s",
+                                     e.what())};
+        }
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------
+// Shrinking: iterated single-op deletion to a fixpoint. Sequences
+// are small (tens of ops) and replays are cheap, so the quadratic
+// loop minimizes properly where chunk-only ddmin can stall early.
+// ---------------------------------------------------------------
+
+template <typename Replay>
+std::vector<Op>
+shrinkOps(std::vector<Op> ops, const Replay &replay)
+{
+    bool progress = true;
+    while (progress && ops.size() > 1) {
+        progress = false;
+        for (std::size_t i = 0; i < ops.size();) {
+            std::vector<Op> candidate = ops;
+            candidate.erase(candidate.begin()
+                            + static_cast<std::ptrdiff_t>(i));
+            if (replay(candidate)) {
+                ops = std::move(candidate);
+                progress = true;
+            } else {
+                ++i;
+            }
+        }
+    }
+    return ops;
+}
+
+struct Options
+{
+    std::uint64_t firstSeed = 0;
+    std::uint64_t numSeeds = 100;
+    std::uint32_t opsPerSeed = 48;
+    bool modeAlloc = true;
+    bool modeSim = true;
+    bool shrink = true;
+    bool verbose = false;
+    Fault inject = Fault::None;
+};
+
+void
+reportFailure(const char *mode, std::uint64_t seed,
+              const Options &opt, const std::vector<Op> &minimized,
+              const Failure &f)
+{
+    std::fprintf(stderr, "FAIL [%s] seed %llu: %s\n", mode,
+                 static_cast<unsigned long long>(seed),
+                 f.message.c_str());
+    std::fprintf(stderr, "  minimized to %zu op(s):\n",
+                 minimized.size());
+    for (std::size_t i = 0; i < minimized.size(); ++i)
+        std::fprintf(stderr, "    [%2zu] %s\n", i,
+                     minimized[i].str().c_str());
+    std::fprintf(stderr,
+                 "  reproduce: fuzz_reconfig --seed %llu --ops %u"
+                 "%s%s%s\n",
+                 static_cast<unsigned long long>(seed),
+                 opt.opsPerSeed,
+                 opt.modeAlloc && !opt.modeSim ? " --mode alloc" : "",
+                 opt.modeSim && !opt.modeAlloc ? " --mode sim" : "",
+                 opt.inject != Fault::None
+                     ? strfmt(" --inject %s",
+                              faultName(opt.inject)).c_str()
+                     : "");
+}
+
+int
+run(const Options &opt)
+{
+    if (opt.inject != Fault::None && !invariantsEnabled) {
+        warn("--inject %s has no effect: this binary was built "
+             "without CASH_CHECK_INVARIANTS, so the fault points "
+             "are compiled out", faultName(opt.inject));
+    }
+    setInjectedFault(opt.inject);
+
+    std::uint64_t failures = 0;
+    for (std::uint64_t seed = opt.firstSeed;
+         seed < opt.firstSeed + opt.numSeeds; ++seed) {
+        if (opt.verbose)
+            std::fprintf(stderr, "seed %llu...\n",
+                         static_cast<unsigned long long>(seed));
+
+        if (opt.modeAlloc) {
+            std::vector<Op> ops = genAllocOps(seed, opt.opsPerSeed);
+            if (auto f = replayAlloc(ops)) {
+                ++failures;
+                std::vector<Op> min = opt.shrink
+                    ? shrinkOps(ops,
+                                [](const std::vector<Op> &c) {
+                                    return replayAlloc(c)
+                                        .has_value();
+                                })
+                    : ops;
+                Failure mf = replayAlloc(min).value_or(*f);
+                reportFailure("alloc", seed, opt, min, mf);
+            }
+        }
+        if (opt.modeSim) {
+            std::vector<Op> ops = genSimOps(seed, opt.opsPerSeed);
+            if (auto f = replaySim(ops, seed)) {
+                ++failures;
+                std::vector<Op> min = opt.shrink
+                    ? shrinkOps(ops,
+                                [seed](const std::vector<Op> &c) {
+                                    return replaySim(c, seed)
+                                        .has_value();
+                                })
+                    : ops;
+                Failure mf = replaySim(min, seed).value_or(*f);
+                reportFailure("sim", seed, opt, min, mf);
+            }
+        }
+    }
+
+    std::printf("fuzz_reconfig: %llu seed(s) x%s%s, %u ops each, "
+                "invariants %s, inject=%s: %llu failure(s)\n",
+                static_cast<unsigned long long>(opt.numSeeds),
+                opt.modeAlloc ? " alloc" : "",
+                opt.modeSim ? " sim" : "", opt.opsPerSeed,
+                invariantsEnabled ? "on" : "off",
+                faultName(opt.inject),
+                static_cast<unsigned long long>(failures));
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace cash
+
+int
+main(int argc, char **argv)
+{
+    using namespace cash;
+
+    Options opt;
+    auto need = [argc](int i, const char *flag) {
+        if (i + 1 >= argc)
+            fatal("%s needs a value", flag);
+    };
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (!std::strcmp(arg, "--seeds")) {
+                need(i, arg);
+                opt.numSeeds = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--seed")) {
+                need(i, arg);
+                opt.firstSeed =
+                    std::strtoull(argv[++i], nullptr, 10);
+                opt.numSeeds = 1;
+                opt.verbose = true;
+            } else if (!std::strcmp(arg, "--start")) {
+                need(i, arg);
+                opt.firstSeed =
+                    std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--ops")) {
+                need(i, arg);
+                opt.opsPerSeed = static_cast<std::uint32_t>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--mode")) {
+                need(i, arg);
+                std::string mode = argv[++i];
+                opt.modeAlloc = mode == "alloc" || mode == "both";
+                opt.modeSim = mode == "sim" || mode == "both";
+                if (!opt.modeAlloc && !opt.modeSim)
+                    fatal("unknown mode '%s' (alloc|sim|both)",
+                          mode.c_str());
+            } else if (!std::strcmp(arg, "--inject")) {
+                need(i, arg);
+                opt.inject = faultFromName(argv[++i]);
+            } else if (!std::strcmp(arg, "--no-shrink")) {
+                opt.shrink = false;
+            } else if (!std::strcmp(arg, "--verbose")) {
+                opt.verbose = true;
+            } else {
+                fatal("unknown flag '%s'", arg);
+            }
+        }
+        if (opt.opsPerSeed == 0 || opt.numSeeds == 0)
+            fatal("--seeds and --ops must be positive");
+        return run(opt);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fuzz_reconfig: %s\n", e.what());
+        return 2;
+    }
+}
