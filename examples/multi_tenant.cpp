@@ -1,142 +1,131 @@
 /**
  * @file
- * Multi-tenant IaaS: several customers share one CASH fabric, each
- * with their own virtual core, workload, QoS target, and runtime
- * instance — the deployment the paper pitches (Sec I: configurable
- * fabrics let providers move resources between customers; Sec VI-A:
- * one runtime Slice "could easily service many applications").
+ * Multi-tenant IaaS: several customers share one CASH fabric under
+ * a real provider — the deployment the paper pitches (Sec I:
+ * configurable fabrics let providers move resources between
+ * customers; Sec VI-A: one runtime Slice "could easily service many
+ * applications").
  *
- * Four tenants with different characters run side by side; the
- * example prints each tenant's allocation and QoS over time, the
- * fabric's occupancy, and the provider's aggregate revenue. When
- * the fabric is tight, a tenant's EXPAND can fail and its runtime
- * must cope with what it holds.
+ * Where this example once hand-rolled its own tenant bookkeeping,
+ * it now drives cloud::CloudProvider: four seeded tenants are
+ * injected up front, further customers arrive stochastically, and
+ * the provider handles admission, fabric arbitration between the
+ * per-tenant runtimes, billing, and SLA accounting. The example
+ * just watches.
  *
  * Build and run:  ./build/examples/multi_tenant
  */
 
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "core/runtime.hh"
-#include "workload/apps.hh"
-#include "workload/trace_gen.hh"
+#include "cloud/provider.hh"
 
 using namespace cash;
-
-namespace
-{
-
-struct Tenant
-{
-    std::string name;
-    VCoreId vcore = invalidVCore;
-    std::unique_ptr<PhasedTraceSource> app;
-    std::unique_ptr<PacedSource> paced;
-    std::unique_ptr<CashRuntime> runtime;
-    double target = 0.0;
-};
-
-} // namespace
+using namespace cash::cloud;
 
 int
 main()
 {
     // A deliberately small chip so tenants contend: 16 Slices,
     // 32 banks (2 MB of L2 total).
-    FabricParams fabric;
-    fabric.sliceCols = 2;
-    fabric.bankCols = 4;
-    fabric.rows = 8;
-    SSim chip(fabric);
+    ProviderParams params;
+    params.fabric.sliceCols = 2;
+    params.fabric.bankCols = 4;
+    params.fabric.rows = 8;
+    params.provisioning = Provisioning::FineGrain;
+    params.arrivalProb = 0.25; // organic arrivals on top
+    params.seed = 17;
 
-    ConfigSpace space(4, 16); // per-tenant cap: 4 Slices, 1 MB
-    CostModel pricing;
-    RuntimeParams rp;
-    rp.quantum = 500'000;
+    CloudProvider provider(params);
 
-    struct Spec
+    // Four founding customers with different characters, injected
+    // deterministically (class indices into defaultCatalog()).
+    struct Founder
     {
-        const char *name;
-        const char *model;
-        double target;
+        const char *who;
+        std::size_t cls;
+        std::uint32_t residence;
     };
-    const Spec specs[] = {
-        {"video", "x264", 0.15},
-        {"compute", "hmmer", 0.40},
-        {"batch", "bzip", 0.10},
-        {"sim", "omnetpp", 0.08},
+    const Founder founders[] = {
+        {"video", 10, 40},   // x264
+        {"compute", 5, 40},  // hmmer
+        {"batch", 1, 40},    // bzip
+        {"sim", 8, 40},      // omnetpp
     };
-
-    std::vector<Tenant> tenants;
-    for (const Spec &s : specs) {
-        Tenant t;
-        t.name = s.name;
-        t.target = s.target;
-        auto id = chip.createVCore(1, 1);
-        if (!id) {
-            std::printf("fabric full: cannot admit %s\n", s.name);
-            continue;
-        }
-        t.vcore = *id;
-        t.app = std::make_unique<PhasedTraceSource>(
-            appByName(s.model).phases, 17 + tenants.size(), true,
-            0);
-        t.paced = std::make_unique<PacedSource>(*t.app, s.target);
-        chip.vcore(t.vcore).bindSource(t.paced.get());
-        t.runtime = std::make_unique<CashRuntime>(
-            chip, t.vcore, QosKind::Throughput, s.target, space,
-            pricing, rp, 100 + tenants.size());
-        tenants.push_back(std::move(t));
+    for (const Founder &f : founders) {
+        TenantId id = provider.injectArrival(f.cls, f.residence);
+        const Tenant &t = *provider.tenants()[id];
+        std::printf("%-8s -> tenant %u (%s), %s\n", f.who, t.id,
+                    t.cls.app.c_str(), tenantStateName(t.state));
     }
 
-    std::printf("%zu tenants on a %u-Slice / %u-bank fabric\n\n",
-                tenants.size(), chip.grid().numSlices(),
-                chip.grid().numBanks());
-    std::printf("%-8s", "round");
-    for (const Tenant &t : tenants)
-        std::printf(" %9s cfg %5s q", t.name.c_str(),
-                    t.name.c_str());
-    std::printf("  %11s %8s\n", "free S/B", "revenue$/hr");
+    const FabricGrid &grid = provider.chip().grid();
+    std::printf("\n%u-Slice / %u-bank fabric, %s provisioning\n\n",
+                grid.numSlices(), grid.numBanks(),
+                provisioningName(params.provisioning));
+    std::printf("%-6s %-7s %-28s %11s %9s\n", "round", "active",
+                "tenant cfg@ewmaQoS", "free S/B", "rev(u$)");
 
-    double revenue_hours = 0.0;
     for (int round = 0; round < 40; ++round) {
-        // Round-robin quantum scheduling: each tenant's runtime
-        // advances its own virtual core by one quantum.
-        double rate_sum = 0.0;
-        for (Tenant &t : tenants)
-            t.runtime->step();
-        if (round % 4 != 0)
+        provider.step();
+        if (round % 4 != 3)
             continue;
-        std::printf("%-8d", round);
-        for (Tenant &t : tenants) {
-            const VCoreConfig &cfg =
-                space.at(t.runtime->currentConfig());
-            const VirtualCore &vc = chip.vcore(t.vcore);
-            double q = static_cast<double>(
-                           vc.meta().totalCommitted)
-                / std::max<double>(1.0, static_cast<double>(
-                    vc.now() - vc.meta().idleCycles))
-                / t.target;
-            std::printf(" %13s %7.2f", cfg.str().c_str(), q);
-            rate_sum += pricing.ratePerHour(cfg);
+        std::vector<TenantId> active = provider.activeTenants();
+        std::printf("%-6d %-7zu ", round, active.size());
+        int shown = 0;
+        for (TenantId id : active) {
+            if (shown++ == 3) {
+                std::printf("...");
+                break;
+            }
+            const Tenant &t = *provider.tenants()[id];
+            const VirtualCore &vc = provider.chip().vcore(t.vcore);
+            std::printf("%u/%u@%.2f ", vc.numSlices(),
+                        vc.numBanks(), t.ewmaQ);
         }
-        std::printf("  %5u/%-5u %8.4f\n",
-                    chip.allocator().freeSlices(),
-                    chip.allocator().freeBanks(), rate_sum);
-        revenue_hours += rate_sum;
+        const FabricAllocator &alloc = provider.chip().allocator();
+        std::printf("%*s%5u/%-5u %9.4f\n",
+                    shown <= 3 ? (4 - shown) * 10 - 3 : 0, "",
+                    alloc.freeSlices(), alloc.freeBanks(),
+                    provider.revenue() * 1e6);
     }
 
-    std::printf("\nper-tenant outcome:\n");
-    for (const Tenant &t : tenants) {
-        std::printf("  %-8s bill $%.6f, violations %llu/%llu "
-                    "quanta\n",
-                    t.name.c_str(), t.runtime->totalCost(),
+    const ProviderStats &st = provider.stats();
+    std::printf("\nprovider outcome over %llu rounds:\n",
+                static_cast<unsigned long long>(st.rounds));
+    std::printf("  arrivals %llu, admitted %llu, rejected %llu, "
+                "abandoned %llu, departed %llu\n",
+                static_cast<unsigned long long>(st.arrivals),
+                static_cast<unsigned long long>(st.admitted),
+                static_cast<unsigned long long>(st.rejected),
+                static_cast<unsigned long long>(st.abandoned),
+                static_cast<unsigned long long>(st.departed));
+    std::printf("  SLA delivery %.3f, mean occupancy %.2f Slices / "
+                "%.2f banks, revenue %.4f u$\n",
+                provider.qosDelivery(), st.meanSliceUtil(),
+                st.meanBankUtil(), provider.revenue() * 1e6);
+    const ArbiterStats &ab = provider.arbiter().stats();
+    std::printf("  arbitration: %llu full, %llu partial, %llu "
+                "denied, %llu compactions\n",
+                static_cast<unsigned long long>(ab.fullGrants),
+                static_cast<unsigned long long>(ab.partialGrants),
+                static_cast<unsigned long long>(ab.denials),
+                static_cast<unsigned long long>(ab.compactions));
+
+    std::printf("\nper-tenant bills:\n");
+    for (const auto &tp : provider.tenants()) {
+        const Tenant &t = *tp;
+        if (t.state != TenantState::Active
+            && t.state != TenantState::Departed)
+            continue;
+        std::printf("  tenant %-2u %-8s %-8s %.4f u$, violations "
+                    "%llu/%llu\n",
+                    t.id, t.cls.app.c_str(),
+                    tenantStateName(t.state), t.bill() * 1e6,
                     static_cast<unsigned long long>(
-                        t.runtime->totalViolations()),
+                        t.qosViolations()),
                     static_cast<unsigned long long>(
-                        t.runtime->totalSamples()));
+                        t.qosSamples()));
     }
     return 0;
 }

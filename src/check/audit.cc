@@ -1,8 +1,10 @@
 #include "check/audit.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "check/invariant.hh"
+#include "cloud/provider.hh"
 
 namespace cash
 {
@@ -99,6 +101,127 @@ auditSim(const SSim &sim, const std::vector<VCoreId> &live)
                    "vcore %u holds %zu banks, allocator granted %u",
                    id, a->banks.size(), vc.numBanks());
     }
+}
+
+void
+auditProvider(const cloud::CloudProvider &provider)
+{
+    const SSim &sim = provider.chip();
+    const FabricAllocator &alloc = sim.allocator();
+    const FabricGrid &grid = alloc.grid();
+
+    // --- Walk the tenant ledger once, classifying states and
+    // summing active holdings.
+    std::vector<VCoreId> live;
+    std::uint64_t queued = 0, active = 0, departed = 0, turned = 0;
+    std::uint32_t tenant_slices = 0, tenant_banks = 0;
+    for (const auto &tp : provider.tenants()) {
+        const cloud::Tenant &t = *tp;
+        switch (t.state) {
+          case cloud::TenantState::Queued:
+            ++queued;
+            CASH_AUDIT(t.vcore == invalidVCore,
+                       "queued tenant %u already holds vcore %u",
+                       t.id, t.vcore);
+            break;
+          case cloud::TenantState::Active: {
+            ++active;
+            CASH_AUDIT(t.vcore != invalidVCore,
+                       "active tenant %u holds no vcore", t.id);
+            const VCoreAllocation *a = alloc.find(t.vcore);
+            CASH_AUDIT(a != nullptr,
+                       "active tenant %u's vcore %u is unknown to "
+                       "the allocator", t.id, t.vcore);
+            tenant_slices +=
+                static_cast<std::uint32_t>(a->slices.size());
+            tenant_banks +=
+                static_cast<std::uint32_t>(a->banks.size());
+            live.push_back(t.vcore);
+            break;
+          }
+          case cloud::TenantState::Departed:
+            ++departed;
+            break;
+          case cloud::TenantState::Rejected:
+            ++turned;
+            break;
+        }
+    }
+    std::vector<VCoreId> sorted = live;
+    std::sort(sorted.begin(), sorted.end());
+    CASH_AUDIT(std::adjacent_find(sorted.begin(), sorted.end())
+                   == sorted.end(),
+               "two active tenants share one vcore");
+
+    auditSim(sim, live);
+
+    // --- Tile conservation: what tenants hold, plus the reserved
+    // runtime Slice, is exactly what the allocator handed out. A
+    // departed tenant whose vcore was never released surfaces here.
+    std::uint32_t owned_slices = grid.numSlices() - alloc.freeSlices();
+    std::uint32_t owned_banks = grid.numBanks() - alloc.freeBanks();
+    CASH_AUDIT(tenant_slices + 1 == owned_slices,
+               "tenant-held Slices (%u) + the runtime Slice diverge "
+               "from the allocator's books (%u owned)",
+               tenant_slices, owned_slices);
+    CASH_AUDIT(tenant_banks == owned_banks,
+               "tenant-held banks (%u) diverge from the allocator's "
+               "books (%u owned)", tenant_banks, owned_banks);
+
+    // --- Lifecycle algebra.
+    const cloud::ProviderStats &st = provider.stats();
+    CASH_AUDIT(st.arrivals == provider.tenants().size(),
+               "%llu arrivals but %zu tenants in the ledger",
+               static_cast<unsigned long long>(st.arrivals),
+               provider.tenants().size());
+    CASH_AUDIT(st.admitted == active + departed,
+               "%llu admissions != %llu active + %llu departed",
+               static_cast<unsigned long long>(st.admitted),
+               static_cast<unsigned long long>(active),
+               static_cast<unsigned long long>(departed));
+    CASH_AUDIT(st.departed == departed,
+               "departure counter diverges from the ledger");
+    CASH_AUDIT(st.rejected + st.abandoned == turned,
+               "rejection counters diverge from the ledger");
+    CASH_AUDIT(provider.queue().size() == queued,
+               "queue holds %zu ids but %llu tenants are Queued",
+               provider.queue().size(),
+               static_cast<unsigned long long>(queued));
+    CASH_AUDIT(provider.queue().size()
+                   <= provider.params().admission.queueLimit,
+               "queue depth %zu exceeds the admission bound %u",
+               provider.queue().size(),
+               provider.params().admission.queueLimit);
+
+    // --- Billing: an active tenant's bill (plus compaction stall
+    // the provider absorbed on its behalf) must equal the priced
+    // integral of its actual Slice/bank holdings — the runtime
+    // bills at granted configurations, so partial grants must not
+    // let the books drift.
+    const CostModel &cm = provider.params().pricing;
+    for (const auto &tp : provider.tenants()) {
+        const cloud::Tenant &t = *tp;
+        if (t.state != cloud::TenantState::Active)
+            continue;
+        const VirtualCore &vc = sim.vcore(t.vcore);
+        double holdings =
+            cm.sliceRate() * cm.hours(vc.sliceCycles())
+            + cm.bankRate() * cm.hours(vc.bankCycles());
+        double billed = t.bill() + t.unbilledCompactCost;
+        double tol = 1e-9 + 1e-6 * std::max(holdings, billed);
+        CASH_AUDIT(std::fabs(billed - holdings) <= tol,
+                   "tenant %u billed $%.9f but its integrated "
+                   "holdings cost $%.9f", t.id, billed, holdings);
+    }
+
+    // --- Arbitration: a compaction is only ever triggered by a
+    // grant that went through.
+    const cloud::ArbiterStats &as = provider.arbiter().stats();
+    CASH_AUDIT(as.compactions <= as.fullGrants + as.partialGrants,
+               "%llu compactions exceed %llu granted expansions",
+               static_cast<unsigned long long>(as.compactions),
+               static_cast<unsigned long long>(
+                   as.fullGrants + as.partialGrants));
 }
 
 } // namespace cash

@@ -20,6 +20,11 @@
 #include "fabric/allocator.hh"
 #include "sim/ssim.hh"
 
+namespace cash::cloud
+{
+class CloudProvider;
+}
+
 namespace cash
 {
 
@@ -45,6 +50,24 @@ void auditVCore(const VirtualCore &vc, const SimParams &params);
  * @param live the vcore ids the caller believes are live
  */
 void auditSim(const SSim &sim, const std::vector<VCoreId> &live);
+
+/**
+ * Provider/chip agreement for the multi-tenant cloud layer:
+ *
+ *  - tile conservation: active tenants' holdings plus the reserved
+ *    runtime Slice are exactly the allocator's books (a leaked
+ *    holding on departure fails here);
+ *  - lifecycle algebra: arrivals == tenants ever created, admitted
+ *    == active + departed, rejected + abandoned == turned away, the
+ *    queue holds exactly the Queued tenants and respects its bound;
+ *  - billing: each active tenant's bill plus provider-absorbed
+ *    compaction stall equals the cost of its vcore's integrated
+ *    Slice/bank holdings;
+ *  - arbitration: compactions never exceed granted expansions.
+ *
+ * Includes a full auditSim() over the active tenants' vcores.
+ */
+void auditProvider(const cloud::CloudProvider &provider);
 
 } // namespace cash
 

@@ -47,8 +47,10 @@ faultFromName(const std::string &name)
         return Fault::L2FlushUndercount;
     if (name == "rename-drop")
         return Fault::RenameDropFlush;
+    if (name == "provider-leak")
+        return Fault::ProviderLeakHolding;
     fatal("unknown fault '%s' (try alloc-leak, l2-undercount, "
-          "rename-drop)", name.c_str());
+          "rename-drop, provider-leak)", name.c_str());
 }
 
 const char *
@@ -59,6 +61,7 @@ faultName(Fault f)
       case Fault::AllocatorLeakSlice: return "alloc-leak";
       case Fault::L2FlushUndercount: return "l2-undercount";
       case Fault::RenameDropFlush: return "rename-drop";
+      case Fault::ProviderLeakHolding: return "provider-leak";
     }
     return "?";
 }

@@ -73,6 +73,10 @@ enum class Fault : std::uint8_t
     L2FlushUndercount,
     /** RenameState::shrink drops the pushed value's survivor copy. */
     RenameDropFlush,
+    /** CloudProvider keeps a departed tenant's vcore allocated
+     *  (leaked holding), so tenant-held tiles no longer sum to the
+     *  allocator's books. */
+    ProviderLeakHolding,
 };
 
 /** Arm a fault (Fault::None disarms). Affects checking builds only. */

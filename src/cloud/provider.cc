@@ -1,0 +1,448 @@
+#include "cloud/provider.hh"
+
+#include <algorithm>
+
+#include "baselines/experiment.hh"
+#include "check/invariant.hh"
+#include "common/log.hh"
+
+namespace cash::cloud
+{
+
+const char *
+provisioningName(Provisioning p)
+{
+    switch (p) {
+      case Provisioning::FineGrain: return "fine-grain";
+      case Provisioning::StaticPeak: return "static-peak";
+      case Provisioning::CoarseGrain: return "coarse-grain";
+    }
+    return "?";
+}
+
+CloudProvider::CloudProvider(const ProviderParams &params)
+    : params_(params),
+      sim_(params.fabric, params.sim),
+      space_(params.arbiter.maxSlices, params.arbiter.maxBanks),
+      admission_(params.admission),
+      arbiter_(params.arbiter),
+      arrivalsRng_(params.seed)
+{
+    if (params_.catalog.empty())
+        params_.catalog = defaultCatalog();
+    if (params_.provisioning == Provisioning::FineGrain)
+        sim_.setCommandGate(
+            [this](VCoreId id, const CommandRequest &req) {
+                return gateCommand(id, req);
+            });
+}
+
+CloudProvider::~CloudProvider() = default;
+
+VCoreConfig
+CloudProvider::entryConfig(const TenantClass &cls) const
+{
+    switch (params_.provisioning) {
+      case Provisioning::FineGrain:
+        return cls.minCfg;
+      case Provisioning::StaticPeak:
+        return cls.peakCfg;
+      case Provisioning::CoarseGrain:
+        if (cls.peakCfg.slices <= params_.coarseLittle.slices
+            && cls.peakCfg.banks <= params_.coarseLittle.banks)
+            return params_.coarseLittle;
+        return params_.coarseBig;
+    }
+    return cls.minCfg;
+}
+
+VCoreConfig
+CloudProvider::startConfig(const Tenant &t) const
+{
+    VCoreConfig entry = entryConfig(t.cls);
+    if (params_.provisioning != Provisioning::FineGrain)
+        return entry;
+    // Fine-grain tenants are *admitted* at their minimum (that is
+    // admission's capacity test) but *start* at the largest free
+    // configuration up to their class peak: the runtime then
+    // consolidates from above, and converging downward never
+    // violates the SLA. Banks stay powers of two (RIN constraint,
+    // as in the arbiter's grants).
+    const FabricAllocator &al = sim_.allocator();
+    std::uint32_t slices = std::clamp(
+        al.freeSlices(), entry.slices, t.cls.peakCfg.slices);
+    std::uint32_t want =
+        std::min(al.freeBanks(), t.cls.peakCfg.banks);
+    std::uint32_t banks = entry.banks;
+    while (banks * 2 <= want)
+        banks *= 2;
+    return {slices, banks};
+}
+
+void
+CloudProvider::activate(Tenant &t)
+{
+    VCoreConfig entry = startConfig(t);
+    auto id = sim_.createVCore(entry.slices, entry.banks);
+    CASH_AUDIT(id.has_value(),
+               "activate() called for tenant %u but %s does not fit",
+               t.id, entry.str().c_str());
+
+    t.vcore = *id;
+    t.state = TenantState::Active;
+    t.admitRound = round_;
+
+    AppModel app =
+        scalePhases(appByName(t.cls.app), params_.phaseScale);
+    // Per-tenant source seed: two tenants of the same class still
+    // run distinct (but reproducible) traces.
+    std::uint64_t src_seed = (params_.seed << 8) + t.id + 1;
+    t.inner = makeSource(app, src_seed);
+    if (t.cls.kind == QosKind::Throughput)
+        t.paced = std::make_unique<PacedSource>(*t.inner, t.target);
+    sim_.vcore(t.vcore).bindSource(t.boundSource());
+
+    if (params_.provisioning == Provisioning::FineGrain) {
+        RuntimeParams rp = params_.runtime;
+        rp.quantum = params_.quantum;
+        rp.violationTolerance = params_.tolerance;
+        rp.warmupQuanta = params_.warmupRounds;
+        t.runtime = std::make_unique<CashRuntime>(
+            sim_, t.vcore, t.cls.kind, t.target, space_,
+            params_.pricing, rp, params_.seed ^ (t.id + 1));
+    } else {
+        t.monitor = std::make_unique<VCoreMonitor>(
+            sim_, t.vcore, t.cls.kind, t.target);
+    }
+}
+
+void
+CloudProvider::depart(Tenant &t)
+{
+    t.state = TenantState::Departed;
+    t.departRound = round_;
+    ++stats_.departed;
+    stats_.departedRevenue += t.bill();
+    stats_.slaSamples += t.qosSamples();
+    stats_.slaViolations += t.qosViolations();
+    // Capture the final bill before dropping the runtime (bill()
+    // reads through it while it exists).
+    t.billed = t.bill();
+    t.samples = t.qosSamples();
+    t.violations = t.qosViolations();
+    t.runtime.reset();
+    t.monitor.reset();
+
+    if (t.vcore != invalidVCore) {
+        // Injected fault: "forget" to release the departed tenant's
+        // fabric. auditProvider() must catch the leaked holding.
+        if (!CASH_FAULT_ARMED(Fault::ProviderLeakHolding)) {
+            sim_.destroyVCore(t.vcore);
+            t.vcore = invalidVCore;
+        }
+    }
+    t.paced.reset();
+    t.inner.reset();
+}
+
+void
+CloudProvider::judgeArrival(Tenant &t)
+{
+    AdmissionVerdict v = admission_.judge(
+        entryConfig(t.cls), sim_.allocator(),
+        static_cast<std::uint32_t>(queue_.size()));
+    switch (v) {
+      case AdmissionVerdict::Admit:
+        ++stats_.admitted;
+        activate(t);
+        break;
+      case AdmissionVerdict::Queue:
+        t.state = TenantState::Queued;
+        t.patienceRounds = params_.admission.patienceRounds;
+        queue_.push_back(t.id);
+        break;
+      case AdmissionVerdict::Reject:
+        t.state = TenantState::Rejected;
+        ++stats_.rejected;
+        break;
+    }
+}
+
+void
+CloudProvider::processDepartures()
+{
+    for (auto &tp : tenants_) {
+        Tenant &t = *tp;
+        if (t.state == TenantState::Active
+            && t.activeRounds >= t.residenceRounds)
+            depart(t);
+    }
+}
+
+void
+CloudProvider::processQueue()
+{
+    // Age the queue first: a tenant that has waited out its patience
+    // abandons before this round's retry.
+    std::vector<TenantId> kept;
+    kept.reserve(queue_.size());
+    for (TenantId id : queue_) {
+        Tenant &t = *tenants_[id];
+        if (t.patienceRounds == 0) {
+            t.state = TenantState::Rejected;
+            ++stats_.abandoned;
+            continue;
+        }
+        --t.patienceRounds;
+        kept.push_back(id);
+    }
+    queue_ = std::move(kept);
+
+    // Strict FIFO: admit from the head while the head fits. A large
+    // head blocks smaller arrivals behind it — that is the fairness
+    // the bounded queue sells (no starvation of big tenants).
+    while (!queue_.empty()) {
+        Tenant &t = *tenants_[queue_.front()];
+        if (!AdmissionController::fits(entryConfig(t.cls),
+                                       sim_.allocator()))
+            break;
+        ++stats_.admitted;
+        activate(t);
+        queue_.erase(queue_.begin());
+    }
+}
+
+void
+CloudProvider::processArrivals()
+{
+    // Draw the whole arrival tuple unconditionally so the stream
+    // stays aligned no matter what admission decides.
+    if (!arrivalsRng_.nextBool(params_.arrivalProb))
+        return;
+    std::size_t cls_index = static_cast<std::size_t>(
+        arrivalsRng_.nextBounded(params_.catalog.size()));
+    double jitter_u = arrivalsRng_.nextDouble();
+    double residence = arrivalsRng_.nextExponential(
+        1.0 / params_.meanResidenceRounds);
+
+    const TenantClass &cls = params_.catalog[cls_index];
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<TenantId>(tenants_.size());
+    t->cls = cls;
+    // Downward-only jitter: the catalog target is the class's
+    // *maximum* sellable QoS (derived with only an 8% feasibility
+    // margin over the per-tenant cap), so scaling it up would sell
+    // a target no configuration can deliver.
+    t->target = cls.target * (1.0 - params_.targetJitter * jitter_u);
+    t->residenceRounds = static_cast<std::uint32_t>(residence) + 1;
+    t->arrivalRound = round_;
+    ++stats_.arrivals;
+    Tenant &ref = *t;
+    tenants_.push_back(std::move(t));
+    judgeArrival(ref);
+}
+
+void
+CloudProvider::stepActive()
+{
+    std::vector<GrantCandidate> cands;
+    for (const auto &tp : tenants_) {
+        const Tenant &t = *tp;
+        if (t.state != TenantState::Active)
+            continue;
+        const VirtualCore &vc = sim_.vcore(t.vcore);
+        VCoreConfig held{vc.numSlices(), vc.numBanks()};
+        cands.push_back(
+            {t.id, std::max(0.0, 1.0 - t.ewmaQ),
+             params_.pricing.ratePerHour(held)});
+    }
+
+    for (TenantId id : arbiter_.grantOrder(std::move(cands))) {
+        Tenant &t = *tenants_[id];
+        if (t.runtime) {
+            QuantumStats st = t.runtime->step();
+            if (st.qos > 0.0)
+                t.ewmaQ = 0.3 * st.qos + 0.7 * t.ewmaQ;
+        } else {
+            VirtualCore &vc = sim_.vcore(t.vcore);
+            Cycle start = vc.now();
+            vc.runUntil(start + params_.quantum);
+            Cycle elapsed = vc.now() - start;
+            QosReading r = t.monitor->sample();
+            VCoreConfig held{vc.numSlices(), vc.numBanks()};
+            t.billed += params_.pricing.cost(held, elapsed);
+            if (r.valid)
+                t.ewmaQ = 0.3 * r.normalized + 0.7 * t.ewmaQ;
+            // Mirror the runtime's SLA accounting: one sample per
+            // round past warmup, judged on the smoothed QoS.
+            if (t.activeRounds >= params_.warmupRounds) {
+                ++t.samples;
+                if (t.ewmaQ < 1.0 - params_.tolerance)
+                    ++t.violations;
+            }
+        }
+        ++t.activeRounds;
+        ++stats_.tenantRounds;
+    }
+}
+
+void
+CloudProvider::step()
+{
+    processDepartures();
+    processQueue();
+    processArrivals();
+    stepActive();
+
+    const FabricAllocator &al = sim_.allocator();
+    const FabricGrid &g = al.grid();
+    // The runtime's reserved Slice is overhead, not sellable
+    // capacity: exclude it from both numerator and denominator.
+    std::uint32_t usable = g.numSlices() - 1;
+    std::uint32_t used = g.numSlices() - al.freeSlices() - 1;
+    stats_.sliceUtilSum += usable
+        ? static_cast<double>(used) / static_cast<double>(usable)
+        : 0.0;
+    stats_.bankUtilSum += g.numBanks()
+        ? static_cast<double>(g.numBanks() - al.freeBanks())
+            / static_cast<double>(g.numBanks())
+        : 0.0;
+
+    ++round_;
+    ++stats_.rounds;
+}
+
+void
+CloudProvider::run(std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        step();
+}
+
+TenantId
+CloudProvider::injectArrival(std::size_t cls_index,
+                             std::uint32_t residence_rounds)
+{
+    if (cls_index >= params_.catalog.size())
+        return invalidTenant;
+    const TenantClass &cls = params_.catalog[cls_index];
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<TenantId>(tenants_.size());
+    t->cls = cls;
+    t->target = cls.target;
+    t->residenceRounds = std::max(residence_rounds, 1u);
+    t->arrivalRound = round_;
+    ++stats_.arrivals;
+    Tenant &ref = *t;
+    tenants_.push_back(std::move(t));
+    judgeArrival(ref);
+    return ref.id;
+}
+
+bool
+CloudProvider::injectDeparture(TenantId id)
+{
+    if (id >= tenants_.size())
+        return false;
+    Tenant &t = *tenants_[id];
+    if (t.state == TenantState::Active) {
+        depart(t);
+        return true;
+    }
+    if (t.state == TenantState::Queued) {
+        // Leaving the queue without ever being served is an
+        // abandonment, not a departure (keeps the lifecycle algebra
+        // auditProvider checks: admitted == active + departed).
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                     queue_.end());
+        t.state = TenantState::Rejected;
+        t.departRound = round_;
+        ++stats_.abandoned;
+        return true;
+    }
+    return false;
+}
+
+std::vector<TenantId>
+CloudProvider::activeTenants() const
+{
+    std::vector<TenantId> ids;
+    for (const auto &tp : tenants_)
+        if (tp->state == TenantState::Active)
+            ids.push_back(tp->id);
+    return ids;
+}
+
+double
+CloudProvider::revenue() const
+{
+    double total = stats_.departedRevenue;
+    for (const auto &tp : tenants_)
+        if (tp->state == TenantState::Active)
+            total += tp->bill();
+    return total;
+}
+
+double
+CloudProvider::qosDelivery() const
+{
+    std::uint64_t samples = stats_.slaSamples;
+    std::uint64_t violations = stats_.slaViolations;
+    for (const auto &tp : tenants_) {
+        if (tp->state != TenantState::Active)
+            continue;
+        samples += tp->qosSamples();
+        violations += tp->qosViolations();
+    }
+    return samples ? 1.0
+            - static_cast<double>(violations)
+            / static_cast<double>(samples)
+                   : 1.0;
+}
+
+std::optional<CommandRequest>
+CloudProvider::gateCommand(VCoreId vcore, const CommandRequest &req)
+{
+    // Commands for vcores the provider does not manage (none in
+    // normal operation) pass through untouched.
+    const Tenant *owner = nullptr;
+    for (const auto &tp : tenants_)
+        if (tp->state == TenantState::Active && tp->vcore == vcore) {
+            owner = tp.get();
+            break;
+        }
+    if (!owner)
+        return req;
+
+    const VirtualCore &vc = sim_.vcore(vcore);
+    VCoreConfig held{vc.numSlices(), vc.numBanks()};
+    GrantDecision d = arbiter_.decide(
+        held, VCoreConfig{req.slices, req.banks}, sim_.allocator(),
+        round_);
+    if (d.compactFirst) {
+        CompactOutcome out = sim_.compact();
+        arbiter_.noteCompacted(round_);
+        // The requester's migration stall lands inside its own
+        // runtime slot and is billed there; every *other* moved
+        // tenant stalls outside its own billing loop, so the
+        // provider absorbs that holding cost (and the billing audit
+        // accounts for it).
+        for (std::size_t i = 0; i < out.moved.size(); ++i) {
+            if (out.moved[i] == vcore)
+                continue;
+            for (const auto &tp : tenants_) {
+                if (tp->state != TenantState::Active
+                    || tp->vcore != out.moved[i])
+                    continue;
+                const VirtualCore &mv = sim_.vcore(tp->vcore);
+                VCoreConfig cfg{mv.numSlices(), mv.numBanks()};
+                tp->unbilledCompactCost +=
+                    params_.pricing.cost(cfg, out.stalls[i]);
+                break;
+            }
+        }
+    }
+    return CommandRequest{d.granted.slices, d.granted.banks};
+}
+
+} // namespace cash::cloud

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * CloudProvider: the multi-tenant IaaS layer over one CASH chip.
+ *
+ * The paper's pitch (Secs I, VI-B) is provider economics: pack many
+ * customers onto one configurable fabric, move Slices and banks
+ * between them as demand shifts, and bill at fine, per-tile
+ * granularity. CloudProvider is that deployment:
+ *
+ *  - a seeded tenant arrival/departure process drawing applications
+ *    from the provider catalog, each with its own QoS target and
+ *    residence time;
+ *  - admission control (cloud/admission.hh): arrivals the fabric
+ *    cannot host at their entry configuration queue or are
+ *    rejected;
+ *  - per-tenant management under one of three provisioning schemes
+ *    (fine-grain CASH tenancy with a private CashRuntime per
+ *    tenant, static-peak reservation, or a coarse-grain big.LITTLE
+ *    pair);
+ *  - fabric arbitration (cloud/arbiter.hh) installed as the chip's
+ *    RIN command gate under fine-grain tenancy;
+ *  - provider accounting: per-tenant revenue at the paper's
+ *    $0.0098/Slice-hr + $0.0032/bank-hr prices, chip utilization,
+ *    and SLA-violation tracking.
+ *
+ * Determinism: a provider is a pure function of its parameters —
+ * every stochastic draw comes from the seeded arrival stream, so
+ * two providers with equal params behave identically and the
+ * consolidation bench can fan provider runs out through
+ * ExperimentEngine.
+ */
+
+#ifndef CASH_CLOUD_PROVIDER_HH
+#define CASH_CLOUD_PROVIDER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/admission.hh"
+#include "cloud/arbiter.hh"
+#include "cloud/tenant.hh"
+#include "common/rng.hh"
+#include "sim/ssim.hh"
+
+namespace cash::cloud
+{
+
+/** How the provider carves the chip for its customers. */
+enum class Provisioning : std::uint8_t
+{
+    /** CASH tenancy: admit at the minimum configuration, let each
+     *  tenant's runtime expand/shrink under arbitration. */
+    FineGrain,
+    /** Reserve each tenant's declared peak for its whole stay. */
+    StaticPeak,
+    /** big.LITTLE: reserve the big core if the tenant's peak
+     *  exceeds the little one, else the little core. */
+    CoarseGrain,
+};
+
+/** Printable provisioning name. */
+const char *provisioningName(Provisioning p);
+
+/** Provider tunables. */
+struct ProviderParams
+{
+    FabricParams fabric;
+    SimParams sim;
+    Provisioning provisioning = Provisioning::FineGrain;
+    /** Control/billing round length in cycles. */
+    Cycle quantum = 500'000;
+    /** Phase-length multiplier applied to tenant apps. The models
+     *  define short phases; deployments stretch them to the
+     *  multi-quantum timescale the runtimes track (the same knob as
+     *  ExperimentParams::phaseScale). At 1.0 phases flip faster
+     *  than any controller can follow. */
+    double phaseScale = 20.0;
+    /** Per-round Bernoulli probability of one tenant arrival. */
+    double arrivalProb = 0.5;
+    /** Mean tenant residence once active, in rounds (exponential,
+     *  drawn at arrival). */
+    double meanResidenceRounds = 24.0;
+    /** QoS target jitter: per-tenant target is the catalog target
+     *  scaled down by U(0, jitter). Downward only — the catalog
+     *  value is the class's maximum sellable target. */
+    double targetJitter = 0.15;
+    /** Normalized QoS below 1 - tolerance violates the SLA. */
+    double tolerance = 0.05;
+    /** Rounds excluded from a fresh tenant's SLA accounting. */
+    std::uint32_t warmupRounds = 5;
+    /** Coarse-grain pair (CoarseGrain provisioning only). */
+    VCoreConfig coarseBig{4, 16};
+    VCoreConfig coarseLittle{1, 2};
+    AdmissionParams admission;
+    ArbiterParams arbiter;
+    RuntimeParams runtime;
+    CostModel pricing;
+    /** Arrival-stream seed (the only randomness in the layer). */
+    std::uint64_t seed = 42;
+    /** Catalog; empty means defaultCatalog(). */
+    std::vector<TenantClass> catalog;
+};
+
+/** Aggregate provider-side accounting. */
+struct ProviderStats
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    /** Queued arrivals that ran out of patience. */
+    std::uint64_t abandoned = 0;
+    std::uint64_t departed = 0;
+    /** Σ over rounds of active tenant count. */
+    std::uint64_t tenantRounds = 0;
+    /** Σ over rounds of the Slice/bank occupancy fractions. */
+    double sliceUtilSum = 0.0;
+    double bankUtilSum = 0.0;
+    /** SLA samples/violations across all tenants ever hosted. */
+    std::uint64_t slaSamples = 0;
+    std::uint64_t slaViolations = 0;
+    /** $ billed to departed tenants (active bills accrue on top;
+     *  see CloudProvider::revenue()). */
+    double departedRevenue = 0.0;
+
+    double meanSliceUtil() const
+    {
+        return rounds ? sliceUtilSum / static_cast<double>(rounds)
+                      : 0.0;
+    }
+    double meanBankUtil() const
+    {
+        return rounds ? bankUtilSum / static_cast<double>(rounds)
+                      : 0.0;
+    }
+    /** Fraction of SLA samples delivered on target. */
+    double qosDelivery() const
+    {
+        return slaSamples
+            ? 1.0
+                - static_cast<double>(slaViolations)
+                / static_cast<double>(slaSamples)
+            : 1.0;
+    }
+};
+
+/**
+ * One IaaS provider instance: owns the chip and every tenant.
+ */
+class CloudProvider
+{
+  public:
+    explicit CloudProvider(const ProviderParams &params);
+    ~CloudProvider();
+
+    CloudProvider(const CloudProvider &) = delete;
+    CloudProvider &operator=(const CloudProvider &) = delete;
+
+    /**
+     * One provider round: departures, queue retries, arrivals,
+     * then one quantum of every active tenant in the arbiter's
+     * grant order, then accounting.
+     */
+    void step();
+
+    /** Run n rounds. */
+    void run(std::uint32_t n);
+
+    // --- Deterministic injection hooks (tests and the fuzzer):
+    // pure functions of their arguments, consuming no arrival
+    // randomness, so op sequences shrink cleanly.
+
+    /**
+     * Inject one arrival of catalog class `cls_index` with a fixed
+     * residence; runs the normal admission path.
+     * @return the tenant id (whatever was decided), or
+     *         invalidTenant if cls_index is out of range
+     */
+    TenantId injectArrival(std::size_t cls_index,
+                           std::uint32_t residence_rounds);
+
+    /** Force an active or queued tenant to depart now.
+     *  @return false if the id is unknown or already gone */
+    bool injectDeparture(TenantId id);
+
+    // --- Introspection.
+
+    const SSim &chip() const { return sim_; }
+    const ProviderParams &params() const { return params_; }
+    const ProviderStats &stats() const { return stats_; }
+    const FabricArbiter &arbiter() const { return arbiter_; }
+    std::uint64_t round() const { return round_; }
+
+    /** Every tenant ever created, indexed by TenantId. */
+    const std::vector<std::unique_ptr<Tenant>> &tenants() const
+    {
+        return tenants_;
+    }
+
+    /** Ids of currently active tenants, ascending. */
+    std::vector<TenantId> activeTenants() const;
+
+    /** Current waiting queue, FIFO order. */
+    const std::vector<TenantId> &queue() const { return queue_; }
+
+    /** Total $ billed: departed tenants plus running bills. */
+    double revenue() const;
+
+    /** SLA delivery including active tenants' running tallies. */
+    double qosDelivery() const;
+
+  private:
+    /** The entry configuration of a class under the current
+     *  provisioning scheme (what admission judges). */
+    VCoreConfig entryConfig(const TenantClass &cls) const;
+
+    /** What a newly admitted tenant actually starts with: the
+     *  entry configuration, except fine-grain tenants take the
+     *  largest free configuration up to their class peak so the
+     *  runtime converges downward instead of violating upward. */
+    VCoreConfig startConfig(const Tenant &t) const;
+
+    /** Create the tenant's vcore, sources, and (fine-grain)
+     *  runtime. Must only be called when the entry config fits. */
+    void activate(Tenant &t);
+
+    /** Finalize accounting and release the tenant's fabric. */
+    void depart(Tenant &t);
+
+    /** Admit/queue/reject one tenant at the admission layer. */
+    void judgeArrival(Tenant &t);
+
+    void processDepartures();
+    void processQueue();
+    void processArrivals();
+    void stepActive();
+
+    /** The RIN command gate (fine-grain only). */
+    std::optional<CommandRequest>
+    gateCommand(VCoreId vcore, const CommandRequest &req);
+
+    ProviderParams params_;
+    SSim sim_;
+    /** Fine-grain runtime configuration space (grid space over the
+     *  arbiter's per-tenant cap). */
+    ConfigSpace space_;
+    AdmissionController admission_;
+    FabricArbiter arbiter_;
+    Rng arrivalsRng_;
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+    std::vector<TenantId> queue_;
+    std::uint64_t round_ = 0;
+    ProviderStats stats_;
+};
+
+} // namespace cash::cloud
+
+#endif // CASH_CLOUD_PROVIDER_HH

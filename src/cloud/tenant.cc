@@ -1,0 +1,45 @@
+#include "cloud/tenant.hh"
+
+namespace cash::cloud
+{
+
+const char *
+tenantStateName(TenantState s)
+{
+    switch (s) {
+      case TenantState::Queued: return "queued";
+      case TenantState::Active: return "active";
+      case TenantState::Departed: return "departed";
+      case TenantState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+const std::vector<TenantClass> &
+defaultCatalog()
+{
+    // Targets are the profile machinery's derived QoS targets
+    // ("highest worst-case IPC" with its 0.92 feasibility margin)
+    // and the peak configurations its cheapestMeetingAll() picks,
+    // both computed over the provider's 4-Slice / 16-bank
+    // per-tenant cap on the default chip. Baked in as constants so
+    // admission and the consolidation bench need no online
+    // characterization; re-derive with baselines/profile.hh if the
+    // timing model changes materially.
+    static const std::vector<TenantClass> catalog = {
+        {"astar", QosKind::Throughput, 0.1189, {1, 1}, {1, 16}},
+        {"bzip", QosKind::Throughput, 0.1342, {1, 1}, {2, 16}},
+        {"ferret", QosKind::Throughput, 0.0846, {1, 1}, {3, 2}},
+        {"gcc", QosKind::Throughput, 0.1055, {1, 1}, {2, 16}},
+        {"h264ref", QosKind::Throughput, 0.1372, {1, 1}, {3, 8}},
+        {"hmmer", QosKind::Throughput, 0.5333, {1, 1}, {3, 8}},
+        {"lib", QosKind::Throughput, 0.3400, {1, 1}, {3, 4}},
+        {"mcf", QosKind::Throughput, 0.0362, {1, 1}, {1, 1}},
+        {"omnetpp", QosKind::Throughput, 0.0687, {1, 1}, {1, 16}},
+        {"sjeng", QosKind::Throughput, 0.1357, {1, 1}, {2, 16}},
+        {"x264", QosKind::Throughput, 0.1866, {1, 1}, {3, 16}},
+    };
+    return catalog;
+}
+
+} // namespace cash::cloud

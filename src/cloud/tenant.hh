@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tenants of the CASH cloud provider.
+ *
+ * A tenant is one IaaS customer renting a sub-core-configurable
+ * virtual core: an application (drawn from the paper's 13-app
+ * catalog), a QoS target, an admission minimum, and a declared peak
+ * configuration (what a coarse-grain provider would have to reserve
+ * for it). The provider instantiates the tenant's workload sources
+ * and — under fine-grain tenancy — a private CashRuntime; under the
+ * static provisioning baselines the provider drives the vcore
+ * itself at a fixed configuration.
+ */
+
+#ifndef CASH_CLOUD_TENANT_HH
+#define CASH_CLOUD_TENANT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config_space.hh"
+#include "core/runtime.hh"
+#include "workload/apps.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash::cloud
+{
+
+/** Provider-side tenant handle (distinct from fabric VCoreIds). */
+using TenantId = std::uint32_t;
+constexpr TenantId invalidTenant = ~TenantId(0);
+
+/**
+ * One catalog entry: an application the provider sells, with its
+ * QoS product and the configurations that frame the three
+ * provisioning schemes. Targets and peak configurations are
+ * characterization-derived (see defaultCatalog()).
+ */
+struct TenantClass
+{
+    /** Application name (appByName). */
+    std::string app;
+    QosKind kind = QosKind::Throughput;
+    /** QoS target: paced IPC, or cycles/request ceiling. */
+    double target = 0.0;
+    /** Admission minimum — the smallest configuration the tenant
+     *  will accept (fine-grain tenancy starts here and expands). */
+    VCoreConfig minCfg{1, 1};
+    /** Worst-phase provisioning — what static-peak reserves. */
+    VCoreConfig peakCfg{1, 1};
+};
+
+/** Where a tenant is in its provider lifecycle. */
+enum class TenantState : std::uint8_t
+{
+    Queued,   ///< admitted to the waiting queue, no fabric yet
+    Active,   ///< holding a virtual core
+    Departed, ///< left (bill finalized)
+    Rejected, ///< turned away (queue full / impossible request)
+};
+
+/** Printable state name. */
+const char *tenantStateName(TenantState s);
+
+/**
+ * One customer instance. Workload sources are owned here so their
+ * lifetime tracks the tenant's, not the provider round loop's.
+ */
+struct Tenant
+{
+    TenantId id = invalidTenant;
+    TenantClass cls;
+    TenantState state = TenantState::Queued;
+    /** Per-tenant jittered QoS target (cls.target x jitter). */
+    double target = 0.0;
+    /** Deterministic residence: rounds until departure once
+     *  active. */
+    std::uint32_t residenceRounds = 0;
+    /** Rounds a queued tenant will wait before giving up. */
+    std::uint32_t patienceRounds = 0;
+
+    VCoreId vcore = invalidVCore;
+    std::unique_ptr<InstSource> inner;
+    std::unique_ptr<PacedSource> paced;
+    std::unique_ptr<CashRuntime> runtime;
+    /** QoS monitor for the static modes (fine-grain tenants sample
+     *  inside their runtime instead). */
+    std::unique_ptr<VCoreMonitor> monitor;
+
+    // Lifecycle + accounting.
+    std::uint64_t arrivalRound = 0;
+    std::uint64_t admitRound = 0;
+    std::uint64_t departRound = 0;
+    std::uint64_t activeRounds = 0;
+    /** $ billed (static modes; fine-grain bills via runtime). */
+    double billed = 0.0;
+    /** $ of holdings the provider absorbed rather than billed:
+     *  migration stall from compactions this tenant did not
+     *  request. bill() + this equals the tenant's integrated
+     *  holdings (auditProvider checks exactly that). */
+    double unbilledCompactCost = 0.0;
+    /** QoS bookkeeping for the static modes (fine-grain tenants
+     *  account inside their runtime). */
+    std::uint64_t samples = 0;
+    std::uint64_t violations = 0;
+    double ewmaQ = 1.0;
+
+    /** The source feeding the vcore (paced for throughput apps). */
+    InstSource *boundSource() const
+    {
+        return paced ? static_cast<InstSource *>(paced.get())
+                     : inner.get();
+    }
+
+    /** Total $ this tenant has been billed so far. */
+    double bill() const
+    {
+        return runtime ? runtime->totalCost() : billed;
+    }
+
+    /** QoS samples taken / violated so far. */
+    std::uint64_t qosSamples() const
+    {
+        return runtime ? runtime->totalSamples() : samples;
+    }
+    std::uint64_t qosViolations() const
+    {
+        return runtime ? runtime->totalViolations() : violations;
+    }
+};
+
+/**
+ * The default catalog: every throughput application of the paper's
+ * suite, with characterization-derived QoS targets (the profile
+ * machinery's "highest worst-case IPC" at the 4-Slice/16-bank
+ * per-tenant cap) and the matching static-peak configurations.
+ * Request-driven apps (apache, mailserver) are excluded by default:
+ * their latency targets depend on arrival-rate provisioning, which
+ * the consolidation bench holds out of scope.
+ */
+const std::vector<TenantClass> &defaultCatalog();
+
+} // namespace cash::cloud
+
+#endif // CASH_CLOUD_TENANT_HH

@@ -52,7 +52,14 @@ CashRuntime::runSlot(std::size_t cfg, Cycle duration,
             ++st.reconfigs;
             stall = rc->totalStall();
             st.reconfigStall += stall;
-            currentCfg_ = cfg;
+            // Bill and learn at what the fabric actually granted: a
+            // provider-side arbiter may clamp an EXPAND to a partial
+            // grant, and charging the requested configuration would
+            // overbill the customer for tiles never held.
+            const VirtualCore &vc = sim_.vcore(id_);
+            VCoreConfig actual{vc.numSlices(), vc.numBanks()};
+            currentCfg_ = space_.contains(actual)
+                ? space_.indexOf(actual) : cfg;
         } else {
             warn("fabric cannot supply %s; staying at %s",
                  c.str().c_str(),

@@ -315,7 +315,19 @@ std::vector<VCoreId>
 FabricAllocator::compact()
 {
     // Re-place every vcore from scratch, largest first, since all
-    // Slices are interchangeable (paper, Sec III-A).
+    // Slices are interchangeable (paper, Sec III-A). The greedy
+    // re-placement is not guaranteed to beat an adversarial current
+    // placement, and every move costs the vcore a migration stall —
+    // so the result is kept only if it actually tightens the
+    // placement (less fragmentation, or equal fragmentation at a
+    // lower mean L2 distance); otherwise the old placement is
+    // restored and nothing moves.
+    double old_frag = fragmentation();
+    double old_dist = meanLiveL2Distance();
+    auto old_live = live_;
+    auto old_slice_used = sliceUsed_;
+    auto old_bank_used = bankUsed_;
+
     std::vector<VCoreId> order;
     order.reserve(live_.size());
     for (const auto &[id, alloc] : live_)
@@ -349,10 +361,85 @@ FabricAllocator::compact()
         if (cur.slices != old_slices || cur.banks != old_banks)
             moved.push_back(id);
     }
+
+    double new_frag = fragmentation();
+    double new_dist = meanLiveL2Distance();
+    bool improved = new_frag < old_frag
+        || (new_frag == old_frag && new_dist < old_dist);
+    if (!improved && !moved.empty()) {
+        live_ = std::move(old_live);
+        sliceUsed_ = std::move(old_slice_used);
+        bankUsed_ = std::move(old_bank_used);
+        moved.clear();
+    }
 #if CASH_CHECK_INVARIANTS
     checkConsistency();
 #endif
     return moved;
+}
+
+std::uint32_t
+FabricAllocator::idealSliceSpan(std::uint32_t n) const
+{
+    if (n <= 1)
+        return 0;
+    // Run the placement greedy on an empty fabric: this is the
+    // tightest footprint the picker itself could ever produce, so
+    // live spans are comparable against it.
+    std::vector<bool> taken(grid_.numSlices(), false);
+    std::vector<SliceId> chosen;
+    chosen.reserve(n);
+    TileCoord origin = grid_.sliceCoord(0);
+    chosen.push_back(0);
+    taken[0] = true;
+    while (chosen.size() < n && chosen.size() < grid_.numSlices()) {
+        SliceId best = invalidSlice;
+        std::uint32_t best_dist =
+            std::numeric_limits<std::uint32_t>::max();
+        for (SliceId s = 0; s < grid_.numSlices(); ++s) {
+            if (taken[s])
+                continue;
+            std::uint32_t d = manhattan(origin, grid_.sliceCoord(s));
+            if (d < best_dist) {
+                best_dist = d;
+                best = s;
+            }
+        }
+        if (best == invalidSlice)
+            break;
+        chosen.push_back(best);
+        taken[best] = true;
+    }
+    VCoreAllocation ideal;
+    ideal.slices = std::move(chosen);
+    return ideal.sliceSpan(grid_);
+}
+
+double
+FabricAllocator::meanLiveL2Distance() const
+{
+    if (live_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[id, a] : live_)
+        sum += a.meanL2Distance(grid_);
+    return sum / static_cast<double>(live_.size());
+}
+
+double
+FabricAllocator::fragmentation() const
+{
+    if (live_.empty())
+        return 0.0;
+    double excess = 0.0;
+    for (const auto &[id, a] : live_) {
+        std::uint32_t span = a.sliceSpan(grid_);
+        std::uint32_t ideal = idealSliceSpan(
+            static_cast<std::uint32_t>(a.slices.size()));
+        excess += span > ideal
+            ? static_cast<double>(span - ideal) : 0.0;
+    }
+    return excess / static_cast<double>(live_.size());
 }
 
 std::uint32_t

@@ -89,13 +89,40 @@ class FabricAllocator
     /**
      * Reschedule all live virtual cores to minimize their footprint
      * spans (fragmentation repair). Returns the ids whose placement
-     * changed. Resource *counts* per vcore are preserved.
+     * changed. Resource *counts* per vcore are preserved, and the
+     * result never regresses: if the greedy re-placement would not
+     * tighten the live placement (lower fragmentation(), or equal
+     * fragmentation at lower meanLiveL2Distance()), the current
+     * placement is kept and nothing moves.
      */
     std::vector<VCoreId> compact();
 
     std::uint32_t freeSlices() const;
     std::uint32_t freeBanks() const;
     std::uint32_t liveVCores() const;
+
+    /**
+     * Smallest achievable Slice span for an n-Slice placement on an
+     * *empty* fabric (the greedy picker's own notion of ideal).
+     * Used as the fragmentation baseline.
+     */
+    std::uint32_t idealSliceSpan(std::uint32_t n) const;
+
+    /**
+     * Mean Slice-to-bank access distance over all live allocations
+     * (0 when nothing is live). compact() exists to reduce this.
+     */
+    double meanLiveL2Distance() const;
+
+    /**
+     * Fragmentation of the live placement: mean excess Slice span
+     * over the ideal span for each vcore's size, in hops. 0 means
+     * every vcore is as tight as the empty fabric allows. Because
+     * Slices are interchangeable this is entirely repairable by
+     * compact(), so the cloud arbiter uses it as its compaction
+     * trigger.
+     */
+    double fragmentation() const;
 
     const FabricGrid &grid() const { return grid_; }
 

@@ -92,11 +92,48 @@ SSim::readCounters(VCoreId id)
     return sample;
 }
 
+void
+SSim::setCommandGate(CommandGate gate)
+{
+    gate_ = std::move(gate);
+}
+
+CompactOutcome
+SSim::compact()
+{
+    CompactOutcome out;
+    std::vector<VCoreId> moved = alloc_.compact();
+    // The runtime's home vcore may have been rescheduled too; its
+    // privileged Slice follows the allocation.
+    runtimeSlice_ = alloc_.allocation(runtimeHome_).slices.front();
+    for (VCoreId id : moved) {
+        auto it = vcores_.find(id);
+        if (it == vcores_.end())
+            continue; // the bare runtime-home allocation
+        const VCoreAllocation &a = alloc_.allocation(id);
+        ++rinMessages_; // the migration command
+        ReconfigCost rc = it->second->reconfigure(
+            a.slices, a.banks, rinLatency(a.slices.front()));
+        out.totalStall += rc.totalStall();
+        out.moved.push_back(id);
+        out.stalls.push_back(rc.totalStall());
+    }
+    return out;
+}
+
 std::optional<ReconfigCost>
 SSim::command(VCoreId id, std::uint32_t num_slices,
               std::uint32_t num_banks)
 {
     VirtualCore &vc = vcore(id);
+    if (gate_) {
+        auto granted =
+            gate_(id, CommandRequest{num_slices, num_banks});
+        if (!granted)
+            return std::nullopt;
+        num_slices = granted->slices;
+        num_banks = granted->banks;
+    }
     auto alloc = alloc_.resize(id, num_slices, num_banks);
     if (!alloc)
         return std::nullopt;

@@ -25,6 +25,7 @@
 #define CASH_SIM_SSIM_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -53,11 +54,46 @@ struct VCoreSample
 };
 
 /**
+ * Requested Slice/bank counts of an EXPAND/SHRINK command, as seen
+ * by a command gate.
+ */
+struct CommandRequest
+{
+    std::uint32_t slices = 0;
+    std::uint32_t banks = 0;
+};
+
+/**
+ * Outcome of a chip-level compaction.
+ */
+struct CompactOutcome
+{
+    /** VCores whose placement changed. */
+    std::vector<VCoreId> moved;
+    /** Per-move reconfiguration stall, parallel to `moved` (a
+     *  provider charging migration time needs the split). */
+    std::vector<Cycle> stalls;
+    /** Total reconfiguration stall charged across moved vcores. */
+    Cycle totalStall = 0;
+};
+
+/**
  * The CASH chip simulator.
  */
 class SSim
 {
   public:
+    /**
+     * A privileged interposer on the RIN command channel: called
+     * before every EXPAND/SHRINK is applied, it may pass the
+     * request through, clamp it (partial grant), or deny it by
+     * returning nullopt. This is how a multi-tenant provider
+     * arbitrates the fabric without owning every runtime's loop —
+     * the gate runs on the privileged runtime Slice (Sec III-B2).
+     */
+    using CommandGate = std::function<std::optional<CommandRequest>(
+        VCoreId, const CommandRequest &)>;
+
     explicit SSim(const FabricParams &fabric = FabricParams(),
                   const SimParams &params = SimParams());
 
@@ -97,6 +133,22 @@ class SSim
     command(VCoreId id, std::uint32_t num_slices,
             std::uint32_t num_banks);
 
+    /**
+     * Install (or clear, with nullptr) the command gate. At most
+     * one gate is active; commands issued while it is installed are
+     * filtered through it.
+     */
+    void setCommandGate(CommandGate gate);
+
+    /**
+     * Fragmentation repair at chip level: reschedule all live
+     * vcores (FabricAllocator::compact) and reconfigure every moved
+     * vcore to its new placement, charging the stalls to the moved
+     * vcores' clocks. Resource counts are preserved, so no QoS
+     * contract changes — only placement quality.
+     */
+    CompactOutcome compact();
+
     /** The Slice reserved for the CASH runtime. */
     SliceId runtimeSlice() const { return runtimeSlice_; }
 
@@ -118,6 +170,7 @@ class SSim
     SliceId runtimeSlice_ = invalidSlice;
     VCoreId runtimeHome_ = invalidVCore;
     std::uint64_t rinMessages_ = 0;
+    CommandGate gate_;
 };
 
 } // namespace cash

@@ -59,6 +59,31 @@ VirtualCore::sliceIds() const
     return ids;
 }
 
+void
+VirtualCore::accrueHoldings() const
+{
+    Cycle elapsed = clock_ - holdingsAccruedAt_;
+    sliceCycles_ += static_cast<std::uint64_t>(elapsed)
+        * slices_.size();
+    bankCycles_ += static_cast<std::uint64_t>(elapsed)
+        * l2_.numBanks();
+    holdingsAccruedAt_ = clock_;
+}
+
+std::uint64_t
+VirtualCore::sliceCycles() const
+{
+    accrueHoldings();
+    return sliceCycles_;
+}
+
+std::uint64_t
+VirtualCore::bankCycles() const
+{
+    accrueHoldings();
+    return bankCycles_;
+}
+
 const SliceCounters &
 VirtualCore::counters(std::uint32_t member) const
 {
@@ -485,6 +510,11 @@ VirtualCore::reconfigure(std::vector<SliceId> new_slices,
         fatal("cannot reconfigure a virtual core to zero Slices");
     if (new_slices.size() > 64)
         fatal("virtual cores support at most 64 Slices");
+
+    // Close the holdings integral at the outgoing membership; the
+    // stall cycles below accrue at the new one (the configuration
+    // the customer is billed for during the stall).
+    accrueHoldings();
 
     ReconfigCost cost;
     cost.commandLatency = command_latency;

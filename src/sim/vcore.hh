@@ -120,6 +120,17 @@ class VirtualCore
     /** Member Slice fabric ids, in member order. */
     std::vector<SliceId> sliceIds() const;
 
+    /**
+     * Integrated holdings: Σ Slices x cycles held since
+     * construction, exact across every reconfiguration (stall
+     * cycles are charged at the *new* membership, matching the
+     * runtime's billing convention). The provider's billing
+     * auditor reconciles revenue against these integrals.
+     */
+    std::uint64_t sliceCycles() const;
+    /** Integrated holdings: Σ banks x cycles held. */
+    std::uint64_t bankCycles() const;
+
     /** Per-member raw counters (member < numSlices). */
     const SliceCounters &counters(std::uint32_t member) const;
 
@@ -199,6 +210,9 @@ class VirtualCore
     /** Rebuild the member-distance matrix. */
     void rebuildDistances();
 
+    /** Fold clock progress into the holdings integrals. */
+    void accrueHoldings() const;
+
     const FabricGrid &grid_;
     SimParams params_;
     VCoreId id_;
@@ -225,6 +239,9 @@ class VirtualCore
     InstCount totalCommitted_ = 0;
     Cycle idleCycles_ = 0;
     Cycle reconfigStall_ = 0;
+    mutable Cycle holdingsAccruedAt_ = 0;
+    mutable std::uint64_t sliceCycles_ = 0;
+    mutable std::uint64_t bankCycles_ = 0;
     std::uint64_t requestsDone_ = 0;
     std::uint64_t requestLatencySum_ = 0;
 };

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Fragmentation under churn, and compact() as its repair.
+ *
+ * Hundreds of interleaved allocate/resize/release operations drive
+ * the allocator into a fragmented state; compact() must then
+ * tighten the live placement (fragmentation and mean L2 distance
+ * both improve) while every conservation audit stays clean. The
+ * same exercise runs at chip level, where SSim::compact() also has
+ * to migrate the affected virtual cores and keep the privileged
+ * runtime Slice tracking its allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/audit.hh"
+#include "common/rng.hh"
+#include "sim/ssim.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+FabricParams
+churnFabric()
+{
+    FabricParams f;
+    f.sliceCols = 2;
+    f.bankCols = 4;
+    f.rows = 8; // 16 Slices, 32 banks
+    return f;
+}
+
+TEST(CompactChurn, AllocatorChurnThenCompactImproves)
+{
+    FabricGrid grid(churnFabric());
+    FabricAllocator alloc(grid);
+    Rng rng(7);
+
+    std::vector<VCoreId> live;
+    for (int op = 0; op < 400; ++op) {
+        std::uint64_t pick = rng.nextBounded(10);
+        if (pick < 4 || live.empty()) {
+            auto slices =
+                static_cast<std::uint32_t>(rng.nextRange(1, 4));
+            auto banks = std::uint32_t(1)
+                << static_cast<std::uint32_t>(rng.nextRange(0, 3));
+            if (auto a = alloc.allocate(slices, banks))
+                live.push_back(a->id);
+        } else if (pick < 7) {
+            VCoreId id = live[rng.nextBounded(live.size())];
+            auto slices =
+                static_cast<std::uint32_t>(rng.nextRange(1, 4));
+            auto banks = std::uint32_t(1)
+                << static_cast<std::uint32_t>(rng.nextRange(0, 3));
+            alloc.resize(id, slices, banks);
+        } else {
+            std::size_t k = rng.nextBounded(live.size());
+            alloc.release(live[k]);
+            live.erase(live.begin() + static_cast<long>(k));
+        }
+        ASSERT_NO_THROW(auditAllocator(alloc)) << "op " << op;
+    }
+    ASSERT_FALSE(live.empty());
+
+    double frag_before = alloc.fragmentation();
+    double dist_before = alloc.meanLiveL2Distance();
+    EXPECT_GT(frag_before, 0.0)
+        << "churn failed to fragment the fabric; strengthen the op "
+           "mix";
+
+    std::vector<VCoreId> moved = alloc.compact();
+    ASSERT_NO_THROW(auditAllocator(alloc));
+
+    EXPECT_FALSE(moved.empty());
+    EXPECT_LT(alloc.fragmentation(), frag_before);
+    EXPECT_LT(alloc.meanLiveL2Distance(), dist_before);
+    // Resource counts preserved, ids intact.
+    std::vector<VCoreId> after = alloc.liveIds();
+    std::sort(live.begin(), live.end());
+    EXPECT_EQ(after, live);
+}
+
+TEST(CompactChurn, RepeatedCompactIsIdempotent)
+{
+    FabricGrid grid(churnFabric());
+    FabricAllocator alloc(grid);
+    Rng rng(0xBEEF);
+
+    std::vector<VCoreId> live;
+    for (int op = 0; op < 200; ++op) {
+        if (rng.nextBool(0.55) || live.empty()) {
+            if (auto a = alloc.allocate(
+                    static_cast<std::uint32_t>(rng.nextRange(1, 3)),
+                    static_cast<std::uint32_t>(rng.nextRange(1, 4))))
+                live.push_back(a->id);
+        } else {
+            std::size_t k = rng.nextBounded(live.size());
+            alloc.release(live[k]);
+            live.erase(live.begin() + static_cast<long>(k));
+        }
+    }
+    alloc.compact();
+    double frag = alloc.fragmentation();
+    double dist = alloc.meanLiveL2Distance();
+    // A second pass over an already-tight placement changes nothing
+    // for the worse.
+    alloc.compact();
+    EXPECT_LE(alloc.fragmentation(), frag);
+    EXPECT_LE(alloc.meanLiveL2Distance(), dist);
+    ASSERT_NO_THROW(auditAllocator(alloc));
+}
+
+TEST(CompactChurn, ChipLevelCompactMigratesAndAudits)
+{
+    SSim chip(churnFabric());
+    Rng rng(0xF00D);
+
+    PhaseParams phase;
+    phase.name = "churn";
+    phase.lengthInsts = 1'000'000;
+    std::vector<PhasedTraceSource *> sources;
+    std::vector<VCoreId> live;
+
+    auto spawn = [&](std::uint32_t slices, std::uint32_t banks) {
+        auto id = chip.createVCore(slices, banks);
+        if (!id)
+            return;
+        auto *src = new PhasedTraceSource(
+            std::vector<PhaseParams>{phase}, rng.next() | 1, true);
+        sources.push_back(src);
+        chip.vcore(*id).bindSource(src);
+        live.push_back(*id);
+    };
+
+    for (int op = 0; op < 300; ++op) {
+        std::uint64_t pick = rng.nextBounded(10);
+        if (pick < 4 || live.empty()) {
+            spawn(static_cast<std::uint32_t>(rng.nextRange(1, 4)),
+                  static_cast<std::uint32_t>(rng.nextRange(1, 8)));
+        } else if (pick < 6) {
+            VCoreId id = live[rng.nextBounded(live.size())];
+            chip.command(
+                id, static_cast<std::uint32_t>(rng.nextRange(1, 4)),
+                static_cast<std::uint32_t>(rng.nextRange(1, 8)));
+        } else if (pick < 8) {
+            VCoreId id = live[rng.nextBounded(live.size())];
+            chip.vcore(id).runUntil(chip.vcore(id).now() + 20'000);
+        } else {
+            std::size_t k = rng.nextBounded(live.size());
+            chip.destroyVCore(live[k]);
+            live.erase(live.begin() + static_cast<long>(k));
+        }
+        ASSERT_NO_THROW(auditSim(chip, live)) << "op " << op;
+    }
+    ASSERT_FALSE(live.empty());
+
+    double frag_before = chip.allocator().fragmentation();
+    CompactOutcome out = chip.compact();
+    ASSERT_NO_THROW(auditSim(chip, live));
+    EXPECT_LE(chip.allocator().fragmentation(), frag_before);
+    EXPECT_EQ(out.moved.size(), out.stalls.size());
+
+    // Every migrated vcore was charged for its move, and the
+    // privileged runtime Slice still tracks its allocation.
+    for (std::size_t i = 0; i < out.moved.size(); ++i)
+        EXPECT_GT(out.stalls[i], 0u) << "move " << i;
+    std::uint32_t rt_owned = 0;
+    for (VCoreId id : chip.allocator().liveIds()) {
+        const VCoreAllocation &a = chip.allocator().allocation(id);
+        if (std::find(a.slices.begin(), a.slices.end(),
+                      chip.runtimeSlice())
+            != a.slices.end())
+            ++rt_owned;
+    }
+    EXPECT_EQ(rt_owned, 1u);
+
+    // Vcores keep running after migration.
+    for (VCoreId id : live) {
+        Cycle before = chip.vcore(id).now();
+        chip.vcore(id).runUntil(before + 20'000);
+        EXPECT_GT(chip.vcore(id).now(), before);
+    }
+
+    for (auto *src : sources)
+        delete src;
+}
+
+} // namespace
+} // namespace cash

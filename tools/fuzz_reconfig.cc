@@ -3,8 +3,9 @@
  * Deterministic reconfiguration fuzzer.
  *
  * Replays seed-derived sequences of multi-tenant fabric operations —
- * allocate / resize / release / compact at the allocator layer, and
+ * allocate / resize / release / compact at the allocator layer,
  * create / EXPAND-SHRINK / trace-execution / destroy at the chip
+ * layer, and tenant arrive / depart / provider-step at the cloud
  * layer — and audits the structural invariants (check/audit.hh)
  * after every single operation. Builds compiled with
  * -DCASH_CHECK_INVARIANTS=ON additionally run every CASH_INVARIANT
@@ -17,6 +18,7 @@
  *
  *   fuzz_reconfig --seeds 1000              # fuzz seeds 0..999
  *   fuzz_reconfig --seed 1234 --verbose     # replay one seed
+ *   fuzz_reconfig --seeds 32 --mode cloud   # cloud layer only
  *   fuzz_reconfig --seeds 64 --inject alloc-leak   # mutation test:
  *       the named deliberate bug must be caught and shrunk
  *       (requires a CASH_CHECK_INVARIANTS build)
@@ -32,6 +34,7 @@
 
 #include "check/audit.hh"
 #include "check/invariant.hh"
+#include "cloud/provider.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "sim/ssim.hh"
@@ -57,6 +60,10 @@ enum class OpKind : std::uint8_t
     Run,
     Sample,
     Destroy,
+    // Cloud-layer ops (CloudProvider).
+    CloudArrive,
+    CloudDepart,
+    CloudStep,
 };
 
 struct Op
@@ -92,6 +99,13 @@ struct Op
             return strfmt("sample  slot=%u", slot);
           case OpKind::Destroy:
             return strfmt("destroy slot=%u", slot);
+          case OpKind::CloudArrive:
+            return strfmt("arrive  slot=%u class=%u residence=%u",
+                          slot, a, b);
+          case OpKind::CloudDepart:
+            return strfmt("depart  slot=%u", slot);
+          case OpKind::CloudStep:
+            return "step";
         }
         return "?";
     }
@@ -157,6 +171,29 @@ genSimOps(std::uint64_t seed, std::uint32_t count)
         op.b = static_cast<std::uint32_t>(rng.nextBounded(17));
         if (op.kind == OpKind::Run)
             op.a = 2 + static_cast<std::uint32_t>(rng.nextBounded(16));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::vector<Op>
+genCloudOps(std::uint64_t seed, std::uint32_t count)
+{
+    Rng rng(seed * 3 + 2);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Op op;
+        std::uint64_t pick = rng.nextBounded(10);
+        if (pick < 4)
+            op.kind = OpKind::CloudArrive;
+        else if (pick < 7)
+            op.kind = OpKind::CloudStep;
+        else
+            op.kind = OpKind::CloudDepart;
+        op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
+        op.a = static_cast<std::uint32_t>(rng.nextBounded(16));
+        op.b = 1 + static_cast<std::uint32_t>(rng.nextBounded(12));
         ops.push_back(op);
     }
     return ops;
@@ -303,6 +340,81 @@ replaySim(const std::vector<Op> &ops, std::uint64_t seed)
     return std::nullopt;
 }
 
+/**
+ * Cloud-layer replay: a FineGrain CloudProvider on a tight chip,
+ * with every arrival and departure injected through the provider's
+ * deterministic hooks (the stochastic arrival stream is disabled)
+ * so each op is a pure function of its fields. auditProvider checks
+ * tile conservation, lifecycle algebra, billing-vs-holdings, and
+ * arbitration after every op.
+ */
+std::optional<Failure>
+replayCloud(const std::vector<Op> &ops, std::uint64_t seed)
+{
+    cloud::ProviderParams params;
+    params.fabric.sliceCols = 1;
+    params.fabric.bankCols = 4;
+    params.fabric.rows = 8; // 8 Slices (7 sellable), 32 banks
+    params.provisioning = cloud::Provisioning::FineGrain;
+    params.arrivalProb = 0.0; // arrivals only through the ops
+    params.quantum = 50'000;  // short rounds keep replays cheap
+    params.seed = seed;
+    cloud::CloudProvider provider(params);
+    std::size_t num_classes = provider.params().catalog.size();
+
+    std::vector<std::optional<cloud::TenantId>> slots(kSlots);
+    auto slot_live = [&](std::uint32_t s) {
+        if (!slots[s])
+            return false;
+        cloud::TenantState st = provider.tenants()[*slots[s]]->state;
+        return st == cloud::TenantState::Active
+            || st == cloud::TenantState::Queued;
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        try {
+            switch (op.kind) {
+              case OpKind::CloudArrive: {
+                if (slot_live(op.slot))
+                    break;
+                cloud::TenantId id = provider.injectArrival(
+                    op.a % num_classes, op.b);
+                cloud::TenantState st =
+                    provider.tenants()[id]->state;
+                if (st == cloud::TenantState::Active
+                    || st == cloud::TenantState::Queued)
+                    slots[op.slot] = id;
+                else
+                    slots[op.slot].reset();
+                break;
+              }
+              case OpKind::CloudDepart:
+                // The tenant may already have departed on its own
+                // during a CloudStep; injectDeparture is then a
+                // no-op returning false.
+                if (slots[op.slot]) {
+                    provider.injectDeparture(*slots[op.slot]);
+                    slots[op.slot].reset();
+                }
+                break;
+              case OpKind::CloudStep:
+                provider.step();
+                break;
+              default:
+                break;
+            }
+            auditProvider(provider);
+        } catch (const InvariantError &e) {
+            return Failure{i, e.what()};
+        } catch (const FatalError &e) {
+            return Failure{i, strfmt("unexpected FatalError: %s",
+                                     e.what())};
+        }
+    }
+    return std::nullopt;
+}
+
 // ---------------------------------------------------------------
 // Shrinking: iterated single-op deletion to a fixpoint. Sequences
 // are small (tens of ops) and replays are cheap, so the quadratic
@@ -338,6 +450,7 @@ struct Options
     std::uint32_t opsPerSeed = 48;
     bool modeAlloc = true;
     bool modeSim = true;
+    bool modeCloud = true;
     bool shrink = true;
     bool verbose = false;
     Fault inject = Fault::None;
@@ -356,13 +469,19 @@ reportFailure(const char *mode, std::uint64_t seed,
     for (std::size_t i = 0; i < minimized.size(); ++i)
         std::fprintf(stderr, "    [%2zu] %s\n", i,
                      minimized[i].str().c_str());
+    int enabled = (opt.modeAlloc ? 1 : 0) + (opt.modeSim ? 1 : 0)
+        + (opt.modeCloud ? 1 : 0);
+    const char *only = "";
+    if (enabled == 1) {
+        only = opt.modeAlloc ? " --mode alloc"
+            : opt.modeSim    ? " --mode sim"
+                             : " --mode cloud";
+    }
     std::fprintf(stderr,
                  "  reproduce: fuzz_reconfig --seed %llu --ops %u"
-                 "%s%s%s\n",
+                 "%s%s\n",
                  static_cast<unsigned long long>(seed),
-                 opt.opsPerSeed,
-                 opt.modeAlloc && !opt.modeSim ? " --mode alloc" : "",
-                 opt.modeSim && !opt.modeAlloc ? " --mode sim" : "",
+                 opt.opsPerSeed, only,
                  opt.inject != Fault::None
                      ? strfmt(" --inject %s",
                               faultName(opt.inject)).c_str()
@@ -416,13 +535,29 @@ run(const Options &opt)
                 reportFailure("sim", seed, opt, min, mf);
             }
         }
+        if (opt.modeCloud) {
+            std::vector<Op> ops = genCloudOps(seed, opt.opsPerSeed);
+            if (auto f = replayCloud(ops, seed)) {
+                ++failures;
+                std::vector<Op> min = opt.shrink
+                    ? shrinkOps(ops,
+                                [seed](const std::vector<Op> &c) {
+                                    return replayCloud(c, seed)
+                                        .has_value();
+                                })
+                    : ops;
+                Failure mf = replayCloud(min, seed).value_or(*f);
+                reportFailure("cloud", seed, opt, min, mf);
+            }
+        }
     }
 
-    std::printf("fuzz_reconfig: %llu seed(s) x%s%s, %u ops each, "
+    std::printf("fuzz_reconfig: %llu seed(s) x%s%s%s, %u ops each, "
                 "invariants %s, inject=%s: %llu failure(s)\n",
                 static_cast<unsigned long long>(opt.numSeeds),
                 opt.modeAlloc ? " alloc" : "",
-                opt.modeSim ? " sim" : "", opt.opsPerSeed,
+                opt.modeSim ? " sim" : "",
+                opt.modeCloud ? " cloud" : "", opt.opsPerSeed,
                 invariantsEnabled ? "on" : "off",
                 faultName(opt.inject),
                 static_cast<unsigned long long>(failures));
@@ -465,10 +600,16 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--mode")) {
                 need(i, arg);
                 std::string mode = argv[++i];
-                opt.modeAlloc = mode == "alloc" || mode == "both";
-                opt.modeSim = mode == "sim" || mode == "both";
-                if (!opt.modeAlloc && !opt.modeSim)
-                    fatal("unknown mode '%s' (alloc|sim|both)",
+                // "both" predates the cloud layer and keeps meaning
+                // alloc+sim; "all" is everything.
+                opt.modeAlloc = mode == "alloc" || mode == "both"
+                    || mode == "all";
+                opt.modeSim = mode == "sim" || mode == "both"
+                    || mode == "all";
+                opt.modeCloud = mode == "cloud" || mode == "all";
+                if (!opt.modeAlloc && !opt.modeSim && !opt.modeCloud)
+                    fatal("unknown mode '%s' "
+                          "(alloc|sim|cloud|both|all)",
                           mode.c_str());
             } else if (!std::strcmp(arg, "--inject")) {
                 need(i, arg);
