@@ -35,8 +35,9 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     ConfigSpace space;
     CostModel cost;
     ExperimentParams ep = bench::benchParams();

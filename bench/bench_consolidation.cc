@@ -58,8 +58,9 @@ struct CellResult
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     // Two chip sizes spanning the consolidation pressure range: the
     // small chip fits only a couple of peak reservations, the large
     // one shows the packing gap at scale.

@@ -26,8 +26,9 @@
 using namespace cash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     ConfigSpace fine;
     ConfigSpace coarse(
         std::vector<VCoreConfig>{{1, 2}, {8, 64}});

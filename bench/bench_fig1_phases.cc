@@ -44,8 +44,9 @@ isLocalOptimum(const ConfigSpace &space,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     ConfigSpace space; // 8 slices x 8 cache steps = 64 configs
     const AppModel &x264 = appByName("x264");
     ProfileParams pp = bench::benchProfile();

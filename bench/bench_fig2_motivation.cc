@@ -18,8 +18,9 @@
 using namespace cash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     ConfigSpace space;
     CostModel cost;
     ExperimentParams ep = bench::seriesParams();

@@ -24,8 +24,9 @@
 using namespace cash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     ConfigSpace space;
     CostModel cost;
     const PolicyKind kinds[] = {PolicyKind::Oracle,

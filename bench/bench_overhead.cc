@@ -145,8 +145,9 @@ measureIterationCycles(std::uint32_t slices)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceOptions trace_opts(argc, argv);
     const double store_fracs[] = {0.1, 0.4, 0.8};
     const std::uint32_t slice_counts[] = {1, 2, 3};
 

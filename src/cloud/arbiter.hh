@@ -47,7 +47,7 @@ struct ArbiterParams
      *  real; do not thrash). */
     std::uint32_t compactInterval = 8;
     /** Per-tenant configuration cap (the provider's largest
-     *  sellable instance). */
+     *  sellable instance), in Slices and 64 KB L2 banks. */
     std::uint32_t maxSlices = 4;
     std::uint32_t maxBanks = 16;
 };

@@ -5,6 +5,8 @@
 #include "baselines/experiment.hh"
 #include "check/invariant.hh"
 #include "common/log.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace cash::cloud
 {
@@ -38,6 +40,19 @@ CloudProvider::CloudProvider(const ProviderParams &params)
 }
 
 CloudProvider::~CloudProvider() = default;
+
+namespace
+{
+
+/** Lifecycle events are timestamped at round granularity: one
+ *  provider round spans one quantum of simulated time. */
+Cycle
+roundTs(std::uint64_t round, Cycle quantum)
+{
+    return static_cast<Cycle>(round) * quantum;
+}
+
+} // namespace
 
 VCoreConfig
 CloudProvider::entryConfig(const TenantClass &cls) const
@@ -114,6 +129,16 @@ CloudProvider::activate(Tenant &t)
         t.monitor = std::make_unique<VCoreMonitor>(
             sim_, t.vcore, t.cls.kind, t.target);
     }
+
+    CASH_TRACE_INSTANT(trace::Category::Cloud, "admit",
+                       roundTs(round_, params_.quantum),
+                       {{"tenant", t.id},
+                        {"vcore", t.vcore},
+                        {"slices", entry.slices},
+                        {"banks", entry.banks},
+                        {"target", t.target},
+                        {"waited", round_ - t.arrivalRound}});
+    CASH_METRIC_INC("cloud.admits");
 }
 
 void
@@ -130,6 +155,15 @@ CloudProvider::depart(Tenant &t)
     t.billed = t.bill();
     t.samples = t.qosSamples();
     t.violations = t.qosViolations();
+    CASH_TRACE_INSTANT(trace::Category::Cloud, "depart",
+                       roundTs(round_, params_.quantum),
+                       {{"tenant", t.id},
+                        {"bill", t.billed},
+                        {"samples", t.samples},
+                        {"violations", t.violations},
+                        {"rounds", t.activeRounds}});
+    CASH_METRIC_INC("cloud.departs");
+    CASH_METRIC_SAMPLE("cloud.tenant_bill", t.billed);
     t.runtime.reset();
     t.monitor.reset();
 
@@ -160,10 +194,19 @@ CloudProvider::judgeArrival(Tenant &t)
         t.state = TenantState::Queued;
         t.patienceRounds = params_.admission.patienceRounds;
         queue_.push_back(t.id);
+        CASH_TRACE_INSTANT(trace::Category::Cloud, "queue",
+                           roundTs(round_, params_.quantum),
+                           {{"tenant", t.id},
+                            {"depth", queue_.size()}});
+        CASH_METRIC_INC("cloud.queued");
         break;
       case AdmissionVerdict::Reject:
         t.state = TenantState::Rejected;
         ++stats_.rejected;
+        CASH_TRACE_INSTANT(trace::Category::Cloud, "reject",
+                           roundTs(round_, params_.quantum),
+                           {{"tenant", t.id}});
+        CASH_METRIC_INC("cloud.rejects");
         break;
     }
 }
@@ -191,6 +234,11 @@ CloudProvider::processQueue()
         if (t.patienceRounds == 0) {
             t.state = TenantState::Rejected;
             ++stats_.abandoned;
+            CASH_TRACE_INSTANT(trace::Category::Cloud, "abandon",
+                               roundTs(round_, params_.quantum),
+                               {{"tenant", t.id},
+                                {"waited", round_ - t.arrivalRound}});
+            CASH_METRIC_INC("cloud.abandons");
             continue;
         }
         --t.patienceRounds;
@@ -419,6 +467,27 @@ CloudProvider::gateCommand(VCoreId vcore, const CommandRequest &req)
     GrantDecision d = arbiter_.decide(
         held, VCoreConfig{req.slices, req.banks}, sim_.allocator(),
         round_);
+    CASH_TRACE_INSTANT(trace::Category::Cloud, "grant",
+                       roundTs(round_, params_.quantum),
+                       {{"tenant", owner->id},
+                        {"vcore", vcore},
+                        {"req_slices", req.slices},
+                        {"req_banks", req.banks},
+                        {"got_slices", d.granted.slices},
+                        {"got_banks", d.granted.banks},
+                        {"kind", static_cast<int>(d.kind)},
+                        {"compact_first", d.compactFirst}});
+    switch (d.kind) {
+      case GrantKind::Full:
+        CASH_METRIC_INC("cloud.grants_full");
+        break;
+      case GrantKind::Partial:
+        CASH_METRIC_INC("cloud.grants_partial");
+        break;
+      case GrantKind::Denied:
+        CASH_METRIC_INC("cloud.grants_denied");
+        break;
+    }
     if (d.compactFirst) {
         CompactOutcome out = sim_.compact();
         arbiter_.noteCompacted(round_);

@@ -95,6 +95,8 @@ struct ProviderParams
     AdmissionParams admission;
     ArbiterParams arbiter;
     RuntimeParams runtime;
+    /** Per-tile rates billed to tenants ($0.0098/Slice-hr +
+     *  $0.0032/bank-hr by default, Table IV). */
     CostModel pricing;
     /** Arrival-stream seed (the only randomness in the layer). */
     std::uint64_t seed = 42;

@@ -47,11 +47,15 @@ class KalmanEstimator
      */
     double update(double q, double s);
 
+    /** A-posteriori estimate b_hat(t) (Eqn 4), in normalized-QoS
+     *  per unit of table-promised speedup. */
     double estimate() const { return bHat_; }
+    /** Error variance p(t) of the recursion (Eqn 4). */
     double errorVariance() const { return errVar_; }
     /** Relative innovation of the last update: |q - s*b^-| / max(q,eps).
      *  Large values signal a phase change. */
     double innovation() const { return innovation_; }
+    /** Kalman gain k(t) of the last update (Eqn 4). */
     double gain() const { return gain_; }
 
     /** Re-seed the estimate (e.g., after an external reset). */

@@ -47,11 +47,14 @@ struct QuantumSchedule
     std::size_t over = 0;
     /** Configuration run for the remainder (may equal over). */
     std::size_t under = 0;
+    /** t_over of Eqn 6, in cycles. */
     Cycle tOver = 0;
+    /** tau - t_over, in cycles. */
     Cycle tUnder = 0;
     /** Idle tail (only when even the cheapest config overshoots). */
     Cycle tIdle = 0;
-    /** Expected average speedup of the schedule. */
+    /** Expected average speedup of the schedule, in units of the
+     *  base configuration's throughput. */
     double expectedSpeedup = 0.0;
 };
 
@@ -61,6 +64,10 @@ struct QuantumSchedule
 class TwoConfigOptimizer
 {
   public:
+    /**
+     * @param space the configuration menu (tiles per config)
+     * @param cost pricing ($/Slice-hr, $/bank-hr) behind c_k
+     */
     explicit TwoConfigOptimizer(const ConfigSpace &space,
                                 const CostModel &cost);
 

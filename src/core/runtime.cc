@@ -5,6 +5,8 @@
 
 #include "check/invariant.hh"
 #include "common/log.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace cash
 {
@@ -132,6 +134,8 @@ CashRuntime::step()
         return st;
     }
 
+    const Cycle q_start = sim_.vcore(id_).now();
+
     // --- Estimator: track base speed; a large innovation is a
     // phase change (Sec IV-B). The estimate feeds phase detection
     // and the reported speedup command; the control integration
@@ -144,8 +148,17 @@ CashRuntime::step()
         st.phaseDetected = true;
         if (params_.rescaleOnPhase && b_pre > 1e-12)
             learner_.rescale(b_hat / b_pre);
+        CASH_TRACE_INSTANT(trace::Category::Runtime, "phase_change",
+                           q_start,
+                           {{"vcore", id_},
+                            {"innovation", kalman_.innovation()},
+                            {"b_pre", b_pre},
+                            {"b_hat", b_hat}});
+        CASH_METRIC_INC("runtime.phase_changes");
     }
     st.baseEstimate = b_hat;
+    CASH_TRACE_COUNTER(trace::Category::Runtime, "b_hat", q_start,
+                       "estimate", b_hat);
 
     // --- Controller: deadbeat integration of the QoS error
     // (Eqns 1-2). The demand is in normalized-QoS units and b_hat
@@ -155,6 +168,12 @@ CashRuntime::step()
     // table. b_hat is clamped away from degeneracy.
     double b_eff = std::clamp(b_hat, 0.25, 4.0);
     double q_demand = ctrl_.step(lastQ_, b_eff);
+    // QoS error as the controller sees it: shortfall against the
+    // normalized target of 1 (positive = under-delivering).
+    CASH_TRACE_COUNTER(trace::Category::Runtime, "qos_error",
+                       q_start, "error", 1.0 - lastQ_);
+    CASH_TRACE_COUNTER(trace::Category::Runtime, "demand", q_start,
+                       "q_demand", q_demand);
     double base_q = learner_.qhat(0);
     st.speedupCmd = base_q > 1e-12 ? q_demand / base_q : q_demand;
 
@@ -279,6 +298,24 @@ CashRuntime::step()
     }
 
     ++quantaRun_;
+    // One span per control period: the executed schedule and the
+    // learned speedups that justified it (Algorithm 1's output).
+    CASH_TRACE_SPAN(trace::Category::Runtime, "quantum", q_start,
+                    sim_.vcore(id_).now() - q_start,
+                    {{"vcore", id_},
+                     {"over", sched.over},
+                     {"under", sched.under},
+                     {"t_over", sched.tOver},
+                     {"t_under", sched.tUnder},
+                     {"qhat_over", learner_.qhat(sched.over)},
+                     {"qhat_under", learner_.qhat(sched.under)},
+                     {"s_cmd", st.speedupCmd},
+                     {"cost", st.cost},
+                     {"reconfigs", st.reconfigs}});
+    CASH_METRIC_INC("runtime.quanta");
+    CASH_METRIC_ADD("runtime.reconfigs", st.reconfigs);
+    CASH_METRIC_ADD("runtime.reconfig_stall_cycles",
+                    st.reconfigStall);
     if (validCycles_ > 0) {
         st.qos /= static_cast<double>(validCycles_);
         // Latency readings are steep and noisy (queueing): smooth
@@ -297,8 +334,13 @@ CashRuntime::step()
             if (ewmaQ_ < 1.0 - params_.violationTolerance) {
                 st.violations = 1;
                 ++totalViolations_;
+                CASH_METRIC_INC("runtime.violations");
             }
         }
+        CASH_TRACE_COUNTER(trace::Category::Runtime, "qos", q_start,
+                           "normalized", st.qos);
+        CASH_METRIC_SAMPLE("runtime.quantum_qos", st.qos);
+        CASH_METRIC_SAMPLE("runtime.quantum_cost", st.cost);
     }
     // The Kalman pairs the next measurement with the QoS this
     // schedule *promised* (per the learned table): the filtered

@@ -90,24 +90,41 @@ struct RuntimeParams
 };
 
 /**
- * Statistics of one runtime quantum.
+ * Statistics of one runtime quantum (one pass of Algorithm 1).
  */
 struct QuantumStats
 {
+    /** Simulated cycles the quantum actually covered (== tau minus
+     *  early termination; 1 cycle = 1 ns at the modeled 1 GHz). */
     Cycle cycles = 0;
-    /** $ charged for resources held this quantum. */
+    /** $ charged for resources held this quantum: the integral of
+     *  the per-tile rates ($0.0098/Slice-hr + $0.0032/bank-hr,
+     *  Table IV pricing) over `cycles`. */
     double cost = 0.0;
-    /** Mean normalized QoS across valid samples. */
+    /** Mean normalized QoS across valid samples (1.0 == target;
+     *  >1 over-delivering). */
     double qos = 0.0;
+    /** SLA samples contributed (0 during warm-up, else 1). */
     std::uint32_t samples = 0;
+    /** 1 when the smoothed QoS fell below 1 - tolerance. */
     std::uint32_t violations = 0;
+    /** EXPAND/SHRINK commands executed this quantum. */
     std::uint32_t reconfigs = 0;
+    /** Cycles stalled in reconfiguration (pipeline + register +
+     *  cache flushes; Tables I-II). */
     Cycle reconfigStall = 0;
+    /** Speedup command s(t) of Eqn 2, in units of the base
+     *  configuration's throughput. */
     double speedupCmd = 0.0;
+    /** Kalman a-posteriori base-speed estimate b_hat(t) (Eqn 4),
+     *  normalized-QoS per unit of table-promised QoS. */
     double baseEstimate = 0.0;
+    /** Innovation exceeded the phase threshold (Sec IV-B). */
     bool phaseDetected = false;
+    /** The bound workload ran out of trace. */
     bool finished = false;
-    /** Schedule actually executed. */
+    /** Schedule actually executed (Eqn 6's two-configuration mix,
+     *  post stickiness/merging; durations in cycles). */
     QuantumSchedule schedule;
 };
 
@@ -139,14 +156,20 @@ class CashRuntime
      *  the workload finishes; returns aggregated stats. */
     QuantumStats runUntil(Cycle target_cycle);
 
+    /** Base-speed estimator b_hat(t) (Eqns 3-4). */
     const KalmanEstimator &kalman() const { return kalman_; }
+    /** Deadbeat speedup controller s(t) (Eqns 1-2). */
     const DeadbeatController &controller() const { return ctrl_; }
+    /** Learned per-configuration speedup table q_hat (Eqn 7). */
     const SpeedupLearner &learner() const { return learner_; }
+    /** Index into the ConfigSpace currently held by the vcore. */
     std::size_t currentConfig() const { return currentCfg_; }
 
-    /** Total cost accumulated across all quanta. */
+    /** Total $ accumulated across all quanta. */
     double totalCost() const { return totalCost_; }
+    /** SLA samples across all quanta (warm-up excluded). */
     std::uint64_t totalSamples() const { return totalSamples_; }
+    /** Samples whose smoothed QoS fell below 1 - tolerance. */
     std::uint64_t totalViolations() const { return totalViolations_; }
 
   private:

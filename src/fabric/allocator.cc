@@ -5,6 +5,7 @@
 
 #include "check/invariant.hh"
 #include "common/log.hh"
+#include "trace/metrics.hh"
 
 namespace cash
 {
@@ -190,11 +191,15 @@ FabricAllocator::allocate(std::uint32_t num_slices,
     if (num_slices == 0)
         fatal("a virtual core needs at least one Slice");
     auto slices = pickSlices(num_slices, std::nullopt, {});
-    if (slices.size() != num_slices)
+    if (slices.size() != num_slices) {
+        CASH_METRIC_INC("fabric.alloc_fail");
         return std::nullopt;
+    }
     auto banks = pickBanks(num_banks, slices, {});
-    if (banks.size() != num_banks)
+    if (banks.size() != num_banks) {
+        CASH_METRIC_INC("fabric.alloc_fail");
         return std::nullopt;
+    }
 
     VCoreAllocation alloc;
     alloc.id = nextId_++;
@@ -203,6 +208,7 @@ FabricAllocator::allocate(std::uint32_t num_slices,
     markSlices(alloc.slices, true);
     markBanks(alloc.banks, true);
     live_[alloc.id] = alloc;
+    CASH_METRIC_INC("fabric.allocs");
 #if CASH_CHECK_INVARIANTS
     checkConsistency();
 #endif
@@ -244,6 +250,7 @@ FabricAllocator::resize(VCoreId id, std::uint32_t num_slices,
         ok = banks.size() == num_banks;
     }
     if (!ok) {
+        CASH_METRIC_INC("fabric.resize_fail");
         // Roll back: re-mark the original tiles.
         markSlices(cur.slices, true);
         markBanks(cur.banks, true);
@@ -257,6 +264,7 @@ FabricAllocator::resize(VCoreId id, std::uint32_t num_slices,
     cur.banks = std::move(banks);
     markSlices(cur.slices, true);
     markBanks(cur.banks, true);
+    CASH_METRIC_INC("fabric.resizes");
 #if CASH_CHECK_INVARIANTS
     checkConsistency();
 #endif
@@ -271,6 +279,7 @@ FabricAllocator::release(VCoreId id)
         fatal("release of unknown vcore %u", id);
     markSlices(it->second.slices, false);
     markBanks(it->second.banks, false);
+    CASH_METRIC_INC("fabric.releases");
 #if CASH_CHECK_INVARIANTS
     // Mutation test: leak one slice's used mark so the conservation
     // checker has a deliberate bug to catch (see check/invariant.hh).
@@ -324,6 +333,7 @@ FabricAllocator::compact()
     // restored and nothing moves.
     double old_frag = fragmentation();
     double old_dist = meanLiveL2Distance();
+    CASH_METRIC_SAMPLE("fabric.fragmentation_at_compact", old_frag);
     auto old_live = live_;
     auto old_slice_used = sliceUsed_;
     auto old_bank_used = bankUsed_;

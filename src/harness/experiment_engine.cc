@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "common/log.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace cash::harness
 {
@@ -121,7 +123,18 @@ ExperimentEngine::run(std::vector<Cell> cells)
         CellTiming &timing = report_.cells[base + i];
         timing.key = cell.key;
         std::exception_ptr &error = errors[i];
-        pool_.submit([&cell, &timing, &error] {
+        // Track 0 is ambient (standalone emits); cells own tracks
+        // 1..N in declaration order, so a drained trace has one
+        // single-producer track per cell and canonical order holds
+        // at any thread count (see TraceSession::drain).
+        const std::uint64_t track = base + i + 1;
+        pool_.submit([&cell, &timing, &error, track] {
+            trace::TrackScope scope(track);
+            [[maybe_unused]] double start_us = 0.0;
+            if (CASH_TRACE_ON()) {
+                trace::nameCurrentTrack(cell.key.str());
+                start_us = trace::TraceSession::active()->hostNowUs();
+            }
             auto c0 = clock::now();
             try {
                 cell.fn();
@@ -132,6 +145,10 @@ ExperimentEngine::run(std::vector<Cell> cells)
                 std::chrono::duration<double, std::milli>(
                     clock::now() - c0)
                     .count();
+            CASH_TRACE_HOST_SPAN(trace::Category::Engine, "cell",
+                                 start_us, timing.millis * 1e3,
+                                 {{"cell", track - 1}});
+            CASH_METRIC_INC("engine.cells");
         });
     }
     pool_.wait();

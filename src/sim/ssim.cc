@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace cash
 {
@@ -112,12 +114,24 @@ SSim::compact()
             continue; // the bare runtime-home allocation
         const VCoreAllocation &a = alloc_.allocation(id);
         ++rinMessages_; // the migration command
+        const Cycle t0 = it->second->now();
         ReconfigCost rc = it->second->reconfigure(
             a.slices, a.banks, rinLatency(a.slices.front()));
+        CASH_TRACE_SPAN(trace::Category::Fabric, "compact_move", t0,
+                        rc.totalStall(),
+                        {{"vcore", id},
+                         {"slices", a.slices.size()},
+                         {"banks", a.banks.size()},
+                         {"l2_flush_cycles", rc.l2FlushCycles},
+                         {"stall", rc.totalStall()}});
+        CASH_METRIC_SAMPLE("fabric.compact_move_stall",
+                           static_cast<double>(rc.totalStall()));
         out.totalStall += rc.totalStall();
         out.moved.push_back(id);
         out.stalls.push_back(rc.totalStall());
     }
+    CASH_METRIC_INC("fabric.compactions");
+    CASH_METRIC_ADD("fabric.compact_moves", out.moved.size());
     return out;
 }
 
@@ -126,20 +140,67 @@ SSim::command(VCoreId id, std::uint32_t num_slices,
               std::uint32_t num_banks)
 {
     VirtualCore &vc = vcore(id);
+    const std::uint32_t old_slices = vc.numSlices();
+    const std::uint32_t old_banks = vc.numBanks();
+    CASH_METRIC_INC("fabric.commands");
     if (gate_) {
         auto granted =
             gate_(id, CommandRequest{num_slices, num_banks});
-        if (!granted)
+        if (!granted) {
+            CASH_TRACE_INSTANT(trace::Category::Fabric, "deny_gate",
+                               vc.now(),
+                               {{"vcore", id},
+                                {"req_slices", num_slices},
+                                {"req_banks", num_banks}});
+            CASH_METRIC_INC("fabric.denied_gate");
             return std::nullopt;
+        }
         num_slices = granted->slices;
         num_banks = granted->banks;
     }
     auto alloc = alloc_.resize(id, num_slices, num_banks);
-    if (!alloc)
+    if (!alloc) {
+        CASH_TRACE_INSTANT(trace::Category::Fabric, "deny_fabric",
+                           vc.now(),
+                           {{"vcore", id},
+                            {"req_slices", num_slices},
+                            {"req_banks", num_banks}});
+        CASH_METRIC_INC("fabric.denied_fabric");
         return std::nullopt;
+    }
     ++rinMessages_; // the EXPAND/SHRINK command itself
     Cycle cmd_lat = rinLatency(alloc->slices.front());
-    return vc.reconfigure(alloc->slices, alloc->banks, cmd_lat);
+    const Cycle t0 = vc.now();
+    ReconfigCost rc =
+        vc.reconfigure(alloc->slices, alloc->banks, cmd_lat);
+    // A granted command is an EXPAND or a SHRINK in the RIN's
+    // vocabulary; a mixed or unchanged resize (arbiter clamps can
+    // produce either) is traced as a plain RECONFIG.
+    const bool grew =
+        num_slices > old_slices || num_banks > old_banks;
+    const bool shrank =
+        num_slices < old_slices || num_banks < old_banks;
+    const char *dir =
+        grew == shrank ? "RECONFIG" : grew ? "EXPAND" : "SHRINK";
+    CASH_TRACE_SPAN(trace::Category::Fabric, dir, t0,
+                    rc.totalStall(),
+                    {{"vcore", id},
+                     {"from_slices", old_slices},
+                     {"from_banks", old_banks},
+                     {"to_slices", num_slices},
+                     {"to_banks", num_banks},
+                     {"cmd_latency", rc.commandLatency},
+                     {"pipeline_flush", rc.pipelineFlush},
+                     {"reg_flush_cycles", rc.regFlushCycles},
+                     {"l2_flush_cycles", rc.l2FlushCycles},
+                     {"l1_flush_cycles", rc.l1FlushCycles}});
+    if (grew && !shrank)
+        CASH_METRIC_INC("fabric.expands");
+    else if (shrank && !grew)
+        CASH_METRIC_INC("fabric.shrinks");
+    CASH_METRIC_SAMPLE("fabric.reconfig_stall",
+                       static_cast<double>(rc.totalStall()));
+    return rc;
 }
 
 } // namespace cash

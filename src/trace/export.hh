@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace and metric exporters.
+ *
+ * Two output formats close the loop from instrumentation to
+ * human/tool consumption:
+ *
+ *  - Chrome trace_event JSON (the "JSON Array Format" with a
+ *    `traceEvents` wrapper object): load the file in
+ *    chrome://tracing or https://ui.perfetto.dev. Each CASH track
+ *    becomes one "process" (pid = track id, named via metadata
+ *    events), so experiment cells appear as parallel swim lanes;
+ *    counter events (QoS, b(t), cost rate) render as line tracks.
+ *    Timestamps are microseconds: simulated (1 cycle = 1 ns) for
+ *    runtime/fabric/cloud events, host for engine-cell spans.
+ *  - Metrics CSV via common/csv.hh (one row per counter/histogram)
+ *    plus a human-readable summary table.
+ *
+ * Output is deterministic: events are written in
+ * TraceSession::drain() canonical order with fixed number
+ * formatting, so two traces of the same run diff clean (minus host
+ * timestamps).
+ */
+
+#ifndef CASH_TRACE_EXPORT_HH
+#define CASH_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cash::trace
+{
+
+/** Serialize drained events + track names as Chrome trace JSON. */
+void writeChromeTrace(std::ostream &out,
+                      const std::vector<TraceEvent> &events,
+                      const std::map<std::uint64_t, std::string>
+                          &track_names);
+
+/** Drain `session` and serialize it as Chrome trace JSON. */
+void writeChromeTrace(std::ostream &out,
+                      const TraceSession &session);
+
+/**
+ * writeChromeTrace into `path`; warn() and return false if the file
+ * cannot be opened. Also warn()s when the session overwrote events
+ * (ring wrap-around) so a truncated trace is never mistaken for a
+ * complete one.
+ */
+bool writeChromeTraceFile(const std::string &path,
+                          const TraceSession &session);
+
+/** One Chrome-trace JSON line for an event (exposed for tests). */
+std::string chromeTraceLine(const TraceEvent &ev);
+
+} // namespace cash::trace
+
+#endif // CASH_TRACE_EXPORT_HH

@@ -1,0 +1,307 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hh"
+#include "trace/metrics.hh"
+
+namespace cash::trace
+{
+
+namespace detail
+{
+std::atomic<TraceSession *> g_active{nullptr};
+} // namespace detail
+
+namespace
+{
+
+/** Monotone id handed to each install() (TLS cache key; never 0). */
+std::atomic<std::uint64_t> g_generation{0};
+
+/** Calling thread's registered buffer for a given generation. */
+struct TlsBufferRef
+{
+    std::uint64_t generation = 0;
+    ThreadBuffer *buffer = nullptr;
+};
+thread_local TlsBufferRef t_buffer;
+
+thread_local std::uint64_t t_track = 0;
+
+double
+steadyNowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Runtime: return "runtime";
+      case Category::Fabric: return "fabric";
+      case Category::Cloud: return "cloud";
+      case Category::Engine: return "engine";
+    }
+    return "?";
+}
+
+ThreadBuffer::ThreadBuffer(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 1))
+{}
+
+void
+ThreadBuffer::push(TraceEvent ev)
+{
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    ev.seq = h;
+    slots_[h % slots_.size()] = ev;
+    // Release so a reader that acquires head_ after the producer
+    // quiesced observes every stored slot.
+    head_.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent>
+ThreadBuffer::snapshot() const
+{
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
+    std::vector<TraceEvent> out;
+    out.reserve(n);
+    for (std::uint64_t i = h - n; i < h; ++i)
+        out.push_back(slots_[i % slots_.size()]);
+    return out;
+}
+
+std::uint64_t
+ThreadBuffer::overwritten() const
+{
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    return h > slots_.size() ? h - slots_.size() : 0;
+}
+
+TraceSession::TraceSession(const TraceConfig &config)
+    : config_(config)
+{}
+
+TraceSession::~TraceSession()
+{
+    uninstall();
+}
+
+TraceSession *
+TraceSession::active()
+{
+    return detail::g_active.load(std::memory_order_acquire);
+}
+
+void
+TraceSession::install()
+{
+    TraceSession *expected = nullptr;
+    generation_ =
+        g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+    installEpochUs_ = steadyNowUs();
+    if (!detail::g_active.compare_exchange_strong(
+            expected, this, std::memory_order_acq_rel)) {
+        fatal("a TraceSession is already installed");
+    }
+    // Each recording starts from zeroed metrics, so a bench's
+    // summary table covers exactly the traced run.
+    MetricsRegistry::global().reset();
+}
+
+void
+TraceSession::uninstall()
+{
+    TraceSession *expected = this;
+    detail::g_active.compare_exchange_strong(
+        expected, nullptr, std::memory_order_acq_rel);
+}
+
+ThreadBuffer &
+TraceSession::threadBuffer()
+{
+    if (t_buffer.generation == generation_ && t_buffer.buffer)
+        return *t_buffer.buffer;
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(
+        std::make_unique<ThreadBuffer>(config_.bufferCapacity));
+    t_buffer = {generation_, buffers_.back().get()};
+    return *t_buffer.buffer;
+}
+
+std::vector<TraceEvent>
+TraceSession::drain() const
+{
+    std::vector<std::vector<TraceEvent>> parts;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        parts.reserve(buffers_.size());
+        for (const auto &b : buffers_)
+            parts.push_back(b->snapshot());
+    }
+    std::vector<TraceEvent> all;
+    std::size_t total = 0;
+    for (const auto &p : parts)
+        total += p.size();
+    all.reserve(total);
+    // Tag each event with its buffer index so the sort has a
+    // deterministic tie-break for multi-producer tracks (tests);
+    // single-producer tracks — the normal case — never need it.
+    std::vector<std::size_t> bufOf;
+    bufOf.reserve(total);
+    for (std::size_t bi = 0; bi < parts.size(); ++bi) {
+        for (const TraceEvent &ev : parts[bi]) {
+            all.push_back(ev);
+            bufOf.push_back(bi);
+        }
+    }
+    std::vector<std::size_t> idx(all.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (all[a].track != all[b].track)
+                      return all[a].track < all[b].track;
+                  if (bufOf[a] != bufOf[b])
+                      return bufOf[a] < bufOf[b];
+                  return all[a].seq < all[b].seq;
+              });
+    std::vector<TraceEvent> out;
+    out.reserve(all.size());
+    for (std::size_t i : idx)
+        out.push_back(all[i]);
+    return out;
+}
+
+void
+TraceSession::setTrackName(std::uint64_t track,
+                           const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trackNames_[track] = name;
+}
+
+std::map<std::uint64_t, std::string>
+TraceSession::trackNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trackNames_;
+}
+
+std::uint64_t
+TraceSession::overwritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &b : buffers_)
+        total += b->overwritten();
+    return total;
+}
+
+double
+TraceSession::hostNowUs() const
+{
+    if (installEpochUs_ == 0.0)
+        return 0.0;
+    return steadyNowUs() - installEpochUs_;
+}
+
+std::uint64_t
+currentTrack()
+{
+    return t_track;
+}
+
+TrackScope::TrackScope(std::uint64_t track)
+    : prev_(t_track)
+{
+    t_track = track;
+}
+
+TrackScope::TrackScope(std::uint64_t track, const std::string &name)
+    : TrackScope(track)
+{
+    nameCurrentTrack(name);
+}
+
+TrackScope::~TrackScope()
+{
+    t_track = prev_;
+}
+
+void
+nameCurrentTrack(const std::string &name)
+{
+    if (TraceSession *s = TraceSession::active())
+        s->setTrackName(t_track, name);
+}
+
+namespace
+{
+
+void
+emitImpl(Category cat, EventKind kind, const char *name, double ts,
+         double dur, std::initializer_list<Arg> args)
+{
+    TraceSession *s = TraceSession::active();
+    if (!s)
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.kind = kind;
+    ev.track = t_track;
+    ev.ts = ts;
+    ev.dur = dur;
+    for (const Arg &a : args) {
+        if (ev.numArgs == maxArgs)
+            break;
+        ev.argKey[ev.numArgs] = a.key;
+        ev.argVal[ev.numArgs] = a.value;
+        ++ev.numArgs;
+    }
+    s->threadBuffer().push(ev);
+}
+
+} // namespace
+
+void
+emitInstant(Category cat, const char *name, Cycle ts,
+            std::initializer_list<Arg> args)
+{
+    emitImpl(cat, EventKind::Instant, name, usFromCycles(ts), 0.0,
+             args);
+}
+
+void
+emitSpan(Category cat, const char *name, Cycle ts, Cycle dur,
+         std::initializer_list<Arg> args)
+{
+    emitImpl(cat, EventKind::Complete, name, usFromCycles(ts),
+             usFromCycles(dur), args);
+}
+
+void
+emitCounter(Category cat, const char *name, Cycle ts,
+            const char *key, double value)
+{
+    emitImpl(cat, EventKind::Counter, name, usFromCycles(ts), 0.0,
+             {{key, value}});
+}
+
+void
+emitHostSpan(Category cat, const char *name, double ts_us,
+             double dur_us, std::initializer_list<Arg> args)
+{
+    emitImpl(cat, EventKind::Complete, name, ts_us, dur_us, args);
+}
+
+} // namespace cash::trace

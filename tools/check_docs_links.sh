@@ -1,0 +1,61 @@
+#!/bin/sh
+# Link checker for the repo's markdown documentation.
+#
+# Verifies, without network access, that
+#  1. every relative markdown link target `[text](path)` exists, and
+#  2. every backtick-quoted *.md cross-reference (the repo's dominant
+#     citation style, e.g. `DESIGN.md` or `docs/TUTORIAL.md`) exists.
+# Targets resolve against the repo root or the referencing file's
+# directory. External links (http/https/mailto) and pure #anchors are
+# skipped. Exits nonzero listing every broken reference.
+#
+# Run from anywhere: ./tools/check_docs_links.sh
+set -u
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root" || exit 1
+
+files="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md CHANGES.md"
+for f in docs/*.md; do
+    [ -e "$f" ] && files="$files $f"
+done
+
+status=0
+checked=0
+
+check_target() {
+    # $1 = referencing file, $2 = raw link target
+    case "$2" in
+        http://* | https://* | mailto:* | '#'*) return 0 ;;
+    esac
+    target=${2%%#*} # drop any anchor
+    [ -n "$target" ] || return 0
+    checked=$((checked + 1))
+    dir=$(dirname "$1")
+    if [ ! -e "$target" ] && [ ! -e "$dir/$target" ]; then
+        echo "$1: broken reference -> $2" >&2
+        status=1
+    fi
+}
+
+for f in $files; do
+    [ -f "$f" ] || continue
+
+    # Pass 1: markdown inline links [text](target).
+    for link in $(grep -o '](\([^)]*\))' "$f" |
+        sed 's/^](//; s/)$//' | sort -u); do
+        check_target "$f" "$link"
+    done
+
+    # Pass 2: backtick-quoted .md references, with or without a
+    # trailing section marker inside the backticks.
+    for ref in $(grep -o '`[A-Za-z0-9_./-]*\.md`' "$f" |
+        sed 's/`//g' | sort -u); do
+        check_target "$f" "$ref"
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "docs links OK ($checked references checked)"
+fi
+exit "$status"

@@ -22,11 +22,15 @@
  *   fuzz_reconfig --seeds 64 --inject alloc-leak   # mutation test:
  *       the named deliberate bug must be caught and shrunk
  *       (requires a CASH_CHECK_INVARIANTS build)
+ *   fuzz_reconfig --seed 7 --trace out.json # Chrome-trace timeline
+ *       of the replay (open in ui.perfetto.dev); --metrics out.csv
+ *       writes the aggregate counters
  */
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,6 +42,9 @@
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "sim/ssim.hh"
+#include "trace/export.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "workload/trace_gen.hh"
 
 namespace cash
@@ -454,6 +461,8 @@ struct Options
     bool shrink = true;
     bool verbose = false;
     Fault inject = Fault::None;
+    std::string tracePath;   ///< --trace: Chrome trace_event JSON
+    std::string metricsPath; ///< --metrics: aggregate counters CSV
 };
 
 void
@@ -614,6 +623,12 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--inject")) {
                 need(i, arg);
                 opt.inject = faultFromName(argv[++i]);
+            } else if (!std::strcmp(arg, "--trace")) {
+                need(i, arg);
+                opt.tracePath = argv[++i];
+            } else if (!std::strcmp(arg, "--metrics")) {
+                need(i, arg);
+                opt.metricsPath = argv[++i];
             } else if (!std::strcmp(arg, "--no-shrink")) {
                 opt.shrink = false;
             } else if (!std::strcmp(arg, "--verbose")) {
@@ -624,7 +639,38 @@ main(int argc, char **argv)
         }
         if (opt.opsPerSeed == 0 || opt.numSeeds == 0)
             fatal("--seeds and --ops must be positive");
-        return run(opt);
+        std::unique_ptr<trace::TraceSession> session;
+        if (!opt.tracePath.empty() || !opt.metricsPath.empty()) {
+            if (!trace::compiledIn)
+                warn("built with CASH_TRACE=OFF: --trace/--metrics "
+                     "output will be empty");
+            session = std::make_unique<trace::TraceSession>();
+            session->install();
+        }
+        int rc = run(opt);
+        if (session) {
+            session->uninstall();
+            if (!opt.tracePath.empty()
+                && trace::writeChromeTraceFile(opt.tracePath,
+                                               *session)) {
+                inform("trace: wrote %s (open in ui.perfetto.dev "
+                       "or chrome://tracing)",
+                       opt.tracePath.c_str());
+            }
+            if (!opt.metricsPath.empty()) {
+                std::ofstream out(opt.metricsPath);
+                if (out.is_open())
+                    trace::MetricsRegistry::global().writeCsv(out);
+                else
+                    warn("cannot open '%s' for the metric summary",
+                         opt.metricsPath.c_str());
+            }
+            std::string table =
+                trace::MetricsRegistry::global().summaryTable();
+            if (!table.empty())
+                std::fputs(table.c_str(), stderr);
+        }
+        return rc;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fuzz_reconfig: %s\n", e.what());
         return 2;
