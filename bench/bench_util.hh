@@ -38,6 +38,7 @@
 #include "harness/experiment_engine.hh"
 #include "trace/export.hh"
 #include "trace/metrics.hh"
+#include "trace/options.hh"
 #include "trace/trace.hh"
 
 namespace cash::bench
@@ -109,93 +110,32 @@ finishBench(harness::ExperimentEngine &engine,
  *
  *   bench_x --trace out.json [--metrics out.csv]
  *
- * Construct first thing in main(); a TraceSession is installed for
- * the object's lifetime when --trace or --metrics is given. On
- * scope exit the session is uninstalled (after the engine's pool
- * has drained — benches run their cells inside main), the Chrome
- * trace_event JSON is written (open in ui.perfetto.dev or
- * chrome://tracing), the optional metric CSV is written, and the
- * metric summary table goes to stderr. stdout is never touched, so
- * the determinism contract — byte-identical stdout at any thread
- * count — holds with tracing on.
+ * A thin wrapper over the shared trace::TraceOptions
+ * (trace/options.hh), which implements the flags, the session
+ * lifetime, and the exports. The bench layer adds exactly one
+ * policy: benches take no other arguments, so anything left in argv
+ * after extraction earns a warning rather than being passed on.
  */
 class TraceOptions
 {
   public:
-    TraceOptions(int argc, char **argv)
+    TraceOptions(int argc, char **argv) : opts_(argc, argv)
     {
-        for (int i = 1; i < argc; ++i) {
-            std::string arg = argv[i];
-            auto value = [&](const char *flag)
-                -> std::optional<std::string> {
-                std::string prefix = std::string(flag) + "=";
-                if (arg.rfind(prefix, 0) == 0)
-                    return arg.substr(prefix.size());
-                if (arg == flag) {
-                    if (i + 1 >= argc)
-                        fatal("%s needs a file argument", flag);
-                    return std::string(argv[++i]);
-                }
-                return std::nullopt;
-            };
-            if (auto v = value("--trace"))
-                tracePath_ = *v;
-            else if (auto v = value("--metrics"))
-                metricsPath_ = *v;
-            else
-                warn("unknown argument '%s' ignored (supported: "
-                     "--trace <file>, --metrics <file>)",
-                     arg.c_str());
-        }
-        if (tracePath_.empty() && metricsPath_.empty())
-            return;
-        if (!trace::compiledIn)
-            warn("built with CASH_TRACE=OFF: --trace/--metrics "
-                 "output will be empty");
-        session_ = std::make_unique<trace::TraceSession>();
-        session_->install();
-    }
-
-    ~TraceOptions()
-    {
-        if (!session_)
-            return;
-        session_->uninstall();
-        if (!tracePath_.empty()
-            && trace::writeChromeTraceFile(tracePath_, *session_)) {
-            inform("trace: wrote %s (open in ui.perfetto.dev or "
-                   "chrome://tracing)",
-                   tracePath_.c_str());
-        }
-        auto &reg = trace::MetricsRegistry::global();
-        if (!metricsPath_.empty()) {
-            std::ofstream out(metricsPath_);
-            if (out.is_open()) {
-                reg.writeCsv(out);
-                inform("trace: wrote metric summary %s",
-                       metricsPath_.c_str());
-            } else {
-                warn("cannot open '%s' for the metric summary",
-                     metricsPath_.c_str());
-            }
-        }
-        // Summary to stderr only: stdout must stay byte-identical
-        // with and without tracing.
-        std::string table = reg.summaryTable();
-        if (!table.empty())
-            std::fputs(table.c_str(), stderr);
+        // opts_ compacted argv in place; argc now counts leftovers.
+        for (int i = 1; i < argc; ++i)
+            warn("unknown argument '%s' ignored (supported: "
+                 "--trace <file>, --metrics <file>)",
+                 argv[i]);
     }
 
     TraceOptions(const TraceOptions &) = delete;
     TraceOptions &operator=(const TraceOptions &) = delete;
 
     /** True when a session was installed for this run. */
-    bool enabled() const { return session_ != nullptr; }
+    bool enabled() const { return opts_.enabled(); }
 
   private:
-    std::string tracePath_;
-    std::string metricsPath_;
-    std::unique_ptr<trace::TraceSession> session_;
+    trace::TraceOptions opts_;
 };
 
 /** Open a CSV file when CASH_BENCH_CSV is set. */

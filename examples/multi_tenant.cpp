@@ -11,7 +11,9 @@
  * injected up front, further customers arrive stochastically, and
  * the provider handles admission, fabric arbitration between the
  * per-tenant runtimes, billing, and SLA accounting. The example
- * just watches.
+ * just watches, then shuts the provider down the way the service
+ * daemon does: drain() closes admissions, departs every remaining
+ * tenant, and returns the finalized bills.
  *
  * Build and run:  ./build/examples/multi_tenant
  */
@@ -112,20 +114,27 @@ main()
                 static_cast<unsigned long long>(ab.denials),
                 static_cast<unsigned long long>(ab.compactions));
 
-    std::printf("\nper-tenant bills:\n");
-    for (const auto &tp : provider.tenants()) {
-        const Tenant &t = *tp;
-        if (t.state != TenantState::Active
-            && t.state != TenantState::Departed)
-            continue;
-        std::printf("  tenant %-2u %-8s %-8s %.4f u$, violations "
+    // End of business: drain the provider. Admissions close, every
+    // still-active tenant departs, and each admitted customer gets
+    // a finalized bill — the same path the service daemon takes on
+    // SIGTERM.
+    std::vector<FinalBill> bills = provider.drain();
+    std::printf("\nfinal bills after drain (%zu customers, "
+                "admissions %s):\n",
+                bills.size(),
+                provider.draining() ? "closed" : "open");
+    double total = 0.0;
+    for (const FinalBill &b : bills) {
+        std::printf("  tenant %-2u %-8s %.4f u$, violations "
                     "%llu/%llu\n",
-                    t.id, t.cls.app.c_str(),
-                    tenantStateName(t.state), t.bill() * 1e6,
+                    b.tenant, b.app.c_str(), b.bill * 1e6,
                     static_cast<unsigned long long>(
-                        t.qosViolations()),
-                    static_cast<unsigned long long>(
-                        t.qosSamples()));
+                        b.qosViolations),
+                    static_cast<unsigned long long>(b.qosSamples));
+        total += b.bill;
     }
+    std::printf("  total billed %.4f u$ (provider departed "
+                "revenue %.4f u$)\n",
+                total * 1e6, provider.revenue() * 1e6);
     return 0;
 }

@@ -182,6 +182,17 @@ CloudProvider::depart(Tenant &t)
 void
 CloudProvider::judgeArrival(Tenant &t)
 {
+    if (draining_) {
+        // Admissions are closed; the arrival still consumed its
+        // stream draws (processArrivals) so determinism holds.
+        t.state = TenantState::Rejected;
+        ++stats_.rejected;
+        CASH_TRACE_INSTANT(trace::Category::Cloud, "reject",
+                           roundTs(round_, params_.quantum),
+                           {{"tenant", t.id}, {"draining", 1}});
+        CASH_METRIC_INC("cloud.rejects");
+        return;
+    }
     AdmissionVerdict v = admission_.judge(
         entryConfig(t.cls), sim_.allocator(),
         static_cast<std::uint32_t>(queue_.size()));
@@ -409,6 +420,39 @@ CloudProvider::injectDeparture(TenantId id)
         return true;
     }
     return false;
+}
+
+std::vector<FinalBill>
+CloudProvider::drain()
+{
+    draining_ = true;
+
+    // Queued tenants never held fabric: they abandon (the lifecycle
+    // algebra auditProvider checks counts them as turned away).
+    std::vector<TenantId> waiting = queue_;
+    for (TenantId id : waiting)
+        injectDeparture(id);
+
+    // Finalize every active tenant, ascending id for determinism.
+    for (auto &tp : tenants_)
+        if (tp->state == TenantState::Active)
+            depart(*tp);
+
+    CASH_TRACE_INSTANT(trace::Category::Cloud, "drain",
+                       roundTs(round_, params_.quantum),
+                       {{"departed", stats_.departed},
+                        {"revenue", stats_.departedRevenue}});
+    CASH_METRIC_INC("cloud.drains");
+
+    std::vector<FinalBill> bills;
+    for (const auto &tp : tenants_) {
+        const Tenant &t = *tp;
+        if (t.state != TenantState::Departed)
+            continue;
+        bills.push_back({t.id, t.cls.app, t.bill(), t.qosSamples(),
+                         t.qosViolations()});
+    }
+    return bills;
 }
 
 std::vector<TenantId>

@@ -104,6 +104,17 @@ struct ProviderParams
     std::vector<TenantClass> catalog;
 };
 
+/** One tenant's finalized bill, as returned by drain(). */
+struct FinalBill
+{
+    TenantId tenant = invalidTenant;
+    /** Catalog application the tenant ran. */
+    std::string app;
+    double bill = 0.0;
+    std::uint64_t qosSamples = 0;
+    std::uint64_t qosViolations = 0;
+};
+
 /** Aggregate provider-side accounting. */
 struct ProviderStats
 {
@@ -186,6 +197,23 @@ class CloudProvider
      *  @return false if the id is unknown or already gone */
     bool injectDeparture(TenantId id);
 
+    /**
+     * Graceful teardown: stop admissions (every later arrival is
+     * rejected), abandon the waiting queue, depart every active
+     * tenant now, and finalize its bill. Before this existed the
+     * only teardown was the destructor, which dropped active
+     * tenants' running bills on the floor — the daemon needs the
+     * explicit path, and batch drivers get honest final accounting.
+     *
+     * Idempotent; stepping a drained provider is legal (it hosts
+     * nothing and admits nothing). @return the final bill of every
+     * tenant that was ever billed (Departed), ascending TenantId.
+     */
+    std::vector<FinalBill> drain();
+
+    /** True once drain() has run (admissions are closed). */
+    bool draining() const { return draining_; }
+
     // --- Introspection.
 
     const SSim &chip() const { return sim_; }
@@ -254,6 +282,8 @@ class CloudProvider
     std::vector<TenantId> queue_;
     std::uint64_t round_ = 0;
     ProviderStats stats_;
+    /** Set by drain(): admissions closed, arrivals auto-reject. */
+    bool draining_ = false;
 };
 
 } // namespace cash::cloud

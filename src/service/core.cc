@@ -1,0 +1,183 @@
+#include "service/core.hh"
+
+#include "check/audit.hh"
+#include "common/log.hh"
+#include "trace/metrics.hh"
+
+namespace cash::service
+{
+
+ServiceCore::ServiceCore(cloud::CloudProvider &provider,
+                         bool audit_each_quantum)
+    : provider_(provider), audit_(audit_each_quantum)
+{}
+
+void
+ServiceCore::maybeAudit()
+{
+    if (audit_)
+        auditProvider(provider_);
+}
+
+JsonValue
+ServiceCore::apply(const Request &req)
+{
+    JsonValue resp;
+    switch (req.op) {
+      case Op::Ping:
+        resp = okResponse(req.id);
+        resp.set("round", JsonValue(provider_.round()));
+        break;
+      case Op::Arrive:
+        resp = applyArrive(req);
+        break;
+      case Op::Depart:
+        resp = applyDepart(req);
+        break;
+      case Op::Query:
+        resp = applyQuery(req);
+        break;
+      case Op::Step:
+        resp = applyStep(req);
+        break;
+      case Op::Snapshot:
+        resp = applySnapshot(req);
+        break;
+      case Op::Drain:
+        resp = drainReport();
+        resp.set("id", JsonValue(req.id));
+        break;
+    }
+    ++stats_.applied;
+    if (auto ok = resp.getBool("ok"); ok && !*ok)
+        ++stats_.failed;
+    maybeAudit();
+    return resp;
+}
+
+JsonValue
+ServiceCore::applyArrive(const Request &req)
+{
+    if (provider_.draining())
+        return errorResponse(req.id, errors::Draining,
+                             "provider is draining");
+    std::size_t classes = provider_.params().catalog.size();
+    if (req.cls >= classes)
+        return errorResponse(
+            req.id, errors::BadRequest,
+            strfmt("class %u out of range (catalog has %zu)",
+                   req.cls, classes));
+    cloud::TenantId id =
+        provider_.injectArrival(req.cls, req.residence);
+    const cloud::Tenant &t = *provider_.tenants()[id];
+    JsonValue resp = okResponse(req.id);
+    resp.set("tenant", JsonValue(id));
+    resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
+    resp.set("app", JsonValue(t.cls.app));
+    CASH_METRIC_INC("service.arrives");
+    return resp;
+}
+
+JsonValue
+ServiceCore::applyDepart(const Request &req)
+{
+    if (!provider_.injectDeparture(req.tenant))
+        return errorResponse(
+            req.id, errors::UnknownTenant,
+            strfmt("tenant %u unknown or already gone", req.tenant));
+    const cloud::Tenant &t = *provider_.tenants()[req.tenant];
+    JsonValue resp = okResponse(req.id);
+    resp.set("tenant", JsonValue(req.tenant));
+    resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
+    resp.set("bill", JsonValue(t.bill()));
+    CASH_METRIC_INC("service.departs");
+    return resp;
+}
+
+JsonValue
+ServiceCore::applyQuery(const Request &req)
+{
+    if (req.tenant >= provider_.tenants().size())
+        return errorResponse(req.id, errors::UnknownTenant,
+                             strfmt("tenant %u unknown", req.tenant));
+    const cloud::Tenant &t = *provider_.tenants()[req.tenant];
+    JsonValue resp = okResponse(req.id);
+    resp.set("tenant", JsonValue(req.tenant));
+    resp.set("app", JsonValue(t.cls.app));
+    resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
+    resp.set("bill", JsonValue(t.bill()));
+    resp.set("qos_samples", JsonValue(t.qosSamples()));
+    resp.set("qos_violations", JsonValue(t.qosViolations()));
+    resp.set("active_rounds", JsonValue(t.activeRounds));
+    return resp;
+}
+
+JsonValue
+ServiceCore::applyStep(const Request &req)
+{
+    for (std::uint32_t q = 0; q < req.quanta; ++q) {
+        provider_.step();
+        ++stats_.quanta;
+        maybeAudit();
+    }
+    CASH_METRIC_ADD("service.quanta", req.quanta);
+    JsonValue resp = okResponse(req.id);
+    resp.set("round", JsonValue(provider_.round()));
+    resp.set("active",
+             JsonValue(provider_.activeTenants().size()));
+    return resp;
+}
+
+JsonValue
+ServiceCore::applySnapshot(const Request &req)
+{
+    const cloud::ProviderStats &st = provider_.stats();
+    const FabricAllocator &al = provider_.chip().allocator();
+    JsonValue resp = okResponse(req.id);
+    resp.set("round", JsonValue(provider_.round()));
+    resp.set("active",
+             JsonValue(provider_.activeTenants().size()));
+    resp.set("queued", JsonValue(provider_.queue().size()));
+    resp.set("arrivals", JsonValue(st.arrivals));
+    resp.set("admitted", JsonValue(st.admitted));
+    resp.set("rejected", JsonValue(st.rejected));
+    resp.set("abandoned", JsonValue(st.abandoned));
+    resp.set("departed", JsonValue(st.departed));
+    resp.set("revenue", JsonValue(provider_.revenue()));
+    resp.set("qos_delivery", JsonValue(provider_.qosDelivery()));
+    resp.set("free_slices", JsonValue(al.freeSlices()));
+    resp.set("free_banks", JsonValue(al.freeBanks()));
+    resp.set("draining", JsonValue(provider_.draining()));
+    return resp;
+}
+
+JsonValue
+ServiceCore::drainReport()
+{
+    std::vector<cloud::FinalBill> bills = provider_.drain();
+    // The post-drain audit is the shutdown billing-conservation
+    // gate: every tenant departed, every holding released, departed
+    // revenue equal to the sum of finalized bills.
+    auditProvider(provider_);
+
+    JsonValue arr = JsonValue::array();
+    double total = 0.0;
+    for (const cloud::FinalBill &b : bills) {
+        JsonValue row = JsonValue::object();
+        row.set("tenant", JsonValue(b.tenant));
+        row.set("app", JsonValue(b.app));
+        row.set("bill", JsonValue(b.bill));
+        row.set("qos_samples", JsonValue(b.qosSamples));
+        row.set("qos_violations", JsonValue(b.qosViolations));
+        arr.push(std::move(row));
+        total += b.bill;
+    }
+    JsonValue resp = okResponse(0);
+    resp.set("bills", std::move(arr));
+    resp.set("revenue", JsonValue(total));
+    resp.set("departed", JsonValue(bills.size()));
+    CASH_METRIC_INC("service.drains");
+    return resp;
+}
+
+} // namespace cash::service

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ServiceCore: the sockets-free heart of the daemon.
+ *
+ * Applies decoded protocol requests (service/protocol.hh) to one
+ * CloudProvider, exactly one request at a time, and produces the
+ * response object. The server's simulation thread drives it with
+ * dequeued batches; the fuzzer's `--mode service` family and the
+ * unit tests drive it directly — same code path, no network.
+ *
+ * Determinism contract: a ServiceCore's provider state is a pure
+ * function of the *sequence* of applied requests (the provider's own
+ * seeded arrival stream included). Two daemons fed the same request
+ * order compute identical bills; what concurrency changes is only
+ * which order concurrent clients' requests win.
+ *
+ * All provider mutation happens inside apply(), between quanta —
+ * Step runs whole quanta and everything else runs at a quantum
+ * boundary by construction. With `auditEachQuantum` set (the daemon
+ * enables it in CASH_CHECK_INVARIANTS builds), auditProvider() runs
+ * after every applied request and after every quantum inside a
+ * Step, so a protocol-reachable conservation bug throws
+ * InvariantError instead of corrupting bills silently.
+ */
+
+#ifndef CASH_SERVICE_CORE_HH
+#define CASH_SERVICE_CORE_HH
+
+#include <cstdint>
+
+#include "cloud/provider.hh"
+#include "service/protocol.hh"
+
+namespace cash::service
+{
+
+/** Counters of what the core has applied (single-threaded). */
+struct CoreStats
+{
+    std::uint64_t applied = 0;
+    std::uint64_t failed = 0; ///< responses with ok:false
+    std::uint64_t quanta = 0; ///< provider rounds stepped
+};
+
+class ServiceCore
+{
+  public:
+    /**
+     * @param provider the provider to serve (not owned)
+     * @param audit_each_quantum run auditProvider() after every
+     *        request and stepped quantum
+     */
+    ServiceCore(cloud::CloudProvider &provider,
+                bool audit_each_quantum);
+
+    /** Apply one request; always returns a response object. */
+    JsonValue apply(const Request &req);
+
+    /** Drain the provider (idempotent) and return the final-bill
+     *  report the daemon emits on SIGTERM: {"bills":[...],
+     *  "revenue":$,"departed":N}. Audits after draining. */
+    JsonValue drainReport();
+
+    /** True once a drain op (or drainReport) closed admissions. */
+    bool draining() const { return provider_.draining(); }
+
+    const CoreStats &stats() const { return stats_; }
+    const cloud::CloudProvider &provider() const
+    {
+        return provider_;
+    }
+
+  private:
+    JsonValue applyArrive(const Request &req);
+    JsonValue applyDepart(const Request &req);
+    JsonValue applyQuery(const Request &req);
+    JsonValue applyStep(const Request &req);
+    JsonValue applySnapshot(const Request &req);
+
+    void maybeAudit();
+
+    cloud::CloudProvider &provider_;
+    bool audit_;
+    CoreStats stats_;
+};
+
+} // namespace cash::service
+
+#endif // CASH_SERVICE_CORE_HH

@@ -1,0 +1,501 @@
+#include "service/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace cash::service
+{
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        panic("push() on a non-array JSON value");
+    items_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        panic("set() on a non-object JSON value");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+std::optional<std::uint64_t>
+JsonValue::getUint(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    if (!v || !v->isNumber())
+        return std::nullopt;
+    double d = v->number();
+    if (d < 0.0 || d != std::floor(d) || d > 1.8e19)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(d);
+}
+
+std::optional<double>
+JsonValue::getNumber(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    if (!v || !v->isNumber())
+        return std::nullopt;
+    return v->number();
+}
+
+std::optional<std::string>
+JsonValue::getString(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    if (!v || !v->isString())
+        return std::nullopt;
+    return v->string();
+}
+
+std::optional<bool>
+JsonValue::getBool(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    if (!v || !v->isBool())
+        return std::nullopt;
+    return v->boolean();
+}
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        appendNumber(out, num_);
+        break;
+      case Kind::String:
+        appendEscaped(out, str_);
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &v : items_) {
+            if (!first)
+                out += ',';
+            first = false;
+            v.dumpTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &m : members_) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendEscaped(out, m.first);
+            out += ':';
+            m.second.dumpTo(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Parser: recursive descent with a depth cap. Input arrives off the
+// wire, so every failure is a normal outcome, not an exception.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+constexpr int kMaxDepth = 32;
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &why)
+    {
+        if (error.empty())
+            error = strfmt("%s at byte %zu", why.c_str(), pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool literal(const char *word, std::size_t len)
+    {
+        if (text.size() - pos < len
+            || text.compare(pos, len, word) != 0)
+            return fail("invalid literal");
+        pos += len;
+        return true;
+    }
+
+    bool hex4(std::uint32_t &out)
+    {
+        if (text.size() - pos < 4)
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text[pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+        }
+        return true;
+    }
+
+    void appendUtf8(std::string &s, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        // Caller consumed the opening quote.
+        while (true) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a \uXXXX low surrogate must
+                    // follow.
+                    if (text.size() - pos < 2 || text[pos] != '\\'
+                        || text[pos + 1] != 'u')
+                        return fail("lone high surrogate");
+                    pos += 2;
+                    std::uint32_t lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10)
+                        + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail("lone low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool parseNumber(double &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9') {
+                ++pos;
+                ++n;
+            }
+            return n;
+        };
+        // JSON forbids leading zeros ("01") and bare "-".
+        if (pos < text.size() && text[pos] == '0') {
+            ++pos;
+        } else if (digits() == 0) {
+            return fail("malformed number");
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (digits() == 0)
+                return fail("malformed number fraction");
+        }
+        if (pos < text.size()
+            && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size()
+                && (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (digits() == 0)
+                return fail("malformed number exponent");
+        }
+        // The slice is a valid JSON number: strtod cannot fail on it
+        // (buffered because string_view is not NUL-terminated).
+        std::string buf(text.substr(start, pos - start));
+        out = std::strtod(buf.c_str(), nullptr);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+          case 'n':
+            if (!literal("null", 4))
+                return false;
+            out = JsonValue();
+            return true;
+          case 't':
+            if (!literal("true", 4))
+                return false;
+            out = JsonValue(true);
+            return true;
+          case 'f':
+            if (!literal("false", 5))
+                return false;
+            out = JsonValue(false);
+            return true;
+          case '"': {
+            ++pos;
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case '[': {
+            ++pos;
+            out = JsonValue::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.push(std::move(item));
+                skipWs();
+                if (pos >= text.size())
+                    return fail("unterminated array");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '{': {
+            ++pos;
+            out = JsonValue::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (pos >= text.size() || text[pos] != '"')
+                    return fail("expected member key");
+                ++pos;
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.set(std::move(key), std::move(item));
+                skipWs();
+                if (pos >= text.size())
+                    return fail("unterminated object");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          default: {
+            if (c == '-' || (c >= '0' && c <= '9')) {
+                double d = 0.0;
+                if (!parseNumber(d))
+                    return false;
+                out = JsonValue(d);
+                return true;
+            }
+            return fail("unexpected character");
+          }
+        }
+    }
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *err)
+{
+    Parser p{text, 0, {}};
+    JsonValue v;
+    if (!p.parseValue(v, 0)) {
+        if (err)
+            *err = p.error;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = strfmt("trailing garbage at byte %zu", p.pos);
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace cash::service

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal JSON values for the service wire protocol.
+ *
+ * The daemon's request protocol (service/protocol.hh) is
+ * length-prefixed JSON, and the repo deliberately carries no
+ * third-party dependencies beyond the test/bench frameworks, so this
+ * is the smallest JSON layer that serves: a tagged value, a
+ * recursive-descent parser hardened against hostile input (depth
+ * cap, strict UTF-16 escape handling, no trailing garbage), and a
+ * deterministic writer (object keys serialize in insertion order, so
+ * encode∘decode∘encode is the identity the protocol round-trip test
+ * demands).
+ *
+ * Numbers are stored as doubles — protocol fields are all small
+ * integers or prices, far below the 2^53 exactness bound — and
+ * written back as integers when exactly integral.
+ */
+
+#ifndef CASH_SERVICE_JSON_HH
+#define CASH_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cash::service
+{
+
+/** One JSON value (object members keep insertion order). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(std::nullptr_t) {}
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double n) : kind_(Kind::Number), num_(n) {}
+    JsonValue(int n) : JsonValue(static_cast<double>(n)) {}
+    JsonValue(unsigned n) : JsonValue(static_cast<double>(n)) {}
+    JsonValue(std::uint64_t n) : JsonValue(static_cast<double>(n)) {}
+    JsonValue(std::int64_t n) : JsonValue(static_cast<double>(n)) {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+    JsonValue(std::string s)
+        : kind_(Kind::String), str_(std::move(s))
+    {}
+
+    static JsonValue array() { return JsonValue(Kind::Array); }
+    static JsonValue object() { return JsonValue(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &string() const { return str_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Append to an array (converts a Null value to an array). */
+    void push(JsonValue v);
+
+    /** Set an object member (converts Null to object; replaces an
+     *  existing key in place, preserving its position). */
+    void set(std::string key, JsonValue v);
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Member as number clamped through a uint64, with a default
+     *  when absent / not numeric / negative / non-integral. */
+    std::optional<std::uint64_t> getUint(std::string_view key) const;
+
+    /** Member as double. */
+    std::optional<double> getNumber(std::string_view key) const;
+
+    /** Member as string. */
+    std::optional<std::string> getString(std::string_view key) const;
+
+    /** Member as bool. */
+    std::optional<bool> getBool(std::string_view key) const;
+
+    /** Serialize (compact, no whitespace, keys in insertion order). */
+    std::string dump() const;
+
+  private:
+    explicit JsonValue(Kind k) : kind_(k) {}
+
+    void dumpTo(std::string &out) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document. The whole input must be consumed
+ * (trailing garbage is an error). On failure returns nullopt and,
+ * when `err` is non-null, stores a human-readable reason with the
+ * byte offset.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *err = nullptr);
+
+} // namespace cash::service
+
+#endif // CASH_SERVICE_JSON_HH

@@ -1,0 +1,211 @@
+#include "service/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "service/client.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
+namespace cash::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One session's tallies, merged into the report at the end. */
+struct SessionStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t oks = 0;
+    std::uint64_t queueFull = 0;
+    std::uint64_t otherErrors = 0;
+    bool failed = false;
+    std::vector<double> latenciesUs;
+};
+
+double
+usBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from)
+        .count();
+}
+
+/** Consume one response: classify it and record its latency. */
+void
+consumeResponse(const JsonValue &resp, SessionStats &st,
+                std::map<std::uint64_t, Clock::time_point> &inflight,
+                std::vector<std::uint32_t> &owned)
+{
+    ++st.received;
+    std::uint64_t id = resp.getUint("id").value_or(0);
+    auto it = inflight.find(id);
+    if (it != inflight.end()) {
+        double us = usBetween(it->second, Clock::now());
+        st.latenciesUs.push_back(us);
+        CASH_METRIC_SAMPLE("loadgen.latency_us", us);
+        inflight.erase(it);
+    }
+    if (resp.getBool("ok").value_or(false)) {
+        ++st.oks;
+        // A successful arrive hands us a tenant we may later depart
+        // or query; queued tenants are valid depart targets too
+        // (departing a queued tenant abandons it). Only arrive
+        // responses carry "app" without "bill"; a rejected arrival
+        // has no tenant to track.
+        if (auto tenant = resp.getUint("tenant");
+            tenant && resp.find("app") && !resp.find("bill")
+            && resp.getString("state").value_or("") != "rejected")
+            owned.push_back(static_cast<std::uint32_t>(*tenant));
+        return;
+    }
+    std::string code = resp.getString("error").value_or("");
+    if (code == errors::QueueFull)
+        ++st.queueFull;
+    else
+        ++st.otherErrors;
+}
+
+/** Build request r for this session step from the op-mix draw. */
+Request
+drawRequest(const LoadConfig &cfg, Rng &rng,
+            std::vector<std::uint32_t> &owned)
+{
+    Request r;
+    double roll = rng.nextDouble();
+    if (roll < cfg.departProb && !owned.empty()) {
+        r.op = Op::Depart;
+        std::size_t pick = rng.nextBounded(owned.size());
+        r.tenant = owned[pick];
+        owned.erase(owned.begin()
+                    + static_cast<std::ptrdiff_t>(pick));
+        return r;
+    }
+    roll -= cfg.departProb;
+    if (roll < cfg.queryProb && !owned.empty()) {
+        r.op = Op::Query;
+        r.tenant = owned[rng.nextBounded(owned.size())];
+        return r;
+    }
+    roll -= cfg.queryProb;
+    if (roll < cfg.stepProb) {
+        r.op = Op::Step;
+        r.quanta = cfg.stepQuanta;
+        return r;
+    }
+    r.op = Op::Arrive;
+    r.cls = static_cast<std::uint32_t>(
+        rng.nextBounded(std::max(1u, cfg.classes)));
+    r.residence = 1
+        + static_cast<std::uint32_t>(rng.nextBounded(
+            std::max<std::uint32_t>(1, cfg.residenceMax)));
+    return r;
+}
+
+SessionStats
+runSession(const LoadConfig &cfg, unsigned session_index)
+{
+    SessionStats st;
+    Rng rng(cfg.seed + 0x9e3779b97f4a7c15ull * (session_index + 1));
+    std::vector<std::uint32_t> owned;
+    std::map<std::uint64_t, Clock::time_point> inflight;
+
+    try {
+        ServiceClient client =
+            cfg.unixPath.empty()
+                ? ServiceClient::connectTcp(cfg.tcpPort,
+                                            cfg.tcpHost)
+                : ServiceClient::connectUnix(cfg.unixPath);
+
+        Clock::time_point next_send = Clock::now();
+        for (unsigned i = 0; i < cfg.requests; ++i) {
+            if (cfg.rate > 0.0) {
+                // Open-loop: the schedule does not slow down when
+                // the server does; backpressure shows up as window
+                // stalls and queue_full answers, not a slower clock.
+                next_send += std::chrono::duration_cast<
+                    Clock::duration>(std::chrono::duration<double>(
+                    rng.nextExponential(cfg.rate)));
+                std::this_thread::sleep_until(next_send);
+            }
+            while (inflight.size()
+                   >= std::max(1u, cfg.window))
+                consumeResponse(client.next(), st, inflight, owned);
+            Request r = drawRequest(cfg, rng, owned);
+            Clock::time_point t0 = Clock::now();
+            std::uint64_t id = client.send(r);
+            inflight.emplace(id, t0);
+            ++st.sent;
+        }
+        while (st.received < st.sent)
+            consumeResponse(client.next(), st, inflight, owned);
+    } catch (const FatalError &e) {
+        warn("loadgen session %u failed: %s", session_index,
+             e.what());
+        st.failed = true;
+    }
+    return st;
+}
+
+} // namespace
+
+LoadReport
+runLoad(const LoadConfig &config)
+{
+    Clock::time_point start = Clock::now();
+
+    std::vector<SessionStats> stats(config.sessions);
+    std::vector<std::thread> threads;
+    threads.reserve(config.sessions);
+    for (unsigned s = 0; s < config.sessions; ++s)
+        threads.emplace_back([&config, &stats, s] {
+            trace::TrackScope scope(
+                1000 + s, strfmt("loadgen session %u", s));
+            stats[s] = runSession(config, s);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    LoadReport report;
+    report.elapsedSec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::vector<double> lat;
+    for (SessionStats &st : stats) {
+        report.sent += st.sent;
+        report.received += st.received;
+        report.oks += st.oks;
+        report.queueFull += st.queueFull;
+        report.otherErrors += st.otherErrors;
+        if (st.failed)
+            ++report.failedSessions;
+        lat.insert(lat.end(), st.latenciesUs.begin(),
+                   st.latenciesUs.end());
+    }
+    std::sort(lat.begin(), lat.end());
+    report.latCount = lat.size();
+    if (!lat.empty()) {
+        double sum = 0.0;
+        for (double v : lat)
+            sum += v;
+        report.latMeanUs = sum / static_cast<double>(lat.size());
+        auto at = [&](double q) {
+            std::size_t i = static_cast<std::size_t>(
+                q * static_cast<double>(lat.size() - 1));
+            return lat[i];
+        };
+        report.latP50Us = at(0.5);
+        report.latP90Us = at(0.9);
+        report.latMaxUs = lat.back();
+    }
+    return report;
+}
+
+} // namespace cash::service

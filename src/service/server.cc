@@ -1,0 +1,629 @@
+#include "service/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
+namespace cash::service
+{
+
+namespace
+{
+
+/** Milliseconds between two steady_clock points. */
+int
+msBetween(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(to
+                                                              - from)
+            .count());
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Host-clock microseconds on the installed session's epoch, or
+ *  -1 when no session is recording (span emission is skipped). */
+double
+traceNowUs()
+{
+#if CASH_TRACE_ENABLED
+    if (trace::TraceSession *s = trace::TraceSession::active())
+        return s->hostNowUs();
+#endif
+    return -1.0;
+}
+
+void
+traceServiceSpan(const char *name, double t0_us,
+                 std::initializer_list<trace::Arg> args)
+{
+#if CASH_TRACE_ENABLED
+    if (t0_us < 0.0)
+        return;
+    double t1 = traceNowUs();
+    if (t1 < 0.0)
+        return;
+    trace::emitHostSpan(trace::Category::Service, name, t0_us,
+                        t1 - t0_us, args);
+#else
+    (void)name;
+    (void)t0_us;
+    (void)args;
+#endif
+}
+
+constexpr int kFlushGraceMs = 2000;
+
+} // namespace
+
+ServiceServer::ServiceServer(cloud::CloudProvider &provider,
+                             const ServerConfig &config)
+    : provider_(provider),
+      config_(config),
+      core_(provider, config.audit),
+      queue_(config.queueCapacity)
+{}
+
+ServiceServer::~ServiceServer()
+{
+    if (started_.load() && !stopped_.load())
+        stop();
+    for (int fd : listenFds_)
+        if (fd >= 0)
+            ::close(fd);
+    if (wakeFd_[0] >= 0)
+        ::close(wakeFd_[0]);
+    if (wakeFd_[1] >= 0)
+        ::close(wakeFd_[1]);
+    if (!config_.unixPath.empty())
+        ::unlink(config_.unixPath.c_str());
+}
+
+void
+ServiceServer::start()
+{
+    if (started_.exchange(true))
+        panic("ServiceServer::start() called twice");
+
+    if (::pipe(wakeFd_) != 0)
+        fatal("cannot create wake pipe: %s", std::strerror(errno));
+    setNonBlocking(wakeFd_[0]);
+    setNonBlocking(wakeFd_[1]);
+
+    if (config_.unixPath.empty() && !config_.listenTcp)
+        fatal("service: no listener configured (need a Unix path "
+              "and/or TCP)");
+
+    if (!config_.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.unixPath.size() >= sizeof(addr.sun_path))
+            fatal("unix socket path too long: %s",
+                  config_.unixPath.c_str());
+        std::strncpy(addr.sun_path, config_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("socket(AF_UNIX): %s", std::strerror(errno));
+        ::unlink(config_.unixPath.c_str()); // stale socket file
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr))
+                != 0
+            || ::listen(fd, 64) != 0)
+            fatal("cannot listen on unix:%s: %s",
+                  config_.unixPath.c_str(), std::strerror(errno));
+        setNonBlocking(fd);
+        unixListenFd_ = fd;
+        listenFds_.push_back(fd);
+    }
+
+    if (config_.listenTcp) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("socket(AF_INET): %s", std::strerror(errno));
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(config_.tcpPort);
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr))
+                != 0
+            || ::listen(fd, 64) != 0)
+            fatal("cannot listen on tcp:%u: %s", config_.tcpPort,
+                  std::strerror(errno));
+        socklen_t len = sizeof(addr);
+        ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len);
+        boundTcpPort_ = ntohs(addr.sin_port);
+        setNonBlocking(fd);
+        listenFds_.push_back(fd);
+    }
+
+    ioThread_ = std::thread([this] { ioLoop(); });
+    simThread_ = std::thread([this] { simLoop(); });
+}
+
+void
+ServiceServer::wake()
+{
+    char c = 'w';
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wakeFd_[1], &c, 1);
+}
+
+void
+ServiceServer::wakeFromSignal()
+{
+    wake(); // one write(2): async-signal-safe
+}
+
+void
+ServiceServer::stop()
+{
+    std::lock_guard<std::mutex> lock(stopMutex_);
+    if (!started_.load() || stopped_.load())
+        return;
+    stopRequested_.store(true);
+    wake();
+    ioThread_.join();
+    simThread_.join();
+    stopped_.store(true);
+}
+
+// ---------------------------------------------------------------
+// IO thread.
+// ---------------------------------------------------------------
+
+void
+ServiceServer::acceptPending(int listen_fd)
+{
+    while (true) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            warn("service: accept failed: %s",
+                 std::strerror(errno));
+            return;
+        }
+        setNonBlocking(fd);
+        int one = 1;
+        // Request/response framing: latency beats Nagle batching.
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        auto conn = std::make_unique<Connection>(config_.maxFrame);
+        conn->fd = fd;
+        conn->id = nextConnId_++;
+        conn->lastActivity = Clock::now();
+        stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+        CASH_METRIC_INC("service.accepted");
+        CASH_TRACE_HOST_SPAN(trace::Category::Service, "accept",
+                             traceNowUs(), 0.0,
+                             {{"conn", conn->id}});
+        conns_.emplace(conn->id, std::move(conn));
+    }
+}
+
+void
+ServiceServer::respondNow(Connection &conn, const JsonValue &resp)
+{
+    conn.outbox += encodeFrame(resp.dump());
+    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServiceServer::handleFrame(Connection &conn,
+                           const std::string &payload)
+{
+    double t0 = traceNowUs();
+    std::string parse_err;
+    std::optional<JsonValue> doc = parseJson(payload, &parse_err);
+    if (!doc) {
+        // Undecodable JSON inside an intact frame: the stream
+        // framing is still sound, but the client is broken enough
+        // that continuing only produces more garbage.
+        stats_.protocolErrors.fetch_add(1,
+                                        std::memory_order_relaxed);
+        CASH_METRIC_INC("service.protocol_errors");
+        respondNow(conn,
+                   errorResponse(0, errors::Malformed, parse_err));
+        conn.readClosed = true;
+        conn.closeAfterFlush = true;
+        return;
+    }
+    std::string code, detail;
+    std::uint64_t id = 0;
+    std::optional<Request> req =
+        parseRequest(*doc, &code, &detail, &id);
+    if (!req) {
+        // A well-formed frame with a bad request keeps the
+        // connection: the client can correct itself.
+        stats_.protocolErrors.fetch_add(1,
+                                        std::memory_order_relaxed);
+        CASH_METRIC_INC("service.protocol_errors");
+        respondNow(conn,
+                   errorResponse(id, code.c_str(), detail));
+        return;
+    }
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    CASH_METRIC_INC("service.requests");
+    if (stopRequested_.load(std::memory_order_relaxed)) {
+        respondNow(conn,
+                   errorResponse(req->id, errors::Draining,
+                                 "server is shutting down"));
+        return;
+    }
+    QueuedRequest qr;
+    qr.connId = conn.id;
+    qr.request = *req;
+    qr.enqueued = Clock::now();
+    if (!queue_.tryPush(std::move(qr))) {
+        stats_.queueFull.fetch_add(1, std::memory_order_relaxed);
+        CASH_METRIC_INC("service.queue_full");
+        respondNow(conn,
+                   errorResponse(req->id, errors::QueueFull,
+                                 "request queue is full; retry"));
+        return;
+    }
+    ++conn.inFlight;
+    traceServiceSpan("enqueue", t0,
+                     {{"conn", conn.id}, {"req", req->id}});
+}
+
+bool
+ServiceServer::serviceRead(Connection &conn)
+{
+    char buf[4096];
+    while (true) {
+        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.lastActivity = Clock::now();
+            conn.decoder.feed(buf, static_cast<std::size_t>(n));
+            while (auto payload = conn.decoder.next())
+                handleFrame(conn, *payload);
+            if (const char *err = conn.decoder.error()) {
+                stats_.protocolErrors.fetch_add(
+                    1, std::memory_order_relaxed);
+                CASH_METRIC_INC("service.protocol_errors");
+                respondNow(conn,
+                           errorResponse(0, err,
+                                         "frame stream poisoned; "
+                                         "closing"));
+                conn.readClosed = true;
+                conn.closeAfterFlush = true;
+            }
+            if (conn.readClosed)
+                return true;
+            if (static_cast<std::size_t>(n) < sizeof(buf))
+                return true;
+            continue;
+        }
+        if (n == 0) {
+            // Orderly half-close: the client sent everything and
+            // now reads; flush pending responses, then close.
+            conn.readClosed = true;
+            conn.closeAfterFlush = true;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false; // reset/broken: drop the connection
+    }
+}
+
+bool
+ServiceServer::serviceWrite(Connection &conn)
+{
+    while (conn.outOff < conn.outbox.size()) {
+        ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.outOff,
+                           conn.outbox.size() - conn.outOff,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outOff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    if (conn.outOff == conn.outbox.size()) {
+        conn.outbox.clear();
+        conn.outOff = 0;
+    }
+    return true;
+}
+
+void
+ServiceServer::closeConnection(std::uint64_t conn_id)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return;
+    ::close(it->second->fd);
+    conns_.erase(it);
+    stats_.closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServiceServer::collectOutgoing()
+{
+    std::vector<Outgoing> batch;
+    {
+        std::lock_guard<std::mutex> lock(outgoingMutex_);
+        batch.swap(outgoing_);
+    }
+    for (Outgoing &out : batch) {
+        auto it = conns_.find(out.connId);
+        if (it == conns_.end())
+            continue; // client left before its answer was ready
+        it->second->outbox += out.framed;
+        if (it->second->inFlight > 0)
+            --it->second->inFlight;
+        stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ServiceServer::ioLoop()
+{
+    bool stop_begun = false;
+    bool flushing = false;
+    Clock::time_point flush_deadline{};
+
+    while (true) {
+        if (stopRequested_.load(std::memory_order_relaxed)
+            && !stop_begun) {
+            stop_begun = true;
+            for (int fd : listenFds_)
+                if (fd >= 0)
+                    ::close(fd);
+            listenFds_.clear();
+            unixListenFd_ = -1;
+            // No more reads: everything already decoded has been
+            // enqueued, so closing the queue hands the simulation
+            // thread its final batch.
+            for (auto &kv : conns_)
+                kv.second->readClosed = true;
+            queue_.close();
+        }
+
+        collectOutgoing();
+
+        if (simDone_.load(std::memory_order_acquire)
+            && !flushing) {
+            flushing = true;
+            flush_deadline = Clock::now()
+                + std::chrono::milliseconds(kFlushGraceMs);
+        }
+
+        if (flushing) {
+            bool all_flushed = true;
+            std::vector<std::uint64_t> dead;
+            for (auto &kv : conns_) {
+                Connection &conn = *kv.second;
+                if (!serviceWrite(conn)) {
+                    dead.push_back(conn.id);
+                    continue;
+                }
+                if (conn.outOff < conn.outbox.size())
+                    all_flushed = false;
+            }
+            for (std::uint64_t id : dead)
+                closeConnection(id);
+            if (all_flushed || Clock::now() >= flush_deadline) {
+                std::vector<std::uint64_t> ids;
+                for (auto &kv : conns_)
+                    ids.push_back(kv.first);
+                for (std::uint64_t id : ids)
+                    closeConnection(id);
+                return;
+            }
+        }
+
+        // --- Build the poll set.
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> owner; // 0 = wake/listener
+        fds.push_back({wakeFd_[0], POLLIN, 0});
+        owner.push_back(0);
+        for (int fd : listenFds_) {
+            fds.push_back({fd, POLLIN, 0});
+            owner.push_back(0);
+        }
+        for (auto &kv : conns_) {
+            Connection &conn = *kv.second;
+            short events = 0;
+            if (!conn.readClosed)
+                events |= POLLIN;
+            if (conn.outOff < conn.outbox.size())
+                events |= POLLOUT;
+            if (events == 0 && conn.closeAfterFlush) {
+                // Outbox empty and nothing more to read — but a
+                // half-closed client may still be owed responses to
+                // requests sitting in the sim queue. Hold the
+                // connection (off the poll set; the sim thread's
+                // wake pipe fires when the responses publish).
+                if (conn.inFlight == 0)
+                    closeConnection(conn.id);
+                continue;
+            }
+            if (events == 0)
+                events = POLLIN; // detect resets on idle conns
+            fds.push_back({conn.fd, events, 0});
+            owner.push_back(conn.id);
+        }
+
+        int timeout = -1;
+        if (flushing || stop_begun) {
+            timeout = 50;
+        } else if (config_.idleTimeoutMs > 0) {
+            Clock::time_point now = Clock::now();
+            timeout = config_.idleTimeoutMs;
+            for (auto &kv : conns_) {
+                int left = config_.idleTimeoutMs
+                    - msBetween(kv.second->lastActivity, now);
+                timeout = std::max(0, std::min(timeout, left));
+            }
+        }
+
+        int rc = ::poll(fds.data(),
+                        static_cast<nfds_t>(fds.size()), timeout);
+        if (rc < 0 && errno != EINTR) {
+            warn("service: poll failed: %s", std::strerror(errno));
+            return;
+        }
+
+        // --- Wake pipe.
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            while (::read(wakeFd_[0], buf, sizeof(buf)) > 0) {
+            }
+        }
+
+        // --- Listeners.
+        std::size_t idx = 1;
+        std::size_t num_listeners = listenFds_.size();
+        for (std::size_t i = 0; i < num_listeners; ++i, ++idx)
+            if (fds[idx].revents & POLLIN)
+                acceptPending(fds[idx].fd);
+
+        // --- Connections.
+        std::vector<std::uint64_t> dead;
+        for (; idx < fds.size(); ++idx) {
+            std::uint64_t id = owner[idx];
+            auto it = conns_.find(id);
+            if (it == conns_.end())
+                continue;
+            Connection &conn = *it->second;
+            if (fds[idx].revents & (POLLERR | POLLNVAL)) {
+                dead.push_back(id);
+                continue;
+            }
+            if ((fds[idx].revents & POLLIN) && !conn.readClosed) {
+                if (!serviceRead(conn)) {
+                    dead.push_back(id);
+                    continue;
+                }
+            }
+            if ((fds[idx].revents & POLLHUP) && conn.readClosed
+                && conn.outOff >= conn.outbox.size()) {
+                dead.push_back(id);
+                continue;
+            }
+            if (conn.outOff < conn.outbox.size()) {
+                if (!serviceWrite(conn)) {
+                    dead.push_back(id);
+                    continue;
+                }
+            }
+            if (conn.closeAfterFlush && conn.inFlight == 0
+                && conn.outOff >= conn.outbox.size())
+                dead.push_back(id);
+        }
+        for (std::uint64_t id : dead)
+            closeConnection(id);
+
+        // --- Idle reaping.
+        if (config_.idleTimeoutMs > 0 && !stop_begun) {
+            Clock::time_point now = Clock::now();
+            std::vector<std::uint64_t> idle;
+            for (auto &kv : conns_)
+                if (msBetween(kv.second->lastActivity, now)
+                    >= config_.idleTimeoutMs)
+                    idle.push_back(kv.first);
+            for (std::uint64_t id : idle) {
+                stats_.idleClosed.fetch_add(
+                    1, std::memory_order_relaxed);
+                CASH_METRIC_INC("service.idle_closed");
+                closeConnection(id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Simulation thread.
+// ---------------------------------------------------------------
+
+void
+ServiceServer::simLoop()
+{
+    std::vector<QueuedRequest> batch;
+    std::vector<Outgoing> replies;
+    while (queue_.popBatch(batch, config_.maxBatch)) {
+        stats_.batches.fetch_add(1, std::memory_order_relaxed);
+        CASH_METRIC_SAMPLE("service.batch_size",
+                           static_cast<double>(batch.size()));
+        double batch_t0 = traceNowUs();
+        replies.clear();
+        Clock::time_point now = Clock::now();
+        for (QueuedRequest &qr : batch) {
+            JsonValue resp;
+            if (config_.requestDeadlineMs > 0
+                && msBetween(qr.enqueued, now)
+                    > config_.requestDeadlineMs) {
+                stats_.deadlineExceeded.fetch_add(
+                    1, std::memory_order_relaxed);
+                CASH_METRIC_INC("service.deadline_exceeded");
+                resp = errorResponse(qr.request.id,
+                                     errors::DeadlineExceeded,
+                                     "queued past the request "
+                                     "deadline");
+            } else {
+                double t0 = traceNowUs();
+                resp = core_.apply(qr.request);
+                traceServiceSpan(opName(qr.request.op), t0,
+                                 {{"conn", qr.connId},
+                                  {"req", qr.request.id}});
+            }
+            replies.push_back(
+                {qr.connId, encodeFrame(resp.dump())});
+        }
+        traceServiceSpan("batch", batch_t0,
+                         {{"requests", batch.size()}});
+        {
+            std::lock_guard<std::mutex> lock(outgoingMutex_);
+            for (Outgoing &r : replies)
+                outgoing_.push_back(std::move(r));
+        }
+        wake();
+    }
+
+    // Queue closed and drained: the SIGTERM path. Finish with the
+    // provider drain — final bills, conservation audit — and hand
+    // the report to stop()'s caller.
+    finalReport_ = core_.drainReport();
+    simDone_.store(true, std::memory_order_release);
+    wake();
+}
+
+} // namespace cash::service

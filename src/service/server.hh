@@ -1,0 +1,233 @@
+/**
+ * @file
+ * ServiceServer: one CloudProvider behind a batching network
+ * front-end.
+ *
+ * Threading model (two threads, strict ownership):
+ *
+ *  - The IO thread owns every socket. It runs a non-blocking poll(2)
+ *    event loop over the listeners (TCP and/or Unix-domain) and all
+ *    connections: accepts, reads, incremental frame decoding
+ *    (service/protocol.hh), request parsing, and all writes. Decoded
+ *    requests go into a BoundedQueue; protocol errors (malformed
+ *    JSON, oversized frames, unknown ops) and backpressure
+ *    (`queue_full`) are answered directly on the IO thread, so a
+ *    flooding client cannot wedge the simulator.
+ *
+ *  - The simulation thread owns the CloudProvider. It blocks on the
+ *    queue, drains it in bounded batches, applies each request
+ *    through ServiceCore in dequeue order — every mutation lands at
+ *    a quantum boundary by construction — and publishes framed
+ *    responses back to the IO thread (self-pipe wakeup).
+ *
+ * Determinism: provider state is a pure function of the request
+ * sequence. One client (or any externally serialized request order)
+ * reproduces bills bit-for-bit; concurrency only permutes whose
+ * request is applied first.
+ *
+ * Robustness: bounded queue with explicit `queue_full` responses,
+ * optional per-request deadlines (`deadline_exceeded` instead of
+ * applying stale work), idle-connection timeouts, a max-frame cap,
+ * and malformed-frame rejection (error response, then close — a
+ * corrupt length prefix poisons the stream). stop() performs the
+ * SIGTERM drain: stop accepting, apply everything already queued,
+ * finish in-flight quanta, drain the provider (final bills +
+ * auditProvider), flush every outbox, then exit.
+ */
+
+#ifndef CASH_SERVICE_SERVER_HH
+#define CASH_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/core.hh"
+#include "service/protocol.hh"
+#include "service/queue.hh"
+
+namespace cash::service
+{
+
+/** Server tunables. */
+struct ServerConfig
+{
+    /** Unix-domain listener path ("" = no Unix listener). A stale
+     *  socket file at the path is unlinked first. */
+    std::string unixPath;
+    /** Listen on TCP (loopback). Port 0 picks an ephemeral port
+     *  (see ServiceServer::tcpPort()). */
+    bool listenTcp = false;
+    std::uint16_t tcpPort = 0;
+    /** Request-queue bound: beyond this the front-end answers
+     *  `queue_full`. */
+    std::size_t queueCapacity = 256;
+    /** Simulation-thread batch bound per queue drain. */
+    std::size_t maxBatch = 64;
+    /** Per-frame payload cap, bytes. */
+    std::size_t maxFrame = kDefaultMaxFrame;
+    /** Close connections silent for this long (0 = never). */
+    int idleTimeoutMs = 0;
+    /** Requests older than this at apply time are answered
+     *  `deadline_exceeded` instead of applied (0 = no deadline). */
+    int requestDeadlineMs = 0;
+    /** auditProvider() after every request and stepped quantum. */
+    bool audit = false;
+};
+
+/** Front-end accounting (all updated on one thread each; reads are
+ *  snapshots for reporting). */
+struct ServerStats
+{
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> idleClosed{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> queueFull{0};
+    std::atomic<std::uint64_t> deadlineExceeded{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> batches{0};
+};
+
+class ServiceServer
+{
+  public:
+    /** @param provider served provider; owned by the caller, must
+     *         outlive the server; untouched after stop(). */
+    ServiceServer(cloud::CloudProvider &provider,
+                  const ServerConfig &config);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /** Bind listeners and start the IO and simulation threads.
+     *  fatal() on bind/listen failure. */
+    void start();
+
+    /**
+     * Graceful drain, callable once from any thread (the daemon
+     * calls it after SIGTERM): stop accepting and reading, apply
+     * the already-queued requests, drain the provider (final
+     * bills + audit), flush responses, join both threads.
+     */
+    void stop();
+
+    /** Wake the event loop for shutdown from a signal handler
+     *  (async-signal-safe; the actual stop() still must be called
+     *  from a normal thread). */
+    void wakeFromSignal();
+
+    /** The bound TCP port (after start(); 0 if TCP is off). */
+    std::uint16_t tcpPort() const { return boundTcpPort_; }
+
+    const ServerStats &stats() const { return stats_; }
+
+    /** The drain report captured by stop() ({"bills":...}); null
+     *  object before stop() completes. */
+    const JsonValue &finalReport() const { return finalReport_; }
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Connection
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        FrameDecoder decoder;
+        std::string outbox;     ///< framed bytes awaiting write
+        std::size_t outOff = 0; ///< written prefix of outbox
+        Clock::time_point lastActivity;
+        /** Requests enqueued to the sim thread whose responses have
+         *  not yet been collected into the outbox. A half-closed
+         *  connection stays open until this reaches zero, so the
+         *  "flush pending responses, then close" contract holds. */
+        std::uint64_t inFlight = 0;
+        bool readClosed = false;
+        bool closeAfterFlush = false;
+
+        explicit Connection(std::size_t max_frame)
+            : decoder(max_frame)
+        {}
+    };
+
+    struct QueuedRequest
+    {
+        std::uint64_t connId = 0;
+        Request request;
+        Clock::time_point enqueued;
+    };
+
+    struct Outgoing
+    {
+        std::uint64_t connId = 0;
+        std::string framed;
+    };
+
+    void ioLoop();
+    void simLoop();
+
+    /** Accept everything pending on a listener. */
+    void acceptPending(int listen_fd);
+
+    /** Read + decode + enqueue for one connection. Returns false
+     *  when the connection died. */
+    bool serviceRead(Connection &conn);
+
+    /** Handle one decoded frame payload on the IO thread. */
+    void handleFrame(Connection &conn, const std::string &payload);
+
+    /** Queue a response payload onto a connection's outbox. */
+    void respondNow(Connection &conn, const JsonValue &resp);
+
+    /** Flush as much outbox as the socket accepts. Returns false
+     *  when the connection died. */
+    bool serviceWrite(Connection &conn);
+
+    void closeConnection(std::uint64_t conn_id);
+
+    /** Move sim-thread responses into connection outboxes. */
+    void collectOutgoing();
+
+    void wake();
+
+    cloud::CloudProvider &provider_;
+    ServerConfig config_;
+    ServiceCore core_;
+
+    std::vector<int> listenFds_;
+    int unixListenFd_ = -1;
+    std::uint16_t boundTcpPort_ = 0;
+    int wakeFd_[2] = {-1, -1}; ///< self-pipe: [read, write]
+
+    std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+    std::uint64_t nextConnId_ = 1;
+
+    BoundedQueue<QueuedRequest> queue_;
+    std::mutex outgoingMutex_;
+    std::vector<Outgoing> outgoing_;
+
+    std::thread ioThread_;
+    std::thread simThread_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> simDone_{false};
+    std::atomic<bool> stopped_{false};
+    std::mutex stopMutex_; ///< serializes stop() callers
+
+    ServerStats stats_;
+    JsonValue finalReport_;
+};
+
+} // namespace cash::service
+
+#endif // CASH_SERVICE_SERVER_HH

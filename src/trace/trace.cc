@@ -48,6 +48,7 @@ categoryName(Category c)
       case Category::Fabric: return "fabric";
       case Category::Cloud: return "cloud";
       case Category::Engine: return "engine";
+      case Category::Service: return "service";
     }
     return "?";
 }

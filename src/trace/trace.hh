@@ -65,6 +65,8 @@ enum class Category : std::uint8_t
     Fabric,  ///< EXPAND/SHRINK/compact and allocation (src/sim+fabric)
     Cloud,   ///< tenant lifecycle and arbitration (src/cloud)
     Engine,  ///< ExperimentEngine cell timing (src/harness)
+    Service, ///< request front-end: accept/decode/apply/reply
+             ///< (src/service; host-time spans like Engine)
 };
 
 /** Printable category name ("runtime", "fabric", ...). */

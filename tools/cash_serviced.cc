@@ -1,0 +1,183 @@
+/**
+ * @file
+ * cash_serviced: the CASH provider as a long-running daemon.
+ *
+ * Serves one CloudProvider over the length-prefixed JSON protocol
+ * (service/protocol.hh) on a Unix-domain socket and/or loopback TCP:
+ *
+ *   cash_serviced --unix /tmp/cash.sock
+ *   cash_serviced --tcp 0            # ephemeral port, printed
+ *   cash_serviced --unix s.sock --queue-cap 64 --deadline-ms 200
+ *
+ * The provider's stochastic arrival stream is off: every tenant
+ * enters and leaves through requests, so the provider state is a
+ * pure function of the request sequence (see DESIGN.md §10).
+ *
+ * SIGTERM/SIGINT trigger the graceful drain: stop accepting, apply
+ * everything already queued, drain the provider (every tenant
+ * departed, billing conservation audited), flush responses, then
+ * print the final drain report — one JSON object with the final
+ * bills — to stdout and exit 0. --trace/--metrics work as on every
+ * other binary (trace/options.hh).
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <string>
+#include <unistd.h>
+
+#include "check/invariant.hh"
+#include "cloud/provider.hh"
+#include "common/log.hh"
+#include "service/server.hh"
+#include "trace/options.hh"
+
+namespace
+{
+
+/** Self-pipe the signal handler writes to; main poll()s on it. */
+int g_sigPipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    char c = 's';
+    [[maybe_unused]] ssize_t n = ::write(g_sigPipe[1], &c, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cash;
+
+    try {
+        trace::TraceOptions topts(argc, argv);
+
+        service::ServerConfig cfg;
+        // Invariant builds (the sanitizer CI) audit billing
+        // conservation at every applied request and stepped
+        // quantum; --audit forces the same in any build.
+        cfg.audit = invariantsEnabled;
+        cloud::ProviderParams params;
+        params.arrivalProb = 0.0; // arrivals only through requests
+
+        auto need = [&argc](int i, const char *flag) {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+        };
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (!std::strcmp(arg, "--unix")) {
+                need(i, arg);
+                cfg.unixPath = argv[++i];
+            } else if (!std::strcmp(arg, "--tcp")) {
+                need(i, arg);
+                cfg.listenTcp = true;
+                cfg.tcpPort = static_cast<std::uint16_t>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--queue-cap")) {
+                need(i, arg);
+                cfg.queueCapacity =
+                    std::strtoul(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--max-batch")) {
+                need(i, arg);
+                cfg.maxBatch = std::strtoul(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--max-frame")) {
+                need(i, arg);
+                cfg.maxFrame = std::strtoul(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--idle-timeout-ms")) {
+                need(i, arg);
+                cfg.idleTimeoutMs = static_cast<int>(
+                    std::strtol(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--deadline-ms")) {
+                need(i, arg);
+                cfg.requestDeadlineMs = static_cast<int>(
+                    std::strtol(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--audit")) {
+                cfg.audit = true;
+            } else if (!std::strcmp(arg, "--seed")) {
+                need(i, arg);
+                params.seed =
+                    std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--quantum")) {
+                need(i, arg);
+                params.quantum =
+                    std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--coarse")) {
+                params.provisioning =
+                    cloud::Provisioning::CoarseGrain;
+            } else if (!std::strcmp(arg, "--rows")) {
+                need(i, arg);
+                params.fabric.rows = static_cast<std::uint32_t>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            } else {
+                fatal("unknown flag '%s' (see --unix, --tcp, "
+                      "--queue-cap, --max-batch, --max-frame, "
+                      "--idle-timeout-ms, --deadline-ms, --audit, "
+                      "--seed, --quantum, --coarse, --rows, "
+                      "--trace, --metrics)",
+                      arg);
+            }
+        }
+        if (cfg.queueCapacity == 0 || cfg.maxBatch == 0)
+            fatal("--queue-cap and --max-batch must be positive");
+
+        if (::pipe(g_sigPipe) != 0)
+            fatal("cannot create signal pipe: %s",
+                  std::strerror(errno));
+
+        cloud::CloudProvider provider(params);
+        service::ServiceServer server(provider, cfg);
+
+        struct sigaction sa{};
+        sa.sa_handler = onSignal;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::signal(SIGPIPE, SIG_IGN);
+
+        server.start();
+        if (!cfg.unixPath.empty())
+            inform("cash_serviced: listening on unix:%s",
+                   cfg.unixPath.c_str());
+        if (cfg.listenTcp)
+            inform("cash_serviced: listening on tcp:127.0.0.1:%u",
+                   server.tcpPort());
+
+        // Block until SIGTERM/SIGINT.
+        pollfd pfd{g_sigPipe[0], POLLIN, 0};
+        while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+        }
+
+        inform("cash_serviced: draining...");
+        server.stop();
+
+        const service::ServerStats &st = server.stats();
+        inform("cash_serviced: %llu request(s) over %llu "
+               "connection(s) in %llu batch(es); queue_full=%llu "
+               "deadline_exceeded=%llu protocol_errors=%llu "
+               "idle_closed=%llu",
+               static_cast<unsigned long long>(st.requests.load()),
+               static_cast<unsigned long long>(st.accepted.load()),
+               static_cast<unsigned long long>(st.batches.load()),
+               static_cast<unsigned long long>(st.queueFull.load()),
+               static_cast<unsigned long long>(
+                   st.deadlineExceeded.load()),
+               static_cast<unsigned long long>(
+                   st.protocolErrors.load()),
+               static_cast<unsigned long long>(
+                   st.idleClosed.load()));
+
+        // The drain report — final bills, audited — is the daemon's
+        // one piece of stdout.
+        std::printf("%s\n", server.finalReport().dump().c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "cash_serviced: %s\n", e.what());
+        return 2;
+    }
+}

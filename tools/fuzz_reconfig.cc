@@ -5,11 +5,12 @@
  * Replays seed-derived sequences of multi-tenant fabric operations —
  * allocate / resize / release / compact at the allocator layer,
  * create / EXPAND-SHRINK / trace-execution / destroy at the chip
- * layer, and tenant arrive / depart / provider-step at the cloud
- * layer — and audits the structural invariants (check/audit.hh)
- * after every single operation. Builds compiled with
- * -DCASH_CHECK_INVARIANTS=ON additionally run every CASH_INVARIANT
- * hook inside the hot layers.
+ * layer, tenant arrive / depart / provider-step at the cloud layer,
+ * and wire-format frames (valid requests, malformed JSON, empty and
+ * oversized frames) through the service decode→apply path — and
+ * audits the structural invariants (check/audit.hh) after every
+ * single operation. Builds compiled with -DCASH_CHECK_INVARIANTS=ON
+ * additionally run every CASH_INVARIANT hook inside the hot layers.
  *
  * Every sequence is a pure function of its seed, and every op list
  * is replayable as a subsequence (ops whose target slot is in the
@@ -19,6 +20,7 @@
  *   fuzz_reconfig --seeds 1000              # fuzz seeds 0..999
  *   fuzz_reconfig --seed 1234 --verbose     # replay one seed
  *   fuzz_reconfig --seeds 32 --mode cloud   # cloud layer only
+ *   fuzz_reconfig --seeds 32 --mode service # wire decode→apply only
  *   fuzz_reconfig --seeds 64 --inject alloc-leak   # mutation test:
  *       the named deliberate bug must be caught and shrunk
  *       (requires a CASH_CHECK_INVARIANTS build)
@@ -41,10 +43,10 @@
 #include "cloud/provider.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "service/core.hh"
+#include "service/protocol.hh"
 #include "sim/ssim.hh"
-#include "trace/export.hh"
-#include "trace/metrics.hh"
-#include "trace/trace.hh"
+#include "trace/options.hh"
 #include "workload/trace_gen.hh"
 
 namespace cash
@@ -71,6 +73,17 @@ enum class OpKind : std::uint8_t
     CloudArrive,
     CloudDepart,
     CloudStep,
+    // Service-layer ops: wire frames through decode→apply.
+    SvcArrive,
+    SvcDepart,
+    SvcQuery,
+    SvcStep,
+    SvcSnapshot,
+    SvcDrain,
+    SvcJunk,     ///< intact frame, undecodable JSON payload
+    SvcBadOp,    ///< well-formed JSON, unknown op name
+    SvcEmpty,    ///< zero-length frame (poisons the decoder)
+    SvcOversize, ///< frame above the decoder's max (poisons too)
 };
 
 struct Op
@@ -113,6 +126,27 @@ struct Op
             return strfmt("depart  slot=%u", slot);
           case OpKind::CloudStep:
             return "step";
+          case OpKind::SvcArrive:
+            return strfmt("svc-arrive   slot=%u class=%u "
+                          "residence=%u", slot, a, b);
+          case OpKind::SvcDepart:
+            return strfmt("svc-depart   slot=%u", slot);
+          case OpKind::SvcQuery:
+            return strfmt("svc-query    slot=%u", slot);
+          case OpKind::SvcStep:
+            return strfmt("svc-step     quanta=%u", 1 + a % 4);
+          case OpKind::SvcSnapshot:
+            return "svc-snapshot";
+          case OpKind::SvcDrain:
+            return "svc-drain";
+          case OpKind::SvcJunk:
+            return "svc-junk";
+          case OpKind::SvcBadOp:
+            return "svc-bad-op";
+          case OpKind::SvcEmpty:
+            return "svc-empty-frame";
+          case OpKind::SvcOversize:
+            return "svc-oversize-frame";
         }
         return "?";
     }
@@ -198,6 +232,46 @@ genCloudOps(std::uint64_t seed, std::uint32_t count)
             op.kind = OpKind::CloudStep;
         else
             op.kind = OpKind::CloudDepart;
+        op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
+        op.a = static_cast<std::uint32_t>(rng.nextBounded(16));
+        op.b = 1 + static_cast<std::uint32_t>(rng.nextBounded(12));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::vector<Op>
+genServiceOps(std::uint64_t seed, std::uint32_t count)
+{
+    Rng rng(seed * 5 + 3);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Op op;
+        std::uint64_t pick = rng.nextBounded(20);
+        if (pick < 6)
+            op.kind = OpKind::SvcArrive;
+        else if (pick < 9)
+            op.kind = OpKind::SvcDepart;
+        else if (pick < 11)
+            op.kind = OpKind::SvcQuery;
+        else if (pick < 15)
+            op.kind = OpKind::SvcStep;
+        else if (pick < 16)
+            op.kind = OpKind::SvcSnapshot;
+        else if (pick < 17)
+            op.kind = OpKind::SvcJunk;
+        else if (pick < 18)
+            op.kind = OpKind::SvcBadOp;
+        else if (pick < 19)
+            op.kind = OpKind::SvcEmpty;
+        else
+            op.kind = OpKind::SvcOversize;
+        // One drain per sequence at most, near the end: after a
+        // drain every arrive is (correctly) refused, so an early
+        // drain would starve the rest of the sequence.
+        if (pick == 14 && i + 4 > count)
+            op.kind = OpKind::SvcDrain;
         op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
         op.a = static_cast<std::uint32_t>(rng.nextBounded(16));
         op.b = 1 + static_cast<std::uint32_t>(rng.nextBounded(12));
@@ -422,6 +496,170 @@ replayCloud(const std::vector<Op> &ops, std::uint64_t seed)
     return std::nullopt;
 }
 
+/**
+ * Service-layer replay: the daemon's decode→apply path in-process,
+ * no sockets. Each op is rendered to an actual wire frame, fed to a
+ * FrameDecoder in two split pieces (exercising incremental
+ * reassembly), parsed, and applied through ServiceCore against a
+ * FineGrain provider — exactly the server's handleFrame → sim-thread
+ * sequence. Malformed payloads, empty frames, and oversized frames
+ * must come back as error responses (or sticky decoder errors — we
+ * then swap in a fresh decoder, as the server does by closing the
+ * connection), never as exceptions; auditProvider runs after every
+ * op.
+ */
+std::optional<Failure>
+replayService(const std::vector<Op> &ops, std::uint64_t seed)
+{
+    cloud::ProviderParams params;
+    params.fabric.sliceCols = 1;
+    params.fabric.bankCols = 4;
+    params.fabric.rows = 8;
+    params.provisioning = cloud::Provisioning::FineGrain;
+    params.arrivalProb = 0.0;
+    params.quantum = 50'000;
+    params.seed = seed;
+    cloud::CloudProvider provider(params);
+    std::size_t num_classes = provider.params().catalog.size();
+    service::ServiceCore core(provider, /*audit_each_quantum=*/false);
+
+    constexpr std::size_t kMaxFrame = 1024;
+    service::FrameDecoder decoder(kMaxFrame);
+    std::vector<std::optional<cloud::TenantId>> slots(kSlots);
+    std::uint64_t next_id = 1;
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        try {
+            // --- Render the op to one wire frame.
+            std::string frame;
+            bool expect_decoder_error = false;
+            bool expect_parse_error = false;
+            switch (op.kind) {
+              case OpKind::SvcJunk:
+                frame = service::encodeFrame("{\"id\":1,\"op\"");
+                expect_parse_error = true;
+                break;
+              case OpKind::SvcBadOp:
+                frame = service::encodeFrame(
+                    strfmt("{\"id\":%llu,\"op\":\"warp\"}",
+                           static_cast<unsigned long long>(
+                               next_id++)));
+                break;
+              case OpKind::SvcEmpty:
+                frame = service::encodeFrame("");
+                expect_decoder_error = true;
+                break;
+              case OpKind::SvcOversize:
+                frame = service::encodeFrame(
+                    std::string(kMaxFrame + 1, ' '));
+                expect_decoder_error = true;
+                break;
+              default: {
+                service::Request req;
+                req.id = next_id++;
+                switch (op.kind) {
+                  case OpKind::SvcArrive:
+                    req.op = service::Op::Arrive;
+                    req.cls = static_cast<std::uint32_t>(
+                        op.a % num_classes);
+                    req.residence = op.b;
+                    break;
+                  case OpKind::SvcDepart:
+                    if (!slots[op.slot])
+                        continue;
+                    req.op = service::Op::Depart;
+                    req.tenant = *slots[op.slot];
+                    slots[op.slot].reset();
+                    break;
+                  case OpKind::SvcQuery:
+                    if (!slots[op.slot])
+                        continue;
+                    req.op = service::Op::Query;
+                    req.tenant = *slots[op.slot];
+                    break;
+                  case OpKind::SvcStep:
+                    req.op = service::Op::Step;
+                    req.quanta = 1 + op.a % 4;
+                    break;
+                  case OpKind::SvcSnapshot:
+                    req.op = service::Op::Snapshot;
+                    break;
+                  case OpKind::SvcDrain:
+                    req.op = service::Op::Drain;
+                    break;
+                  default:
+                    continue; // non-service op in a mixed shrink
+                }
+                frame = service::encodeFrame(req.toJson().dump());
+                break;
+              }
+            }
+
+            // --- Feed it split in two, decode, apply.
+            std::size_t cut = op.a % frame.size();
+            decoder.feed(frame.data(), cut);
+            decoder.feed(frame.data() + cut, frame.size() - cut);
+            bool parsed_one = false;
+            while (auto payload = decoder.next()) {
+                std::string perr;
+                auto doc = service::parseJson(*payload, &perr);
+                if (!doc) {
+                    if (!expect_parse_error)
+                        return Failure{
+                            i, strfmt("valid request failed to "
+                                      "parse: %s", perr.c_str())};
+                    continue;
+                }
+                std::string code, detail;
+                std::uint64_t id = 0;
+                auto req = service::parseRequest(*doc, &code,
+                                                 &detail, &id);
+                if (!req) {
+                    if (op.kind != OpKind::SvcBadOp)
+                        return Failure{
+                            i, strfmt("request rejected: %s (%s)",
+                                      code.c_str(),
+                                      detail.c_str())};
+                    continue;
+                }
+                service::JsonValue resp = core.apply(*req);
+                parsed_one = true;
+                // Track tenants handed out by ok arrive responses.
+                if (req->op == service::Op::Arrive
+                    && resp.getBool("ok").value_or(false)
+                    && resp.getString("state").value_or("")
+                        != "rejected") {
+                    if (auto t = resp.getUint("tenant"))
+                        slots[op.slot] =
+                            static_cast<cloud::TenantId>(*t);
+                }
+            }
+            if (decoder.error()) {
+                if (!expect_decoder_error)
+                    return Failure{
+                        i, strfmt("decoder poisoned by a valid "
+                                  "frame: %s", decoder.error())};
+                // The server answers and closes; a new connection
+                // gets a fresh decoder.
+                decoder = service::FrameDecoder(kMaxFrame);
+            } else if (expect_decoder_error) {
+                return Failure{i, "hostile frame was accepted"};
+            } else if (!parsed_one && !expect_parse_error
+                       && op.kind != OpKind::SvcBadOp) {
+                return Failure{i, "frame produced no response"};
+            }
+            auditProvider(provider);
+        } catch (const InvariantError &e) {
+            return Failure{i, e.what()};
+        } catch (const FatalError &e) {
+            return Failure{i, strfmt("unexpected FatalError: %s",
+                                     e.what())};
+        }
+    }
+    return std::nullopt;
+}
+
 // ---------------------------------------------------------------
 // Shrinking: iterated single-op deletion to a fixpoint. Sequences
 // are small (tens of ops) and replays are cheap, so the quadratic
@@ -458,11 +696,10 @@ struct Options
     bool modeAlloc = true;
     bool modeSim = true;
     bool modeCloud = true;
+    bool modeService = true;
     bool shrink = true;
     bool verbose = false;
     Fault inject = Fault::None;
-    std::string tracePath;   ///< --trace: Chrome trace_event JSON
-    std::string metricsPath; ///< --metrics: aggregate counters CSV
 };
 
 void
@@ -479,12 +716,13 @@ reportFailure(const char *mode, std::uint64_t seed,
         std::fprintf(stderr, "    [%2zu] %s\n", i,
                      minimized[i].str().c_str());
     int enabled = (opt.modeAlloc ? 1 : 0) + (opt.modeSim ? 1 : 0)
-        + (opt.modeCloud ? 1 : 0);
+        + (opt.modeCloud ? 1 : 0) + (opt.modeService ? 1 : 0);
     const char *only = "";
     if (enabled == 1) {
         only = opt.modeAlloc ? " --mode alloc"
             : opt.modeSim    ? " --mode sim"
-                             : " --mode cloud";
+            : opt.modeCloud  ? " --mode cloud"
+                             : " --mode service";
     }
     std::fprintf(stderr,
                  "  reproduce: fuzz_reconfig --seed %llu --ops %u"
@@ -559,14 +797,31 @@ run(const Options &opt)
                 reportFailure("cloud", seed, opt, min, mf);
             }
         }
+        if (opt.modeService) {
+            std::vector<Op> ops =
+                genServiceOps(seed, opt.opsPerSeed);
+            if (auto f = replayService(ops, seed)) {
+                ++failures;
+                std::vector<Op> min = opt.shrink
+                    ? shrinkOps(ops,
+                                [seed](const std::vector<Op> &c) {
+                                    return replayService(c, seed)
+                                        .has_value();
+                                })
+                    : ops;
+                Failure mf = replayService(min, seed).value_or(*f);
+                reportFailure("service", seed, opt, min, mf);
+            }
+        }
     }
 
-    std::printf("fuzz_reconfig: %llu seed(s) x%s%s%s, %u ops each, "
-                "invariants %s, inject=%s: %llu failure(s)\n",
+    std::printf("fuzz_reconfig: %llu seed(s) x%s%s%s%s, %u ops "
+                "each, invariants %s, inject=%s: %llu failure(s)\n",
                 static_cast<unsigned long long>(opt.numSeeds),
                 opt.modeAlloc ? " alloc" : "",
                 opt.modeSim ? " sim" : "",
-                opt.modeCloud ? " cloud" : "", opt.opsPerSeed,
+                opt.modeCloud ? " cloud" : "",
+                opt.modeService ? " service" : "", opt.opsPerSeed,
                 invariantsEnabled ? "on" : "off",
                 faultName(opt.inject),
                 static_cast<unsigned long long>(failures));
@@ -582,11 +837,14 @@ main(int argc, char **argv)
     using namespace cash;
 
     Options opt;
-    auto need = [argc](int i, const char *flag) {
-        if (i + 1 >= argc)
-            fatal("%s needs a value", flag);
-    };
     try {
+        // Owns --trace/--metrics (removed from argv here); writes
+        // the exports when main returns.
+        trace::TraceOptions topts(argc, argv);
+        auto need = [argc](int i, const char *flag) {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+        };
         for (int i = 1; i < argc; ++i) {
             const char *arg = argv[i];
             if (!std::strcmp(arg, "--seeds")) {
@@ -616,19 +874,16 @@ main(int argc, char **argv)
                 opt.modeSim = mode == "sim" || mode == "both"
                     || mode == "all";
                 opt.modeCloud = mode == "cloud" || mode == "all";
-                if (!opt.modeAlloc && !opt.modeSim && !opt.modeCloud)
+                opt.modeService = mode == "service"
+                    || mode == "all";
+                if (!opt.modeAlloc && !opt.modeSim && !opt.modeCloud
+                    && !opt.modeService)
                     fatal("unknown mode '%s' "
-                          "(alloc|sim|cloud|both|all)",
+                          "(alloc|sim|cloud|service|both|all)",
                           mode.c_str());
             } else if (!std::strcmp(arg, "--inject")) {
                 need(i, arg);
                 opt.inject = faultFromName(argv[++i]);
-            } else if (!std::strcmp(arg, "--trace")) {
-                need(i, arg);
-                opt.tracePath = argv[++i];
-            } else if (!std::strcmp(arg, "--metrics")) {
-                need(i, arg);
-                opt.metricsPath = argv[++i];
             } else if (!std::strcmp(arg, "--no-shrink")) {
                 opt.shrink = false;
             } else if (!std::strcmp(arg, "--verbose")) {
@@ -639,38 +894,7 @@ main(int argc, char **argv)
         }
         if (opt.opsPerSeed == 0 || opt.numSeeds == 0)
             fatal("--seeds and --ops must be positive");
-        std::unique_ptr<trace::TraceSession> session;
-        if (!opt.tracePath.empty() || !opt.metricsPath.empty()) {
-            if (!trace::compiledIn)
-                warn("built with CASH_TRACE=OFF: --trace/--metrics "
-                     "output will be empty");
-            session = std::make_unique<trace::TraceSession>();
-            session->install();
-        }
-        int rc = run(opt);
-        if (session) {
-            session->uninstall();
-            if (!opt.tracePath.empty()
-                && trace::writeChromeTraceFile(opt.tracePath,
-                                               *session)) {
-                inform("trace: wrote %s (open in ui.perfetto.dev "
-                       "or chrome://tracing)",
-                       opt.tracePath.c_str());
-            }
-            if (!opt.metricsPath.empty()) {
-                std::ofstream out(opt.metricsPath);
-                if (out.is_open())
-                    trace::MetricsRegistry::global().writeCsv(out);
-                else
-                    warn("cannot open '%s' for the metric summary",
-                         opt.metricsPath.c_str());
-            }
-            std::string table =
-                trace::MetricsRegistry::global().summaryTable();
-            if (!table.empty())
-                std::fputs(table.c_str(), stderr);
-        }
-        return rc;
+        return run(opt);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fuzz_reconfig: %s\n", e.what());
         return 2;

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Loopback smoke test for the service stack: start cash_serviced on
+# a Unix socket, run cash_loadgen against it (zero dropped
+# responses), then SIGTERM the daemon and require a clean drain
+# (exit 0, drain report on stdout). Used as a ctest and by the CI
+# service job.
+set -eu
+
+SERVICED=$1
+LOADGEN=$2
+SESSIONS=${3:-8}
+REQUESTS=${4:-32}
+
+DIR=$(mktemp -d)
+SOCK="$DIR/cash.sock"
+OUT="$DIR/serviced.out"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SERVICED" --unix "$SOCK" --queue-cap 256 > "$OUT" &
+PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "service_smoke: socket never appeared" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+"$LOADGEN" --unix "$SOCK" --sessions "$SESSIONS" \
+    --requests "$REQUESTS" --seed 3
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "service_smoke: serviced did not drain cleanly" >&2
+    exit 1
+fi
+PID=
+
+# The drain report must be one JSON object reporting success.
+if ! grep -q '"ok":true' "$OUT"; then
+    echo "service_smoke: no drain report on stdout:" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
+echo "service_smoke: OK"
