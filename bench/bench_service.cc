@@ -2,12 +2,13 @@
  * @file
  * Service front-end under concurrent load: the daemon stack
  * (ServiceServer + ServiceCore + wire protocol) exercised loopback,
- * in-process, over a (sessions x arrival-rate) grid.
+ * in-process, over a (sessions x arrival-rate x shards) grid.
  *
- * One cell per grid point: a fresh CloudProvider behind a
- * ServiceServer on its own Unix socket, driven by service/loadgen.hh
- * with that cell's session count and open-loop send rate, then
- * drained (final bills + billing-conservation audit) through stop().
+ * One cell per grid point: a fresh region (ServiceServer owning
+ * `shards` providers) on its own Unix socket, driven by
+ * service/loadgen.hh with that cell's session count and open-loop
+ * send rate, then drained (final bills + billing-conservation
+ * audit, aggregated across shards) through stop().
  *
  * Determinism contract: the *request interleaving* across sessions
  * is scheduling-dependent, so per-cell provider economics are not
@@ -54,20 +55,25 @@ struct CellResult
 int
 main(int argc, char **argv)
 {
+    // The per-cell host-throughput lines go to stderr via inform();
+    // tools/perf_trajectory.sh scrapes them, so force Info level.
+    setLogLevel(LogLevel::Info);
     bench::TraceOptions trace_opts(argc, argv);
 
     const unsigned session_grid[] = {4, 16, 64};
     const double rate_grid[] = {0.0, 2000.0}; // 0 = unpaced
+    const unsigned shard_grid[] = {1, 4};
     const unsigned requests = bench::fastMode() ? 12 : 40;
 
     struct Point
     {
-        std::size_t s, r;
+        std::size_t s, r, h;
     };
     std::vector<Point> points;
     for (std::size_t s = 0; s < std::size(session_grid); ++s)
         for (std::size_t r = 0; r < std::size(rate_grid); ++r)
-            points.push_back({s, r});
+            for (std::size_t h = 0; h < std::size(shard_grid); ++h)
+                points.push_back({s, r, h});
 
     harness::ExperimentEngine engine;
     std::vector<CellResult> results = engine.map<CellResult>(
@@ -80,12 +86,13 @@ main(int argc, char **argv)
             pp.quantum = 200'000; // cheap steps: this bench
                                   // measures the front-end
             pp.seed = 0x5EED + i;
-            cloud::CloudProvider provider(pp);
 
             service::ServerConfig sc;
             sc.unixPath = strfmt("/tmp/cash_bench_svc.%d.%zu.sock",
                                  static_cast<int>(::getpid()), i);
-            service::ServiceServer server(provider, sc);
+            sc.shards = shard_grid[pt.h];
+            sc.ioThreads = shard_grid[pt.h] > 1 ? 2 : 1;
+            service::ServiceServer server(pp, sc);
             server.start();
 
             service::LoadConfig lc;
@@ -96,7 +103,7 @@ main(int argc, char **argv)
             lc.window = 4;
             lc.seed = 0xCA5 + i;
             lc.classes = static_cast<unsigned>(
-                provider.params().catalog.size());
+                server.provider(0).params().catalog.size());
             lc.stepProb = 0.10;
             service::LoadReport rep = service::runLoad(lc);
 
@@ -125,7 +132,8 @@ main(int argc, char **argv)
         [&](std::size_t i) {
             const Point &pt = points[i];
             return harness::CellKey{
-                strfmt("%u-sessions", session_grid[pt.s]),
+                strfmt("%u-sessions-%u-shards", session_grid[pt.s],
+                       shard_grid[pt.h]),
                 rate_grid[pt.r] == 0.0 ? "unpaced" : "paced",
                 i, 0x5EED};
         });
@@ -135,14 +143,14 @@ main(int argc, char **argv)
     std::printf("%u requests/session, window 4, one daemon per "
                 "cell, drain-on-stop\n",
                 requests);
-    std::printf("  %-9s %-8s %7s %7s %7s %7s %8s\n", "sessions",
-                "pacing", "sent", "acked", "dropped", "failed",
-                "drained");
+    std::printf("  %-9s %-8s %7s %7s %7s %7s %7s %8s\n",
+                "sessions", "pacing", "shards", "sent", "acked",
+                "dropped", "failed", "drained");
 
     bench::CsvSink csv("service",
-                       {"sessions", "pacing", "requests", "sent",
-                        "acked", "dropped", "failed_sessions",
-                        "drained"});
+                       {"sessions", "pacing", "shards", "requests",
+                        "sent", "acked", "dropped",
+                        "failed_sessions", "drained"});
 
     bool contract_held = true;
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -151,13 +159,14 @@ main(int argc, char **argv)
         const char *pacing =
             rate_grid[pt.r] == 0.0 ? "unpaced" : "2000/s";
         std::uint64_t dropped = r.sent - r.received;
-        std::printf("  %-9u %-8s %7llu %7llu %7llu %7u %8s\n",
-                    session_grid[pt.s], pacing,
+        std::printf("  %-9u %-8s %7u %7llu %7llu %7llu %7u %8s\n",
+                    session_grid[pt.s], pacing, shard_grid[pt.h],
                     static_cast<unsigned long long>(r.sent),
                     static_cast<unsigned long long>(r.received),
                     static_cast<unsigned long long>(dropped),
                     r.failedSessions, r.drained ? "yes" : "NO");
         csv.row({std::to_string(session_grid[pt.s]), pacing,
+                 std::to_string(shard_grid[pt.h]),
                  std::to_string(requests),
                  std::to_string(r.sent), std::to_string(r.received),
                  std::to_string(dropped),
@@ -166,10 +175,10 @@ main(int argc, char **argv)
         if (dropped != 0 || r.failedSessions != 0 || !r.drained)
             contract_held = false;
         // Host timing: stderr only, stdout stays deterministic.
-        inform("service %u sessions %s: %.0f req/s, latency us "
-               "p50=%.0f p90=%.0f, queue_full=%llu",
-               session_grid[pt.s], pacing, r.reqPerSec, r.latP50Us,
-               r.latP90Us,
+        inform("service %u sessions %s x%u shards: %.0f req/s, "
+               "latency us p50=%.0f p90=%.0f, queue_full=%llu",
+               session_grid[pt.s], pacing, shard_grid[pt.h],
+               r.reqPerSec, r.latP50Us, r.latP90Us,
                static_cast<unsigned long long>(r.queueFull));
     }
 

@@ -114,6 +114,7 @@ auditProvider(const cloud::CloudProvider &provider)
     // summing active holdings.
     std::vector<VCoreId> live;
     std::uint64_t queued = 0, active = 0, departed = 0, turned = 0;
+    std::uint64_t migrated = 0;
     std::uint32_t tenant_slices = 0, tenant_banks = 0;
     for (const auto &tp : provider.tenants()) {
         const cloud::Tenant &t = *tp;
@@ -145,6 +146,12 @@ auditProvider(const cloud::CloudProvider &provider)
           case cloud::TenantState::Rejected:
             ++turned;
             break;
+          case cloud::TenantState::Migrated:
+            ++migrated;
+            CASH_AUDIT(t.vcore == invalidVCore,
+                       "migrated tenant %u still holds vcore %u",
+                       t.id, t.vcore);
+            break;
         }
     }
     std::vector<VCoreId> sorted = live;
@@ -170,15 +177,22 @@ auditProvider(const cloud::CloudProvider &provider)
 
     // --- Lifecycle algebra.
     const cloud::ProviderStats &st = provider.stats();
-    CASH_AUDIT(st.arrivals == provider.tenants().size(),
-               "%llu arrivals but %zu tenants in the ledger",
+    CASH_AUDIT(st.arrivals + st.migratedIn
+                   == provider.tenants().size(),
+               "%llu arrivals + %llu migrate-ins but %zu tenants in "
+               "the ledger",
                static_cast<unsigned long long>(st.arrivals),
+               static_cast<unsigned long long>(st.migratedIn),
                provider.tenants().size());
-    CASH_AUDIT(st.admitted == active + departed,
-               "%llu admissions != %llu active + %llu departed",
+    CASH_AUDIT(st.admitted == active + departed + migrated,
+               "%llu admissions != %llu active + %llu departed + "
+               "%llu migrated out",
                static_cast<unsigned long long>(st.admitted),
                static_cast<unsigned long long>(active),
-               static_cast<unsigned long long>(departed));
+               static_cast<unsigned long long>(departed),
+               static_cast<unsigned long long>(migrated));
+    CASH_AUDIT(st.migratedOut == migrated,
+               "migrate-out counter diverges from the ledger");
     CASH_AUDIT(st.departed == departed,
                "departure counter diverges from the ledger");
     CASH_AUDIT(st.rejected + st.abandoned == turned,
@@ -197,15 +211,18 @@ auditProvider(const cloud::CloudProvider &provider)
     // the provider absorbed on its behalf) must equal the priced
     // integral of its actual Slice/bank holdings — the runtime
     // bills at granted configurations, so partial grants must not
-    // let the books drift.
+    // let the books drift. A migrated-in tenant carries its prior
+    // shards' integral (migratedHoldings, stall included) on the
+    // holdings side and its prior bill inside bill(), so the same
+    // identity holds across any number of hops.
     const CostModel &cm = provider.params().pricing;
     for (const auto &tp : provider.tenants()) {
         const cloud::Tenant &t = *tp;
         if (t.state != cloud::TenantState::Active)
             continue;
         const VirtualCore &vc = sim.vcore(t.vcore);
-        double holdings =
-            cm.sliceRate() * cm.hours(vc.sliceCycles())
+        double holdings = t.migratedHoldings
+            + cm.sliceRate() * cm.hours(vc.sliceCycles())
             + cm.bankRate() * cm.hours(vc.bankCycles());
         double billed = t.bill() + t.unbilledCompactCost;
         double tol = 1e-9 + 1e-6 * std::max(holdings, billed);

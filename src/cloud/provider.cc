@@ -95,24 +95,35 @@ CloudProvider::startConfig(const Tenant &t) const
 }
 
 void
-CloudProvider::activate(Tenant &t)
+CloudProvider::bindExecution(Tenant &t, const VCoreConfig &cfg,
+                             std::uint64_t src_seed,
+                             std::uint64_t fast_forward)
 {
-    VCoreConfig entry = startConfig(t);
-    auto id = sim_.createVCore(entry.slices, entry.banks);
+    auto id = sim_.createVCore(cfg.slices, cfg.banks);
     CASH_AUDIT(id.has_value(),
-               "activate() called for tenant %u but %s does not fit",
-               t.id, entry.str().c_str());
+               "bindExecution() for tenant %u but %s does not fit",
+               t.id, cfg.str().c_str());
 
     t.vcore = *id;
     t.state = TenantState::Active;
     t.admitRound = round_;
+    t.srcSeed = src_seed;
 
     AppModel app =
         scalePhases(appByName(t.cls.app), params_.phaseScale);
-    // Per-tenant source seed: two tenants of the same class still
-    // run distinct (but reproducible) traces.
-    std::uint64_t src_seed = (params_.seed << 8) + t.id + 1;
     t.inner = makeSource(app, src_seed);
+    if (fast_forward > 0) {
+        // A migrant resumes its trace mid-stream: replay the
+        // (cheap, deterministic) generator draws up to the emitted
+        // position the snapshot recorded.
+        auto *phased =
+            dynamic_cast<PhasedTraceSource *>(t.inner.get());
+        CASH_AUDIT(phased != nullptr,
+                   "tenant %u migrated with a non-replayable source",
+                   t.id);
+        for (std::uint64_t i = 0; i < fast_forward; ++i)
+            phased->next(0);
+    }
     if (t.cls.kind == QosKind::Throughput)
         t.paced = std::make_unique<PacedSource>(*t.inner, t.target);
     sim_.vcore(t.vcore).bindSource(t.boundSource());
@@ -129,6 +140,15 @@ CloudProvider::activate(Tenant &t)
         t.monitor = std::make_unique<VCoreMonitor>(
             sim_, t.vcore, t.cls.kind, t.target);
     }
+}
+
+void
+CloudProvider::activate(Tenant &t)
+{
+    VCoreConfig entry = startConfig(t);
+    // Per-tenant source seed: two tenants of the same class still
+    // run distinct (but reproducible) traces.
+    bindExecution(t, entry, (params_.seed << 8) + t.id + 1, 0);
 
     CASH_TRACE_INSTANT(trace::Category::Cloud, "admit",
                        roundTs(round_, params_.quantum),
@@ -147,23 +167,26 @@ CloudProvider::depart(Tenant &t)
     t.state = TenantState::Departed;
     t.departRound = round_;
     ++stats_.departed;
+    // Capture the shard-local tallies before dropping the runtime
+    // (the accessors read through it while it exists, and add the
+    // migrated-in carry on top).
+    if (t.runtime) {
+        t.billed = t.runtime->totalCost();
+        t.samples = t.runtime->totalSamples();
+        t.violations = t.runtime->totalViolations();
+    }
     stats_.departedRevenue += t.bill();
     stats_.slaSamples += t.qosSamples();
     stats_.slaViolations += t.qosViolations();
-    // Capture the final bill before dropping the runtime (bill()
-    // reads through it while it exists).
-    t.billed = t.bill();
-    t.samples = t.qosSamples();
-    t.violations = t.qosViolations();
     CASH_TRACE_INSTANT(trace::Category::Cloud, "depart",
                        roundTs(round_, params_.quantum),
                        {{"tenant", t.id},
-                        {"bill", t.billed},
-                        {"samples", t.samples},
-                        {"violations", t.violations},
+                        {"bill", t.bill()},
+                        {"samples", t.qosSamples()},
+                        {"violations", t.qosViolations()},
                         {"rounds", t.activeRounds}});
     CASH_METRIC_INC("cloud.departs");
-    CASH_METRIC_SAMPLE("cloud.tenant_bill", t.billed);
+    CASH_METRIC_SAMPLE("cloud.tenant_bill", t.bill());
     t.runtime.reset();
     t.monitor.reset();
 
@@ -490,6 +513,169 @@ CloudProvider::qosDelivery() const
             - static_cast<double>(violations)
             / static_cast<double>(samples)
                    : 1.0;
+}
+
+Cycle
+CloudProvider::migrationStall(const VCoreConfig &cfg) const
+{
+    // Leaving a chip costs what the paper charges a reconfiguration
+    // that gives everything up (Sec IV / reconfig.hh): the
+    // architectural-register flush bound plus the worst-case dirty
+    // writeback of every held L2 bank. The pipeline flush is noise
+    // at this scale.
+    constexpr Cycle kRegFlush = 64;
+    constexpr Cycle kBankFlush = 8000;
+    return kRegFlush + kBankFlush * cfg.banks;
+}
+
+std::optional<TenantSnapshot>
+CloudProvider::migrateOut(TenantId id)
+{
+    if (id >= tenants_.size())
+        return std::nullopt;
+    Tenant &t = *tenants_[id];
+    if (t.state != TenantState::Active)
+        return std::nullopt;
+    auto *phased = dynamic_cast<PhasedTraceSource *>(t.inner.get());
+    if (!phased)
+        return std::nullopt; // request-driven sources do not move
+
+    const VirtualCore &vc = sim_.vcore(t.vcore);
+    VCoreConfig held{vc.numSlices(), vc.numBanks()};
+    const CostModel &cm = params_.pricing;
+    // This shard's priced holdings integral for the tenant.
+    double holdings = cm.sliceRate() * cm.hours(vc.sliceCycles())
+        + cm.bankRate() * cm.hours(vc.bankCycles());
+
+    Cycle stall = migrationStall(held);
+    double stall_cost = cm.cost(held, stall);
+
+    TenantSnapshot snap;
+    snap.cls = t.cls;
+    snap.target = t.target;
+    snap.residenceRounds = t.residenceRounds;
+    snap.activeRounds = t.activeRounds;
+    // The stall is billed to the tenant *and* counted as holdings:
+    // both sides of the target shard's audit identity carry it.
+    snap.migratedBill = t.bill() + stall_cost;
+    snap.migratedHoldings = t.migratedHoldings + holdings + stall_cost;
+    snap.unbilledCompactCost = t.unbilledCompactCost;
+    snap.qosSamples = t.qosSamples();
+    snap.qosViolations = t.qosViolations();
+    snap.ewmaQ = t.ewmaQ;
+    snap.srcSeed = t.srcSeed;
+    snap.srcEmitted = phased->emitted();
+    snap.heldCfg = held;
+    snap.stallCycles = stall;
+    snap.hops = t.migrantHops + 1;
+
+    // The ledger keeps the pre-stall view for queries on the old
+    // id; the revenue moves with the snapshot.
+    t.state = TenantState::Migrated;
+    t.departRound = round_;
+    if (t.runtime) {
+        t.billed = t.runtime->totalCost();
+        t.samples = t.runtime->totalSamples();
+        t.violations = t.runtime->totalViolations();
+    }
+    t.runtime.reset();
+    t.monitor.reset();
+    sim_.destroyVCore(t.vcore);
+    t.vcore = invalidVCore;
+    t.paced.reset();
+    t.inner.reset();
+    ++stats_.migratedOut;
+
+    CASH_TRACE_INSTANT(trace::Category::Cloud, "migrate_out",
+                       roundTs(round_, params_.quantum),
+                       {{"tenant", t.id},
+                        {"bill", snap.migratedBill},
+                        {"stall_cycles", stall},
+                        {"slices", held.slices},
+                        {"banks", held.banks}});
+    CASH_METRIC_INC("cloud.migrates_out");
+    return snap;
+}
+
+TenantId
+CloudProvider::migrateIn(const TenantSnapshot &snap)
+{
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<TenantId>(tenants_.size());
+    t->cls = snap.cls;
+    t->target = snap.target;
+    t->residenceRounds = snap.residenceRounds;
+    t->activeRounds = snap.activeRounds;
+    t->arrivalRound = round_;
+    t->migratedBill = snap.migratedBill;
+    t->migratedHoldings = snap.migratedHoldings;
+    t->unbilledCompactCost = snap.unbilledCompactCost;
+    t->migratedSamples = snap.qosSamples;
+    t->migratedViolations = snap.qosViolations;
+    t->ewmaQ = snap.ewmaQ;
+    t->srcSeed = snap.srcSeed;
+    t->migrantHops = snap.hops;
+    ++stats_.migratedIn;
+    ++stats_.admitted; // placed or evicted, the books stay balanced
+    Tenant &ref = *t;
+    tenants_.push_back(std::move(t));
+
+    // Placement: held configuration, then the class minimum, then
+    // finalize on entry — a migrant never queues (its bill must not
+    // be lost to an abandon) and never fails to be accounted.
+    const FabricAllocator &al = sim_.allocator();
+    VCoreConfig cfg = snap.heldCfg;
+    bool fits = !draining_ && AdmissionController::fits(cfg, al);
+    if (!fits) {
+        cfg = ref.cls.minCfg;
+        fits = !draining_ && AdmissionController::fits(cfg, al);
+    }
+    if (fits) {
+        bindExecution(ref, cfg, snap.srcSeed, snap.srcEmitted);
+        CASH_TRACE_INSTANT(trace::Category::Cloud, "migrate_in",
+                           roundTs(round_, params_.quantum),
+                           {{"tenant", ref.id},
+                            {"slices", cfg.slices},
+                            {"banks", cfg.banks},
+                            {"hops", ref.migrantHops}});
+        CASH_METRIC_INC("cloud.migrates_in");
+    } else {
+        // Evict-finalize: the tenant ends its stay here and now;
+        // the carried bill lands in this shard's departed revenue.
+        ref.state = TenantState::Departed;
+        ref.departRound = round_;
+        ++stats_.departed;
+        ++stats_.migrateEvicted;
+        stats_.departedRevenue += ref.bill();
+        stats_.slaSamples += ref.qosSamples();
+        stats_.slaViolations += ref.qosViolations();
+        CASH_TRACE_INSTANT(trace::Category::Cloud, "migrate_evict",
+                           roundTs(round_, params_.quantum),
+                           {{"tenant", ref.id},
+                            {"bill", ref.bill()}});
+        CASH_METRIC_INC("cloud.migrate_evicts");
+    }
+    return ref.id;
+}
+
+TenantId
+CloudProvider::pickMigrant() const
+{
+    TenantId best = invalidTenant;
+    std::uint32_t best_slices = 0;
+    for (const auto &tp : tenants_) {
+        const Tenant &t = *tp;
+        if (t.state != TenantState::Active)
+            continue;
+        if (!dynamic_cast<PhasedTraceSource *>(t.inner.get()))
+            continue;
+        std::uint32_t slices = sim_.vcore(t.vcore).numSlices();
+        if (best == invalidTenant || slices < best_slices) {
+            best = t.id;
+            best_slices = slices;
+        }
+    }
+    return best;
 }
 
 std::optional<CommandRequest>

@@ -104,6 +104,48 @@ struct ProviderParams
     std::vector<TenantClass> catalog;
 };
 
+/**
+ * Everything needed to replay one active tenant on another chip:
+ * its class, accrued books, QoS trackers, and the exact position of
+ * its deterministic instruction stream. Produced by migrateOut()
+ * (which also bills the migration stall into the carried books) and
+ * consumed by migrateIn(). The service layer serializes this to
+ * JSON for the wire (service/region.hh).
+ *
+ * Billing algebra: migratedBill/migratedHoldings both include the
+ * stall, so on the target shard the audit identity
+ *   bill() + unbilledCompactCost == migratedHoldings + integral
+ * reduces to the per-shard identity that held on the source.
+ */
+struct TenantSnapshot
+{
+    TenantClass cls;
+    /** Jittered per-tenant QoS target. */
+    double target = 0.0;
+    std::uint32_t residenceRounds = 0;
+    std::uint64_t activeRounds = 0;
+    /** $ billed so far (previous shards + billed migration stall). */
+    double migratedBill = 0.0;
+    /** Priced holdings integral so far, stall included. */
+    double migratedHoldings = 0.0;
+    /** Compaction stall $ the provider absorbed for this tenant. */
+    double unbilledCompactCost = 0.0;
+    std::uint64_t qosSamples = 0;
+    std::uint64_t qosViolations = 0;
+    double ewmaQ = 1.0;
+    /** Source stream: seed and emitted-instruction position. The
+     *  target recreates the PhasedTraceSource from the seed and
+     *  fast-forwards it, so the tenant resumes its trace where it
+     *  left off. */
+    std::uint64_t srcSeed = 0;
+    std::uint64_t srcEmitted = 0;
+    /** Configuration held at departure (target placement hint). */
+    VCoreConfig heldCfg{1, 1};
+    /** The billed migration stall, in cycles. */
+    Cycle stallCycles = 0;
+    std::uint32_t hops = 1;
+};
+
 /** One tenant's finalized bill, as returned by drain(). */
 struct FinalBill
 {
@@ -125,6 +167,13 @@ struct ProviderStats
     /** Queued arrivals that ran out of patience. */
     std::uint64_t abandoned = 0;
     std::uint64_t departed = 0;
+    /** Tenants replayed onto this chip from another shard. */
+    std::uint64_t migratedIn = 0;
+    /** Tenants serialized off this chip to another shard. */
+    std::uint64_t migratedOut = 0;
+    /** Migrate-ins the chip could not place, finalized on entry
+     *  (counted in both admitted and departed). */
+    std::uint64_t migrateEvicted = 0;
     /** Σ over rounds of active tenant count. */
     std::uint64_t tenantRounds = 0;
     /** Σ over rounds of the Slice/bank occupancy fractions. */
@@ -214,6 +263,46 @@ class CloudProvider
     /** True once drain() has run (admissions are closed). */
     bool draining() const { return draining_; }
 
+    // --- Cross-shard migration (region support). Both ends are
+    // deterministic functions of their arguments, so a migration is
+    // replayable and the fuzzer can shrink through it.
+
+    /**
+     * Serialize an Active tenant off this chip: bill the migration
+     * stall (register flush + worst-case dirty-L2 writeback, the
+     * paper's reconfiguration cost model), release its fabric, and
+     * mark it Migrated. Its bill travels in the snapshot — the
+     * tenant contributes nothing further to this shard's revenue.
+     *
+     * @return nullopt if the id is unknown, not Active, or the
+     *         tenant's source cannot be serialized (request-driven
+     *         apps have open-loop arrival state; the default
+     *         catalog has none)
+     */
+    std::optional<TenantSnapshot> migrateOut(TenantId id);
+
+    /**
+     * Replay a migrated tenant onto this chip. Never loses the
+     * books: placement tries the held configuration, then the class
+     * minimum; when neither fits (or the shard is draining) the
+     * tenant is finalized on entry — counted admitted + departed,
+     * its carried bill landing in this shard's departed revenue —
+     * so region revenue still counts every dollar exactly once.
+     *
+     * @return the tenant's new local id on this provider (check
+     *         state to see whether it was placed or evicted)
+     */
+    TenantId migrateIn(const TenantSnapshot &snap);
+
+    /**
+     * The cheapest Active tenant to move (fewest held Slices, then
+     * lowest id), or invalidTenant when none is migratable.
+     */
+    TenantId pickMigrant() const;
+
+    /** The stall migrateOut() bills for leaving with `cfg`. */
+    Cycle migrationStall(const VCoreConfig &cfg) const;
+
     // --- Introspection.
 
     const SSim &chip() const { return sim_; }
@@ -254,6 +343,14 @@ class CloudProvider
     /** Create the tenant's vcore, sources, and (fine-grain)
      *  runtime. Must only be called when the entry config fits. */
     void activate(Tenant &t);
+
+    /** Shared tail of activate()/migrateIn(): create the vcore at
+     *  `cfg`, instantiate the source from `src_seed` (fast-forwarded
+     *  by `fast_forward` emitted instructions for migrants), and
+     *  attach the runtime or monitor. */
+    void bindExecution(Tenant &t, const VCoreConfig &cfg,
+                       std::uint64_t src_seed,
+                       std::uint64_t fast_forward);
 
     /** Finalize accounting and release the tenant's fabric. */
     void depart(Tenant &t);

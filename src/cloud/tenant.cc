@@ -11,6 +11,7 @@ tenantStateName(TenantState s)
       case TenantState::Active: return "active";
       case TenantState::Departed: return "departed";
       case TenantState::Rejected: return "rejected";
+      case TenantState::Migrated: return "migrated";
     }
     return "?";
 }

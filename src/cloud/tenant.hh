@@ -59,6 +59,7 @@ enum class TenantState : std::uint8_t
     Active,   ///< holding a virtual core
     Departed, ///< left (bill finalized)
     Rejected, ///< turned away (queue full / impossible request)
+    Migrated, ///< moved to another shard (bill travels with it)
 };
 
 /** Printable state name. */
@@ -82,6 +83,11 @@ struct Tenant
     std::uint32_t patienceRounds = 0;
 
     VCoreId vcore = invalidVCore;
+    /** Seed the instruction stream was built from. Fixed at first
+     *  activation and carried across migrations, so the stream is
+     *  reconstructible anywhere (migrateOut serializes seed +
+     *  emitted position). */
+    std::uint64_t srcSeed = 0;
     std::unique_ptr<InstSource> inner;
     std::unique_ptr<PacedSource> paced;
     std::unique_ptr<CashRuntime> runtime;
@@ -107,6 +113,23 @@ struct Tenant
     std::uint64_t violations = 0;
     double ewmaQ = 1.0;
 
+    // Cross-shard migration baggage (zero for tenants that never
+    // moved). A migrated-in tenant carries its prior shards' books
+    // so the billing audit stays a per-shard identity:
+    // bill() + unbilledCompactCost ==
+    //     migratedHoldings + this shard's holdings integral.
+    /** $ billed on previous shards, including billed migration
+     *  stalls. */
+    double migratedBill = 0.0;
+    /** Priced holdings integral accumulated on previous shards,
+     *  including the migration stalls (billed there). */
+    double migratedHoldings = 0.0;
+    /** SLA tallies carried from previous shards. */
+    std::uint64_t migratedSamples = 0;
+    std::uint64_t migratedViolations = 0;
+    /** Migrations survived so far. */
+    std::uint32_t migrantHops = 0;
+
     /** The source feeding the vcore (paced for throughput apps). */
     InstSource *boundSource() const
     {
@@ -114,20 +137,27 @@ struct Tenant
                      : inner.get();
     }
 
-    /** Total $ this tenant has been billed so far. */
+    /** Total $ this tenant has been billed so far, prior shards
+     *  included. `billed`/`samples`/`violations` are shard-local;
+     *  fine-grain tenants read the live tallies through their
+     *  runtime until it is dropped (depart/migrate capture them
+     *  into the locals first). */
     double bill() const
     {
-        return runtime ? runtime->totalCost() : billed;
+        return migratedBill
+            + (runtime ? runtime->totalCost() : billed);
     }
 
-    /** QoS samples taken / violated so far. */
+    /** QoS samples taken / violated so far, prior shards included. */
     std::uint64_t qosSamples() const
     {
-        return runtime ? runtime->totalSamples() : samples;
+        return migratedSamples
+            + (runtime ? runtime->totalSamples() : samples);
     }
     std::uint64_t qosViolations() const
     {
-        return runtime ? runtime->totalViolations() : violations;
+        return migratedViolations
+            + (runtime ? runtime->totalViolations() : violations);
     }
 };
 

@@ -264,4 +264,30 @@ ServiceClient::drain()
     return call(r);
 }
 
+JsonValue
+ServiceClient::migrate(std::uint32_t tenant, std::uint32_t to)
+{
+    Request r;
+    r.op = Op::Migrate;
+    r.tenant = tenant;
+    r.to = to;
+    return call(r);
+}
+
+JsonValue
+ServiceClient::shards()
+{
+    Request r;
+    r.op = Op::Shards;
+    return call(r);
+}
+
+JsonValue
+ServiceClient::regionSnapshot()
+{
+    Request r;
+    r.op = Op::RegionSnapshot;
+    return call(r);
+}
+
 } // namespace cash::service

@@ -8,8 +8,10 @@ namespace cash::service
 {
 
 ServiceCore::ServiceCore(cloud::CloudProvider &provider,
-                         bool audit_each_quantum)
-    : provider_(provider), audit_(audit_each_quantum)
+                         bool audit_each_quantum,
+                         cloud::ShardId shard_id)
+    : provider_(provider), audit_(audit_each_quantum),
+      shardId_(shard_id)
 {}
 
 void
@@ -47,6 +49,18 @@ ServiceCore::apply(const Request &req)
         resp = drainReport();
         resp.set("id", JsonValue(req.id));
         break;
+      case Op::Shards:
+        resp = applyShardInfo(req);
+        break;
+      case Op::RegionSnapshot:
+        // One shard's contribution; region engines merge these.
+        resp = applySnapshot(req);
+        resp.set("shard", JsonValue(shardId_));
+        break;
+      case Op::Migrate:
+        resp = errorResponse(req.id, errors::BadRequest,
+                             "migrate needs a region engine");
+        break;
     }
     ++stats_.applied;
     if (auto ok = resp.getBool("ok"); ok && !*ok)
@@ -71,22 +85,44 @@ ServiceCore::applyArrive(const Request &req)
         provider_.injectArrival(req.cls, req.residence);
     const cloud::Tenant &t = *provider_.tenants()[id];
     JsonValue resp = okResponse(req.id);
-    resp.set("tenant", JsonValue(id));
+    resp.set("tenant",
+             JsonValue(cloud::regionTenantId(shardId_, id)));
     resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
     resp.set("app", JsonValue(t.cls.app));
+    resp.set("shard", JsonValue(shardId_));
     CASH_METRIC_INC("service.arrives");
     return resp;
+}
+
+bool
+ServiceCore::localId(const Request &req, std::uint32_t &local,
+                     JsonValue *resp) const
+{
+    if (cloud::tenantShard(req.tenant) != shardId_) {
+        if (resp)
+            *resp = errorResponse(
+                req.id, errors::UnknownTenant,
+                strfmt("tenant %u is not on shard %u", req.tenant,
+                       shardId_));
+        return false;
+    }
+    local = cloud::tenantLocal(req.tenant);
+    return true;
 }
 
 JsonValue
 ServiceCore::applyDepart(const Request &req)
 {
-    if (!provider_.injectDeparture(req.tenant))
+    std::uint32_t local = 0;
+    JsonValue resp;
+    if (!localId(req, local, &resp))
+        return resp;
+    if (!provider_.injectDeparture(local))
         return errorResponse(
             req.id, errors::UnknownTenant,
             strfmt("tenant %u unknown or already gone", req.tenant));
-    const cloud::Tenant &t = *provider_.tenants()[req.tenant];
-    JsonValue resp = okResponse(req.id);
+    const cloud::Tenant &t = *provider_.tenants()[local];
+    resp = okResponse(req.id);
     resp.set("tenant", JsonValue(req.tenant));
     resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
     resp.set("bill", JsonValue(t.bill()));
@@ -97,11 +133,15 @@ ServiceCore::applyDepart(const Request &req)
 JsonValue
 ServiceCore::applyQuery(const Request &req)
 {
-    if (req.tenant >= provider_.tenants().size())
+    std::uint32_t local = 0;
+    JsonValue resp;
+    if (!localId(req, local, &resp))
+        return resp;
+    if (local >= provider_.tenants().size())
         return errorResponse(req.id, errors::UnknownTenant,
                              strfmt("tenant %u unknown", req.tenant));
-    const cloud::Tenant &t = *provider_.tenants()[req.tenant];
-    JsonValue resp = okResponse(req.id);
+    const cloud::Tenant &t = *provider_.tenants()[local];
+    resp = okResponse(req.id);
     resp.set("tenant", JsonValue(req.tenant));
     resp.set("app", JsonValue(t.cls.app));
     resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
@@ -148,7 +188,54 @@ ServiceCore::applySnapshot(const Request &req)
     resp.set("free_slices", JsonValue(al.freeSlices()));
     resp.set("free_banks", JsonValue(al.freeBanks()));
     resp.set("draining", JsonValue(provider_.draining()));
+    // Raw SLA tallies (active tenants included) so a region merge
+    // can recompute qos_delivery exactly instead of averaging
+    // fractions.
+    std::uint64_t samples = st.slaSamples;
+    std::uint64_t violations = st.slaViolations;
+    for (const auto &tp : provider_.tenants()) {
+        if (tp->state != cloud::TenantState::Active)
+            continue;
+        samples += tp->qosSamples();
+        violations += tp->qosViolations();
+    }
+    resp.set("sla_samples", JsonValue(samples));
+    resp.set("sla_violations", JsonValue(violations));
+    resp.set("migrated_in", JsonValue(st.migratedIn));
+    resp.set("migrated_out", JsonValue(st.migratedOut));
     return resp;
+}
+
+JsonValue
+ServiceCore::applyShardInfo(const Request &req)
+{
+    cloud::ShardLoad l = load();
+    JsonValue resp = okResponse(req.id);
+    resp.set("shard", JsonValue(shardId_));
+    resp.set("round", JsonValue(l.round));
+    resp.set("active", JsonValue(l.active));
+    resp.set("queued", JsonValue(l.queued));
+    resp.set("free_slices", JsonValue(l.freeSlices));
+    resp.set("free_banks", JsonValue(l.freeBanks));
+    resp.set("fragmentation", JsonValue(l.fragmentation));
+    return resp;
+}
+
+std::optional<cloud::TenantSnapshot>
+ServiceCore::migrateOut(std::uint32_t local_id)
+{
+    auto snap = provider_.migrateOut(local_id);
+    if (snap)
+        maybeAudit();
+    return snap;
+}
+
+std::uint32_t
+ServiceCore::migrateIn(const cloud::TenantSnapshot &snap)
+{
+    cloud::TenantId local = provider_.migrateIn(snap);
+    maybeAudit();
+    return cloud::regionTenantId(shardId_, local);
 }
 
 JsonValue
@@ -164,11 +251,13 @@ ServiceCore::drainReport()
     double total = 0.0;
     for (const cloud::FinalBill &b : bills) {
         JsonValue row = JsonValue::object();
-        row.set("tenant", JsonValue(b.tenant));
+        row.set("tenant",
+                JsonValue(cloud::regionTenantId(shardId_, b.tenant)));
         row.set("app", JsonValue(b.app));
         row.set("bill", JsonValue(b.bill));
         row.set("qos_samples", JsonValue(b.qosSamples));
         row.set("qos_violations", JsonValue(b.qosViolations));
+        row.set("shard", JsonValue(shardId_));
         arr.push(std::move(row));
         total += b.bill;
     }

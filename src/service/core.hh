@@ -28,6 +28,7 @@
 
 #include <cstdint>
 
+#include "cloud/placement.hh"
 #include "cloud/provider.hh"
 #include "service/protocol.hh"
 
@@ -49,12 +50,30 @@ class ServiceCore
      * @param provider the provider to serve (not owned)
      * @param audit_each_quantum run auditProvider() after every
      *        request and stepped quantum
+     * @param shard_id this core's shard within its region; tenant
+     *        ids on the wire carry it in their top byte (shard 0 —
+     *        the single-chip default — leaves ids unchanged)
      */
     ServiceCore(cloud::CloudProvider &provider,
-                bool audit_each_quantum);
+                bool audit_each_quantum,
+                cloud::ShardId shard_id = 0);
 
-    /** Apply one request; always returns a response object. */
+    /** Apply one request; always returns a response object.
+     *  Op::Migrate needs a region engine (RegionCore or the
+     *  server's migration chain) and answers bad_request here;
+     *  Op::Shards / Op::RegionSnapshot produce this shard's
+     *  partial, which region engines merge. */
     JsonValue apply(const Request &req);
+
+    /** Serialize one tenant (shard-local id) off this shard;
+     *  audits, like every mutation. nullopt when the tenant is
+     *  unknown or not Active. */
+    std::optional<cloud::TenantSnapshot>
+    migrateOut(std::uint32_t local_id);
+
+    /** Replay a snapshot onto this shard; returns the new
+     *  region-scoped tenant id. */
+    std::uint32_t migrateIn(const cloud::TenantSnapshot &snap);
 
     /** Drain the provider (idempotent) and return the final-bill
      *  report the daemon emits on SIGTERM: {"bills":[...],
@@ -69,6 +88,13 @@ class ServiceCore
     {
         return provider_;
     }
+    cloud::ShardId shardId() const { return shardId_; }
+
+    /** This shard's occupancy, for the placement router. */
+    cloud::ShardLoad load() const
+    {
+        return cloud::loadOf(provider_);
+    }
 
   private:
     JsonValue applyArrive(const Request &req);
@@ -76,11 +102,19 @@ class ServiceCore
     JsonValue applyQuery(const Request &req);
     JsonValue applyStep(const Request &req);
     JsonValue applySnapshot(const Request &req);
+    JsonValue applyShardInfo(const Request &req);
+
+    /** Map a region tenant id onto this shard; sets *resp to an
+     *  unknown_tenant error and returns false when it lives
+     *  elsewhere. */
+    bool localId(const Request &req, std::uint32_t &local,
+                 JsonValue *resp) const;
 
     void maybeAudit();
 
     cloud::CloudProvider &provider_;
     bool audit_;
+    cloud::ShardId shardId_;
     CoreStats stats_;
 };
 

@@ -43,7 +43,8 @@ usBetween(Clock::time_point from, Clock::time_point to)
 void
 consumeResponse(const JsonValue &resp, SessionStats &st,
                 std::map<std::uint64_t, Clock::time_point> &inflight,
-                std::vector<std::uint32_t> &owned)
+                std::vector<std::uint32_t> &owned,
+                std::map<std::uint64_t, std::uint32_t> &migrating)
 {
     ++st.received;
     std::uint64_t id = resp.getUint("id").value_or(0);
@@ -53,6 +54,29 @@ consumeResponse(const JsonValue &resp, SessionStats &st,
         st.latenciesUs.push_back(us);
         CASH_METRIC_SAMPLE("loadgen.latency_us", us);
         inflight.erase(it);
+    }
+    if (auto mig = migrating.find(id); mig != migrating.end()) {
+        // Response to one of our migrate requests. On success the
+        // tenant now lives on another shard under a new region id:
+        // swap it in place so later departs/queries hit the right
+        // shard. On failure (e.g. it departed while the migrate was
+        // in flight) the old id is either still valid or moot.
+        std::uint32_t old_id = mig->second;
+        migrating.erase(mig);
+        if (resp.getBool("ok").value_or(false)) {
+            ++st.oks;
+            std::uint32_t new_id = static_cast<std::uint32_t>(
+                resp.getUint("tenant").value_or(old_id));
+            for (std::uint32_t &t : owned)
+                if (t == old_id)
+                    t = new_id;
+        } else if (resp.getString("error").value_or("")
+                   == errors::QueueFull) {
+            ++st.queueFull;
+        } else {
+            ++st.otherErrors;
+        }
+        return;
     }
     if (resp.getBool("ok").value_or(false)) {
         ++st.oks;
@@ -96,6 +120,14 @@ drawRequest(const LoadConfig &cfg, Rng &rng,
         return r;
     }
     roll -= cfg.queryProb;
+    if (roll < cfg.migrateProb && !owned.empty()) {
+        // Target left at kAutoShard: the server's placement router
+        // picks the emptiest other shard.
+        r.op = Op::Migrate;
+        r.tenant = owned[rng.nextBounded(owned.size())];
+        return r;
+    }
+    roll -= cfg.migrateProb;
     if (roll < cfg.stepProb) {
         r.op = Op::Step;
         r.quanta = cfg.stepQuanta;
@@ -117,6 +149,8 @@ runSession(const LoadConfig &cfg, unsigned session_index)
     Rng rng(cfg.seed + 0x9e3779b97f4a7c15ull * (session_index + 1));
     std::vector<std::uint32_t> owned;
     std::map<std::uint64_t, Clock::time_point> inflight;
+    /** request id -> pre-migration tenant id, for id adoption. */
+    std::map<std::uint64_t, std::uint32_t> migrating;
 
     try {
         ServiceClient client =
@@ -138,15 +172,19 @@ runSession(const LoadConfig &cfg, unsigned session_index)
             }
             while (inflight.size()
                    >= std::max(1u, cfg.window))
-                consumeResponse(client.next(), st, inflight, owned);
+                consumeResponse(client.next(), st, inflight, owned,
+                                migrating);
             Request r = drawRequest(cfg, rng, owned);
             Clock::time_point t0 = Clock::now();
             std::uint64_t id = client.send(r);
+            if (r.op == Op::Migrate)
+                migrating.emplace(id, r.tenant);
             inflight.emplace(id, t0);
             ++st.sent;
         }
         while (st.received < st.sent)
-            consumeResponse(client.next(), st, inflight, owned);
+            consumeResponse(client.next(), st, inflight, owned,
+                            migrating);
     } catch (const FatalError &e) {
         warn("loadgen session %u failed: %s", session_index,
              e.what());

@@ -57,6 +57,11 @@ struct LoadConfig
     double departProb = 0.25;
     double queryProb = 0.15;
     double stepProb = 0.15;
+    /** Cross-shard migrations of owned tenants (auto-routed target;
+     *  on success the session adopts the tenant's new region id).
+     *  Leave 0 against single-shard daemons: every draw would burn
+     *  a request on a bad_request answer. */
+    double migrateProb = 0.0;
     /** Catalog classes to draw arrivals from. */
     unsigned classes = 1;
     /** Arrive residence drawn uniformly from [1, residenceMax]. */

@@ -18,6 +18,9 @@ opName(Op op)
       case Op::Step: return "step";
       case Op::Snapshot: return "snapshot";
       case Op::Drain: return "drain";
+      case Op::Shards: return "shards";
+      case Op::Migrate: return "migrate";
+      case Op::RegionSnapshot: return "region_snapshot";
     }
     return "?";
 }
@@ -39,6 +42,12 @@ opFromName(std::string_view name)
         return Op::Snapshot;
     if (name == "drain")
         return Op::Drain;
+    if (name == "shards")
+        return Op::Shards;
+    if (name == "migrate")
+        return Op::Migrate;
+    if (name == "region_snapshot")
+        return Op::RegionSnapshot;
     return std::nullopt;
 }
 
@@ -56,6 +65,11 @@ Request::toJson() const
       case Op::Depart:
       case Op::Query:
         v.set("tenant", JsonValue(tenant));
+        break;
+      case Op::Migrate:
+        v.set("tenant", JsonValue(tenant));
+        if (to != kAutoShard)
+            v.set("to", JsonValue(to));
         break;
       case Op::Step:
         v.set("quanta", JsonValue(quanta));
@@ -155,6 +169,14 @@ parseRequest(const JsonValue &v, std::string *err,
       case Op::Query:
         ok = uintField(v, "tenant", true, 0, ~0u - 1, req.tenant,
                        err, detail);
+        break;
+      case Op::Migrate:
+        // The target shard is bounded by the region id encoding
+        // (one byte); absent means "router's choice".
+        ok = uintField(v, "tenant", true, 0, ~0u - 1, req.tenant,
+                       err, detail)
+            && uintField(v, "to", false, Request::kAutoShard, 255,
+                         req.to, err, detail);
         break;
       case Op::Step:
         ok = uintField(v, "quanta", false, 1, 1u << 16, req.quanta,

@@ -18,6 +18,15 @@
  *   {"id":N,"op":"step","quanta":Q}
  *   {"id":N,"op":"snapshot"}
  *   {"id":N,"op":"drain"}
+ *   {"id":N,"op":"shards"}
+ *   {"id":N,"op":"region_snapshot"}
+ *   {"id":N,"op":"migrate","tenant":T}          — router picks
+ *   {"id":N,"op":"migrate","tenant":T,"to":S}   — explicit shard
+ *
+ * Region addressing: tenant ids carry the owning shard in their top
+ * byte (shard << 24 | local; cloud/placement.hh), and `arrive`
+ * responses report the placement in a `shard` field. A one-shard
+ * region is wire-identical to the single-chip daemon.
  *
  * Response: {"id":N,"ok":true,...} on success, or
  * {"id":N,"ok":false,"error":"<code>","detail":"..."} where <code>
@@ -69,6 +78,9 @@ enum class Op : std::uint8_t
     Step,     ///< advance the provider by N quanta
     Snapshot, ///< provider-wide stats and occupancy
     Drain,    ///< stop admissions, depart everyone, final bills
+    Shards,   ///< region shard count + per-shard occupancy
+    Migrate,  ///< move a tenant to another shard (region only)
+    RegionSnapshot, ///< per-shard snapshots + placement stats
 };
 
 /** Wire name of an op ("ping", "arrive", ...). */
@@ -84,8 +96,13 @@ struct Request
     Op op = Op::Ping;
     std::uint32_t cls = 0;       ///< arrive: catalog class index
     std::uint32_t residence = 1; ///< arrive: residence in rounds
-    std::uint32_t tenant = 0;    ///< depart/query: tenant id
+    std::uint32_t tenant = 0;    ///< depart/query/migrate: tenant id
     std::uint32_t quanta = 1;    ///< step: rounds to advance
+    /** migrate: explicit target shard; kAutoShard lets the
+     *  placement router pick. */
+    std::uint32_t to = kAutoShard;
+
+    static constexpr std::uint32_t kAutoShard = ~0u;
 
     /** The request as a wire-format JSON object. */
     JsonValue toJson() const;

@@ -40,12 +40,29 @@ class BoundedQueue
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_ || items_.size() >= capacity_)
+            if (closed_ || externClosed_
+                || items_.size() >= capacity_)
                 return false;
             items_.push_back(std::move(item));
         }
         ready_.notify_one();
         return true;
+    }
+
+    /**
+     * Capacity-exempt enqueue for consumer-side work (the sim
+     * threads' migration hand-offs). Lands even after
+     * closeExternal() — the shutdown protocol counts these tasks
+     * and only close()s once they have drained — so it must never
+     * be called after close().
+     */
+    void pushInternal(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
     }
 
     /**
@@ -83,6 +100,15 @@ class BoundedQueue
         ready_.notify_all();
     }
 
+    /** Half-close: reject external tryPush()es while the consumer
+     *  keeps blocking for internal work. The shutdown step between
+     *  "stop admitting" and close(). Idempotent. */
+    void closeExternal()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        externClosed_ = true;
+    }
+
     bool closed() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -103,6 +129,7 @@ class BoundedQueue
     std::condition_variable ready_;
     std::deque<T> items_;
     bool closed_ = false;
+    bool externClosed_ = false;
 };
 
 } // namespace cash::service

@@ -1,0 +1,494 @@
+#include "service/region.hh"
+
+#include <cstdlib>
+
+#include "cloud/tenant.hh"
+#include "common/log.hh"
+#include "trace/metrics.hh"
+
+namespace cash::service
+{
+
+// ---------------------------------------------------------------
+// Snapshot (de)serialization.
+// ---------------------------------------------------------------
+
+JsonValue
+snapshotToJson(const cloud::TenantSnapshot &snap)
+{
+    JsonValue v = JsonValue::object();
+    v.set("app", JsonValue(snap.cls.app));
+    v.set("kind",
+          JsonValue(static_cast<std::uint32_t>(snap.cls.kind)));
+    v.set("class_target", JsonValue(snap.cls.target));
+    v.set("min_slices", JsonValue(snap.cls.minCfg.slices));
+    v.set("min_banks", JsonValue(snap.cls.minCfg.banks));
+    v.set("peak_slices", JsonValue(snap.cls.peakCfg.slices));
+    v.set("peak_banks", JsonValue(snap.cls.peakCfg.banks));
+    v.set("target", JsonValue(snap.target));
+    v.set("residence_rounds", JsonValue(snap.residenceRounds));
+    v.set("active_rounds", JsonValue(snap.activeRounds));
+    v.set("bill", JsonValue(snap.migratedBill));
+    v.set("holdings", JsonValue(snap.migratedHoldings));
+    v.set("compact_cost", JsonValue(snap.unbilledCompactCost));
+    v.set("qos_samples", JsonValue(snap.qosSamples));
+    v.set("qos_violations", JsonValue(snap.qosViolations));
+    v.set("ewma_q", JsonValue(snap.ewmaQ));
+    // Seeds use all 64 bits; JSON numbers are doubles, so the seed
+    // travels as a decimal string.
+    v.set("src_seed", JsonValue(std::to_string(snap.srcSeed)));
+    v.set("src_emitted", JsonValue(snap.srcEmitted));
+    v.set("held_slices", JsonValue(snap.heldCfg.slices));
+    v.set("held_banks", JsonValue(snap.heldCfg.banks));
+    v.set("stall_cycles", JsonValue(snap.stallCycles));
+    v.set("hops", JsonValue(snap.hops));
+    return v;
+}
+
+std::optional<cloud::TenantSnapshot>
+snapshotFromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        return std::nullopt;
+    cloud::TenantSnapshot snap;
+
+    auto u32 = [&](const char *key, std::uint32_t min,
+                   std::uint32_t max,
+                   std::uint32_t &out) -> bool {
+        auto n = v.getUint(key);
+        if (!n || *n < min || *n > max)
+            return false;
+        out = static_cast<std::uint32_t>(*n);
+        return true;
+    };
+    auto u64 = [&](const char *key, std::uint64_t &out) -> bool {
+        auto n = v.getUint(key);
+        if (!n)
+            return false;
+        out = *n;
+        return true;
+    };
+    auto num = [&](const char *key, double &out) -> bool {
+        auto n = v.getNumber(key);
+        if (!n || !(*n >= 0.0)) // NaN and negatives rejected
+            return false;
+        out = *n;
+        return true;
+    };
+
+    auto app = v.getString("app");
+    if (!app || app->empty())
+        return std::nullopt;
+    snap.cls.app = *app;
+    std::uint32_t kind = 0;
+    if (!u32("kind", 0, 1, kind))
+        return std::nullopt;
+    snap.cls.kind = static_cast<QosKind>(kind);
+    if (!num("class_target", snap.cls.target)
+        || !u32("min_slices", 1, 1u << 16, snap.cls.minCfg.slices)
+        || !u32("min_banks", 1, 1u << 20, snap.cls.minCfg.banks)
+        || !u32("peak_slices", 1, 1u << 16, snap.cls.peakCfg.slices)
+        || !u32("peak_banks", 1, 1u << 20, snap.cls.peakCfg.banks)
+        || !num("target", snap.target)
+        || !u32("residence_rounds", 0, ~0u, snap.residenceRounds)
+        || !u64("active_rounds", snap.activeRounds)
+        || !num("bill", snap.migratedBill)
+        || !num("holdings", snap.migratedHoldings)
+        || !num("compact_cost", snap.unbilledCompactCost)
+        || !u64("qos_samples", snap.qosSamples)
+        || !u64("qos_violations", snap.qosViolations)
+        || !u64("src_emitted", snap.srcEmitted)
+        || !u32("held_slices", 1, 1u << 16, snap.heldCfg.slices)
+        || !u32("held_banks", 1, 1u << 20, snap.heldCfg.banks)
+        || !u64("stall_cycles", snap.stallCycles)
+        || !u32("hops", 1, ~0u, snap.hops))
+        return std::nullopt;
+    auto ewma = v.getNumber("ewma_q");
+    if (!ewma || !(*ewma == *ewma))
+        return std::nullopt;
+    snap.ewmaQ = *ewma;
+    auto seed = v.getString("src_seed");
+    if (!seed || seed->empty())
+        return std::nullopt;
+    char *end = nullptr;
+    snap.srcSeed = std::strtoull(seed->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return std::nullopt;
+    return snap;
+}
+
+// ---------------------------------------------------------------
+// Partial-response merging.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+bool
+allOk(const std::vector<JsonValue> &parts)
+{
+    for (const JsonValue &p : parts)
+        if (auto ok = p.getBool("ok"); !ok || !*ok)
+            return false;
+    return true;
+}
+
+std::uint64_t
+sumUint(const std::vector<JsonValue> &parts, const char *key)
+{
+    std::uint64_t total = 0;
+    for (const JsonValue &p : parts)
+        total += p.getUint(key).value_or(0);
+    return total;
+}
+
+double
+sumNumber(const std::vector<JsonValue> &parts, const char *key)
+{
+    double total = 0.0;
+    for (const JsonValue &p : parts)
+        total += p.getNumber(key).value_or(0.0);
+    return total;
+}
+
+JsonValue
+mergedOk(std::uint64_t id, const std::vector<JsonValue> &parts)
+{
+    JsonValue resp = okResponse(id);
+    if (!allOk(parts))
+        resp.set("ok", JsonValue(false));
+    return resp;
+}
+
+} // namespace
+
+JsonValue
+mergeStepParts(std::uint64_t id, const std::vector<JsonValue> &parts)
+{
+    JsonValue resp = mergedOk(id, parts);
+    resp.set("round",
+             JsonValue(parts.empty()
+                           ? 0
+                           : parts[0].getUint("round").value_or(0)));
+    resp.set("active", JsonValue(sumUint(parts, "active")));
+    return resp;
+}
+
+JsonValue
+mergeSnapshotParts(std::uint64_t id,
+                   const std::vector<JsonValue> &parts)
+{
+    JsonValue resp = mergedOk(id, parts);
+    resp.set("round",
+             JsonValue(parts.empty()
+                           ? 0
+                           : parts[0].getUint("round").value_or(0)));
+    resp.set("active", JsonValue(sumUint(parts, "active")));
+    resp.set("queued", JsonValue(sumUint(parts, "queued")));
+    resp.set("arrivals", JsonValue(sumUint(parts, "arrivals")));
+    resp.set("admitted", JsonValue(sumUint(parts, "admitted")));
+    resp.set("rejected", JsonValue(sumUint(parts, "rejected")));
+    resp.set("abandoned", JsonValue(sumUint(parts, "abandoned")));
+    resp.set("departed", JsonValue(sumUint(parts, "departed")));
+    resp.set("revenue", JsonValue(sumNumber(parts, "revenue")));
+    // qos_delivery recomputed from the raw tallies: a mean of
+    // per-shard fractions would weight empty shards equally.
+    std::uint64_t samples = sumUint(parts, "sla_samples");
+    std::uint64_t violations = sumUint(parts, "sla_violations");
+    resp.set("qos_delivery",
+             JsonValue(samples
+                           ? 1.0
+                               - static_cast<double>(violations)
+                                   / static_cast<double>(samples)
+                           : 1.0));
+    resp.set("free_slices", JsonValue(sumUint(parts, "free_slices")));
+    resp.set("free_banks", JsonValue(sumUint(parts, "free_banks")));
+    bool draining = !parts.empty();
+    for (const JsonValue &p : parts)
+        draining = draining && p.getBool("draining").value_or(false);
+    resp.set("draining", JsonValue(draining));
+    resp.set("sla_samples", JsonValue(samples));
+    resp.set("sla_violations", JsonValue(violations));
+    resp.set("migrated_in", JsonValue(sumUint(parts, "migrated_in")));
+    resp.set("migrated_out",
+             JsonValue(sumUint(parts, "migrated_out")));
+    resp.set("shards",
+             JsonValue(static_cast<std::uint64_t>(parts.size())));
+    return resp;
+}
+
+JsonValue
+mergeShardsParts(std::uint64_t id,
+                 const std::vector<JsonValue> &parts,
+                 const char *placement, const RegionStats &stats)
+{
+    JsonValue resp = mergedOk(id, parts);
+    resp.set("shards",
+             JsonValue(static_cast<std::uint64_t>(parts.size())));
+    resp.set("placement", JsonValue(placement));
+    resp.set("migrations", JsonValue(stats.migrations));
+    resp.set("rebalances", JsonValue(stats.rebalances));
+    JsonValue arr = JsonValue::array();
+    for (const JsonValue &p : parts)
+        arr.push(p);
+    resp.set("shard_info", std::move(arr));
+    return resp;
+}
+
+JsonValue
+mergeRegionSnapshotParts(std::uint64_t id,
+                         const std::vector<JsonValue> &parts,
+                         const std::vector<std::uint64_t> &routed,
+                         const RegionStats &stats)
+{
+    JsonValue resp = mergedOk(id, parts);
+    resp.set("shards",
+             JsonValue(static_cast<std::uint64_t>(parts.size())));
+    JsonValue routed_arr = JsonValue::array();
+    for (std::uint64_t r : routed)
+        routed_arr.push(JsonValue(r));
+    resp.set("routed", std::move(routed_arr));
+    resp.set("migrations", JsonValue(stats.migrations));
+    resp.set("rebalances", JsonValue(stats.rebalances));
+    JsonValue arr = JsonValue::array();
+    for (const JsonValue &p : parts)
+        arr.push(p);
+    resp.set("per_shard", std::move(arr));
+    return resp;
+}
+
+JsonValue
+mergeDrainParts(std::uint64_t id, const std::vector<JsonValue> &parts)
+{
+    JsonValue resp = mergedOk(id, parts);
+    JsonValue bills = JsonValue::array();
+    std::uint64_t departed = 0;
+    double revenue = 0.0;
+    for (const JsonValue &p : parts) {
+        if (const JsonValue *rows = p.find("bills");
+            rows && rows->isArray())
+            for (const JsonValue &row : rows->items())
+                bills.push(row);
+        departed += p.getUint("departed").value_or(0);
+        revenue += p.getNumber("revenue").value_or(0.0);
+    }
+    resp.set("bills", std::move(bills));
+    resp.set("revenue", JsonValue(revenue));
+    resp.set("departed", JsonValue(departed));
+    return resp;
+}
+
+// ---------------------------------------------------------------
+// RegionCore.
+// ---------------------------------------------------------------
+
+RegionCore::RegionCore(const cloud::ProviderParams &params,
+                       std::uint32_t shards, bool audit_each_quantum,
+                       cloud::PlacementPolicy policy,
+                       const cloud::RebalanceParams &rebalance)
+    : router_(shards, policy, rebalance)
+{
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        cloud::ProviderParams p = params;
+        p.seed = params.seed + s;
+        providers_.push_back(
+            std::make_unique<cloud::CloudProvider>(p));
+        cores_.push_back(std::make_unique<ServiceCore>(
+            *providers_[s], audit_each_quantum, s));
+    }
+}
+
+std::vector<cloud::ShardLoad>
+RegionCore::sampleLoads() const
+{
+    std::vector<cloud::ShardLoad> loads;
+    loads.reserve(cores_.size());
+    for (const auto &c : cores_)
+        loads.push_back(c->load());
+    return loads;
+}
+
+std::vector<JsonValue>
+RegionCore::collectParts(const Request &req)
+{
+    std::vector<JsonValue> parts;
+    parts.reserve(cores_.size());
+    for (auto &c : cores_)
+        parts.push_back(c->apply(req));
+    return parts;
+}
+
+JsonValue
+RegionCore::apply(const Request &req)
+{
+    switch (req.op) {
+      case Op::Ping:
+        return cores_[0]->apply(req);
+      case Op::Arrive:
+        return applyArrive(req);
+      case Op::Depart:
+      case Op::Query:
+        return applyTenantOp(req);
+      case Op::Migrate:
+        return applyMigrate(req);
+      case Op::Step: {
+        std::vector<JsonValue> parts = collectParts(req);
+        maybeRebalance();
+        return mergeStepParts(req.id, parts);
+      }
+      case Op::Snapshot:
+        return mergeSnapshotParts(req.id, collectParts(req));
+      case Op::Shards:
+        return mergeShardsParts(
+            req.id, collectParts(req),
+            cloud::placementPolicyName(router_.policy()), stats_);
+      case Op::RegionSnapshot:
+        return mergeRegionSnapshotParts(req.id, collectParts(req),
+                                        router_.stats().routed,
+                                        stats_);
+      case Op::Drain: {
+        JsonValue resp = drainReport();
+        resp.set("id", JsonValue(req.id));
+        return resp;
+      }
+    }
+    return errorResponse(req.id, errors::BadRequest, "unhandled op");
+}
+
+JsonValue
+RegionCore::applyArrive(const Request &req)
+{
+    // Invalid classes go to shard 0 for the canonical error; valid
+    // ones are routed on the class's admission minimum.
+    const auto &catalog = providers_[0]->params().catalog;
+    cloud::ShardId target = 0;
+    if (req.cls < catalog.size())
+        target = router_.chooseShard(catalog[req.cls].minCfg,
+                                     sampleLoads());
+    return cores_[target]->apply(req);
+}
+
+JsonValue
+RegionCore::applyTenantOp(const Request &req)
+{
+    cloud::ShardId shard = cloud::tenantShard(req.tenant);
+    if (shard >= shards())
+        return errorResponse(
+            req.id, errors::UnknownTenant,
+            strfmt("tenant %u names shard %u of a %u-shard region",
+                   req.tenant, shard, shards()));
+    return cores_[shard]->apply(req);
+}
+
+JsonValue
+RegionCore::applyMigrate(const Request &req)
+{
+    if (shards() < 2)
+        return errorResponse(req.id, errors::BadRequest,
+                             "region has a single shard");
+    cloud::ShardId from = cloud::tenantShard(req.tenant);
+    if (from >= shards())
+        return errorResponse(
+            req.id, errors::UnknownTenant,
+            strfmt("tenant %u names shard %u of a %u-shard region",
+                   req.tenant, from, shards()));
+    cloud::ShardId target = req.to;
+    if (target == Request::kAutoShard) {
+        // Router's choice: the emptiest other shard.
+        std::vector<cloud::ShardLoad> loads = sampleLoads();
+        target = from == 0 ? 1 : 0;
+        for (cloud::ShardId s = 0; s < shards(); ++s)
+            if (s != from
+                && loads[s].freeSlices > loads[target].freeSlices)
+                target = s;
+    } else if (target >= shards()) {
+        return errorResponse(
+            req.id, errors::BadRequest,
+            strfmt("target shard %u out of range (region has %u)",
+                   target, shards()));
+    } else if (target == from) {
+        return errorResponse(
+            req.id, errors::BadRequest,
+            strfmt("tenant %u is already on shard %u", req.tenant,
+                   target));
+    }
+    return migrate(req.id, req.tenant, target);
+}
+
+JsonValue
+RegionCore::migrate(std::uint64_t id, std::uint32_t region_tenant,
+                    std::uint32_t target)
+{
+    cloud::ShardId from = cloud::tenantShard(region_tenant);
+    std::uint32_t local = cloud::tenantLocal(region_tenant);
+    const auto &tenants = providers_[from]->tenants();
+    if (local >= tenants.size()
+        || tenants[local]->state != cloud::TenantState::Active)
+        return errorResponse(
+            id, errors::UnknownTenant,
+            strfmt("tenant %u is not active on shard %u",
+                   region_tenant, from));
+
+    auto snap = cores_[from]->migrateOut(local);
+    if (!snap)
+        return errorResponse(
+            id, errors::BadRequest,
+            strfmt("tenant %u is not migratable (request-driven "
+                   "source)",
+                   region_tenant));
+
+    // Through the wire format on purpose: every in-process
+    // migration proves the JSON snapshot round-trips.
+    std::string text = snapshotToJson(*snap).dump();
+    auto parsed = parseJson(text);
+    if (!parsed)
+        panic("migration snapshot did not re-parse: %s",
+              text.c_str());
+    auto snap2 = snapshotFromJson(*parsed);
+    if (!snap2)
+        panic("migration snapshot did not round-trip: %s",
+              text.c_str());
+
+    std::uint32_t new_id = cores_[target]->migrateIn(*snap2);
+    const cloud::Tenant &t =
+        *providers_[target]->tenants()[cloud::tenantLocal(new_id)];
+    ++stats_.migrations;
+    CASH_METRIC_INC("service.migrations");
+
+    JsonValue resp = okResponse(id);
+    resp.set("tenant", JsonValue(new_id));
+    resp.set("from", JsonValue(from));
+    resp.set("to", JsonValue(target));
+    resp.set("stall_cycles", JsonValue(snap->stallCycles));
+    resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
+    resp.set("bill", JsonValue(t.bill()));
+    return resp;
+}
+
+void
+RegionCore::maybeRebalance()
+{
+    auto plan = router_.maybeRebalance(sampleLoads());
+    if (!plan)
+        return;
+    cloud::TenantId migrant = providers_[plan->from]->pickMigrant();
+    if (migrant == cloud::invalidTenant)
+        return;
+    JsonValue resp =
+        migrate(0, cloud::regionTenantId(plan->from, migrant),
+                plan->to);
+    if (resp.getBool("ok").value_or(false))
+        ++stats_.rebalances;
+}
+
+JsonValue
+RegionCore::drainReport()
+{
+    std::vector<JsonValue> parts;
+    parts.reserve(cores_.size());
+    for (auto &c : cores_)
+        parts.push_back(c->drainReport());
+    return mergeDrainParts(0, parts);
+}
+
+} // namespace cash::service

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * RegionCore: a multi-chip region behind one protocol endpoint.
+ *
+ * Owns N CloudProviders ("shards"), one ServiceCore each, and a
+ * PlacementRouter (cloud/placement.hh) that decides where arrivals
+ * land and when fragmentation or imbalance should push a tenant to
+ * another chip. Like ServiceCore it is sockets-free and
+ * single-threaded: the fuzzer's region family and the unit tests
+ * drive it directly, and the threaded server reuses its merge
+ * helpers and its snapshot (de)serializer so the wire path and the
+ * in-process path compute byte-identical responses.
+ *
+ * Determinism contract: region state is a pure function of the
+ * applied request sequence. Shard s seeds its provider with
+ * params.seed + s, so shard 0 of any region equals the single-chip
+ * daemon fed the same requests.
+ *
+ * Cross-shard migration goes through JSON on purpose —
+ * migrateOut → snapshotToJson → dump → parse → snapshotFromJson →
+ * migrateIn — so every in-process migration also proves the wire
+ * serialization round-trips.
+ */
+
+#ifndef CASH_SERVICE_REGION_HH
+#define CASH_SERVICE_REGION_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cloud/placement.hh"
+#include "cloud/provider.hh"
+#include "service/core.hh"
+#include "service/protocol.hh"
+
+namespace cash::service
+{
+
+/** Region-level counters (on top of the router's). */
+struct RegionStats
+{
+    /** Completed cross-shard migrations (explicit + triggered). */
+    std::uint64_t migrations = 0;
+    /** Migrations planned by the rebalance triggers. */
+    std::uint64_t rebalances = 0;
+};
+
+// ---------------------------------------------------------------
+// Tenant snapshot <-> JSON (the migration wire format).
+// ---------------------------------------------------------------
+
+/** Serialize a migration snapshot. `src_seed` travels as a decimal
+ *  string: JSON numbers are doubles and seeds use all 64 bits. */
+JsonValue snapshotToJson(const cloud::TenantSnapshot &snap);
+
+/** Parse a migration snapshot; nullopt when a field is missing or
+ *  out of range. */
+std::optional<cloud::TenantSnapshot>
+snapshotFromJson(const JsonValue &v);
+
+// ---------------------------------------------------------------
+// Partial-response merging. Each helper takes the per-shard partial
+// responses **in shard order** (as produced by ServiceCore::apply)
+// and builds the region response. Shared between RegionCore and the
+// threaded server so both emit identical bytes.
+// ---------------------------------------------------------------
+
+/** step: round from shard 0, active summed, ok ANDed. */
+JsonValue mergeStepParts(std::uint64_t id,
+                         const std::vector<JsonValue> &parts);
+
+/** snapshot: counters summed, qos_delivery recomputed from the
+ *  summed SLA tallies, draining ANDed, plus "shards":N. */
+JsonValue mergeSnapshotParts(std::uint64_t id,
+                             const std::vector<JsonValue> &parts);
+
+/** shards: {"shards":N,"placement":...,"migrations":...,
+ *  "rebalances":...,"shard_info":[partials]}. */
+JsonValue mergeShardsParts(std::uint64_t id,
+                           const std::vector<JsonValue> &parts,
+                           const char *placement,
+                           const RegionStats &stats);
+
+/** region_snapshot: {"shards":N,"per_shard":[partials],
+ *  "routed":[arrivals per shard],...}. */
+JsonValue
+mergeRegionSnapshotParts(std::uint64_t id,
+                         const std::vector<JsonValue> &parts,
+                         const std::vector<std::uint64_t> &routed,
+                         const RegionStats &stats);
+
+/** drain: bills concatenated in shard order (rows already carry
+ *  region ids and a "shard" field), revenue and departed summed,
+ *  ok ANDed. */
+JsonValue mergeDrainParts(std::uint64_t id,
+                          const std::vector<JsonValue> &parts);
+
+/**
+ * The region engine. One provider + core per shard, router-driven
+ * placement, in-process migration. Single-threaded.
+ */
+class RegionCore
+{
+  public:
+    /**
+     * @param params per-shard provider parameters; shard s runs
+     *        with seed params.seed + s
+     * @param shards shard count, 1..cloud::kMaxShards
+     * @param audit_each_quantum audit every shard after every
+     *        applied request / stepped quantum
+     * @param policy arrival placement policy
+     * @param rebalance migration-trigger tunables
+     */
+    RegionCore(const cloud::ProviderParams &params,
+               std::uint32_t shards, bool audit_each_quantum,
+               cloud::PlacementPolicy policy =
+                   cloud::PlacementPolicy::BinPack,
+               const cloud::RebalanceParams &rebalance = {});
+
+    /** Apply one request; always returns a response object. Step
+     *  advances every shard and then runs the rebalance triggers. */
+    JsonValue apply(const Request &req);
+
+    /** Drain every shard and aggregate the final-bill report. */
+    JsonValue drainReport();
+
+    std::uint32_t shards() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    ServiceCore &core(std::uint32_t shard)
+    {
+        return *cores_[shard];
+    }
+    const cloud::CloudProvider &provider(std::uint32_t shard) const
+    {
+        return *providers_[shard];
+    }
+    const cloud::PlacementRouter &router() const { return router_; }
+    const RegionStats &stats() const { return stats_; }
+    bool draining() const { return cores_[0]->draining(); }
+
+  private:
+    JsonValue applyArrive(const Request &req);
+    JsonValue applyMigrate(const Request &req);
+    /** Route req to the shard owning req.tenant (unknown_tenant
+     *  when the shard index is out of range). */
+    JsonValue applyTenantOp(const Request &req);
+
+    /** Apply req on every shard, in shard order. */
+    std::vector<JsonValue> collectParts(const Request &req);
+
+    /** Move one tenant; fills `resp` (ok or error). */
+    JsonValue migrate(std::uint64_t id, std::uint32_t region_tenant,
+                      std::uint32_t target);
+
+    /** Run the migration triggers once (after a step). */
+    void maybeRebalance();
+
+    std::vector<cloud::ShardLoad> sampleLoads() const;
+
+    std::vector<std::unique_ptr<cloud::CloudProvider>> providers_;
+    std::vector<std::unique_ptr<ServiceCore>> cores_;
+    cloud::PlacementRouter router_;
+    RegionStats stats_;
+};
+
+} // namespace cash::service
+
+#endif // CASH_SERVICE_REGION_HH

@@ -6,13 +6,15 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 
+#include "cloud/tenant.hh"
 #include "common/log.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -75,15 +77,37 @@ traceServiceSpan(const char *name, double t0_us,
 
 constexpr int kFlushGraceMs = 2000;
 
+/** epoll tag layout: 0 = wake eventfd, 1..kConnTagBase-1 =
+ *  listener index + 1, >= kConnTagBase = connection id +
+ *  kConnTagBase. */
+constexpr std::uint64_t kConnTagBase = 8;
+
 } // namespace
 
-ServiceServer::ServiceServer(cloud::CloudProvider &provider,
+ServiceServer::ServiceServer(const cloud::ProviderParams &params,
                              const ServerConfig &config)
-    : provider_(provider),
-      config_(config),
-      core_(provider, config.audit),
-      queue_(config.queueCapacity)
-{}
+    : config_(config),
+      router_(config.shards, config.placement, config.rebalance)
+{
+    if (config_.ioThreads == 0)
+        config_.ioThreads = 1;
+    for (std::uint32_t s = 0; s < config_.shards; ++s) {
+        cloud::ProviderParams p = params;
+        p.seed = params.seed + s;
+        Shard sh;
+        sh.provider = std::make_unique<cloud::CloudProvider>(p);
+        sh.core = std::make_unique<ServiceCore>(*sh.provider,
+                                                config_.audit, s);
+        sh.queue = std::make_unique<BoundedQueue<SimTask>>(
+            config_.queueCapacity);
+        shards_.push_back(std::move(sh));
+    }
+    for (const cloud::TenantClass &cls :
+         shards_[0].provider->params().catalog)
+        entryCfgs_.push_back(cls.minCfg);
+    for (const Shard &sh : shards_)
+        loadBoard_.push_back(sh.core->load());
+}
 
 ServiceServer::~ServiceServer()
 {
@@ -92,10 +116,12 @@ ServiceServer::~ServiceServer()
     for (int fd : listenFds_)
         if (fd >= 0)
             ::close(fd);
-    if (wakeFd_[0] >= 0)
-        ::close(wakeFd_[0]);
-    if (wakeFd_[1] >= 0)
-        ::close(wakeFd_[1]);
+    for (auto &io : ioThreads_) {
+        if (io->wakeFd >= 0)
+            ::close(io->wakeFd);
+        if (io->epollFd >= 0)
+            ::close(io->epollFd);
+    }
     if (!config_.unixPath.empty())
         ::unlink(config_.unixPath.c_str());
 }
@@ -105,11 +131,6 @@ ServiceServer::start()
 {
     if (started_.exchange(true))
         panic("ServiceServer::start() called twice");
-
-    if (::pipe(wakeFd_) != 0)
-        fatal("cannot create wake pipe: %s", std::strerror(errno));
-    setNonBlocking(wakeFd_[0]);
-    setNonBlocking(wakeFd_[1]);
 
     if (config_.unixPath.empty() && !config_.listenTcp)
         fatal("service: no listener configured (need a Unix path "
@@ -134,7 +155,6 @@ ServiceServer::start()
             fatal("cannot listen on unix:%s: %s",
                   config_.unixPath.c_str(), std::strerror(errno));
         setNonBlocking(fd);
-        unixListenFd_ = fd;
         listenFds_.push_back(fd);
     }
 
@@ -163,22 +183,65 @@ ServiceServer::start()
         listenFds_.push_back(fd);
     }
 
-    ioThread_ = std::thread([this] { ioLoop(); });
-    simThread_ = std::thread([this] { simLoop(); });
+    for (std::uint32_t ti = 0; ti < config_.ioThreads; ++ti) {
+        auto io = std::make_unique<IoThread>();
+        io->epollFd = ::epoll_create1(0);
+        if (io->epollFd < 0)
+            fatal("epoll_create1: %s", std::strerror(errno));
+        io->wakeFd = ::eventfd(0, EFD_NONBLOCK);
+        if (io->wakeFd < 0)
+            fatal("eventfd: %s", std::strerror(errno));
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = 0;
+        if (::epoll_ctl(io->epollFd, EPOLL_CTL_ADD, io->wakeFd,
+                        &ev)
+            != 0)
+            fatal("epoll_ctl(wake): %s", std::strerror(errno));
+        ioThreads_.push_back(std::move(io));
+    }
+    // Thread 0 owns the listeners.
+    for (std::size_t i = 0; i < listenFds_.size(); ++i) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = 1 + i;
+        if (::epoll_ctl(ioThreads_[0]->epollFd, EPOLL_CTL_ADD,
+                        listenFds_[i], &ev)
+            != 0)
+            fatal("epoll_ctl(listener): %s", std::strerror(errno));
+    }
+
+    for (std::uint32_t s = 0; s < shardCount(); ++s)
+        shards_[s].thread =
+            std::thread([this, s] { simLoop(s); });
+    for (std::uint32_t ti = 0; ti < config_.ioThreads; ++ti)
+        ioThreads_[ti]->thread =
+            std::thread([this, ti] { ioLoop(ti); });
 }
 
 void
-ServiceServer::wake()
+ServiceServer::wake(std::uint32_t ti)
 {
-    char c = 'w';
-    // Best-effort: a full pipe already guarantees a pending wakeup.
-    [[maybe_unused]] ssize_t n = ::write(wakeFd_[1], &c, 1);
+    std::uint64_t one = 1;
+    // Best-effort: a saturated counter already guarantees a
+    // pending wakeup.
+    [[maybe_unused]] ssize_t n =
+        ::write(ioThreads_[ti]->wakeFd, &one, sizeof(one));
+}
+
+void
+ServiceServer::wakeAll()
+{
+    for (std::uint32_t ti = 0; ti < ioThreads_.size(); ++ti)
+        wake(ti);
 }
 
 void
 ServiceServer::wakeFromSignal()
 {
-    wake(); // one write(2): async-signal-safe
+    if (!started_.load(std::memory_order_relaxed))
+        return;
+    wakeAll(); // write(2)s only: async-signal-safe
 }
 
 void
@@ -187,16 +250,78 @@ ServiceServer::stop()
     std::lock_guard<std::mutex> lock(stopMutex_);
     if (!started_.load() || stopped_.load())
         return;
+
+    // Phase 1: stop admissions. IO threads close the listeners,
+    // stop reading, and signal quiescence; after that no external
+    // task can enter a queue.
     stopRequested_.store(true);
-    wake();
-    ioThread_.join();
-    simThread_.join();
+    wakeAll();
+    while (ioQuiesced_.load(std::memory_order_acquire)
+           < ioThreads_.size())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (Shard &sh : shards_)
+        sh.queue->closeExternal();
+
+    // Phase 2: let in-flight work — migration chains included —
+    // drain to zero, then close the queues for real.
+    while (pendingTasks_.load(std::memory_order_acquire) > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (Shard &sh : shards_)
+        sh.queue->close();
+
+    // Phase 3: every sim thread drains its provider (final bills,
+    // conservation audit) and exits; aggregate the shard reports
+    // into the region report.
+    for (Shard &sh : shards_)
+        sh.thread.join();
+    std::vector<JsonValue> parts;
+    parts.reserve(shards_.size());
+    for (Shard &sh : shards_)
+        parts.push_back(sh.drainPartial);
+    finalReport_ = mergeDrainParts(0, parts);
+
+    // Phase 4: IO threads flush the outboxes and exit.
+    simDone_.store(true, std::memory_order_release);
+    wakeAll();
+    for (auto &io : ioThreads_)
+        io->thread.join();
     stopped_.store(true);
 }
 
 // ---------------------------------------------------------------
-// IO thread.
+// IO threads.
 // ---------------------------------------------------------------
+
+void
+ServiceServer::updateInterest(IoThread &io, Connection &conn)
+{
+    std::uint32_t mask = 0;
+    if (!conn.readClosed)
+        mask |= EPOLLIN;
+    if (conn.outOff < conn.outbox.size())
+        mask |= EPOLLOUT;
+    if (mask == conn.epollMask && conn.registered == (mask != 0))
+        return;
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.u64 = kConnTagBase + conn.id;
+    if (mask == 0) {
+        // A fully quiet connection (half-closed, outbox empty,
+        // responses still owed) comes off the interest set: with
+        // level-triggered epoll its EPOLLHUP would otherwise spin
+        // the loop. The mailbox wake fires when a response lands.
+        if (conn.registered)
+            ::epoll_ctl(io.epollFd, EPOLL_CTL_DEL, conn.fd,
+                        nullptr);
+        conn.registered = false;
+    } else if (!conn.registered) {
+        ::epoll_ctl(io.epollFd, EPOLL_CTL_ADD, conn.fd, &ev);
+        conn.registered = true;
+    } else if (mask != conn.epollMask) {
+        ::epoll_ctl(io.epollFd, EPOLL_CTL_MOD, conn.fd, &ev);
+    }
+    conn.epollMask = mask;
+}
 
 void
 ServiceServer::acceptPending(int listen_fd)
@@ -219,14 +344,28 @@ ServiceServer::acceptPending(int listen_fd)
                      sizeof(one));
         auto conn = std::make_unique<Connection>(config_.maxFrame);
         conn->fd = fd;
-        conn->id = nextConnId_++;
+        conn->id = nextConnId_.fetch_add(1);
         conn->lastActivity = Clock::now();
         stats_.accepted.fetch_add(1, std::memory_order_relaxed);
         CASH_METRIC_INC("service.accepted");
         CASH_TRACE_HOST_SPAN(trace::Category::Service, "accept",
                              traceNowUs(), 0.0,
                              {{"conn", conn->id}});
-        conns_.emplace(conn->id, std::move(conn));
+        std::uint32_t owner =
+            static_cast<std::uint32_t>(conn->id % ioThreads_.size());
+        if (owner == 0) {
+            Connection &c = *conn;
+            ioThreads_[0]->conns.emplace(c.id, std::move(conn));
+            updateInterest(*ioThreads_[0], c);
+        } else {
+            IoThread &target = *ioThreads_[owner];
+            {
+                std::lock_guard<std::mutex> lock(
+                    target.mailboxMutex);
+                target.pendingConns.push_back(std::move(conn));
+            }
+            wake(owner);
+        }
     }
 }
 
@@ -237,11 +376,187 @@ ServiceServer::respondNow(Connection &conn, const JsonValue &resp)
     stats_.responses.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::vector<cloud::ShardLoad>
+ServiceServer::copyLoads()
+{
+    std::lock_guard<std::mutex> lock(loadMutex_);
+    return loadBoard_;
+}
+
 void
-ServiceServer::handleFrame(Connection &conn,
+ServiceServer::enqueueSingle(IoThread &io, Connection &conn,
+                             const Request &req,
+                             std::uint32_t shard)
+{
+    (void)io;
+    double t0 = traceNowUs();
+    SimTask task;
+    task.kind = SimTask::Kind::Single;
+    task.connId = conn.id;
+    task.request = req;
+    task.enqueued = Clock::now();
+    pendingTasks_.fetch_add(1, std::memory_order_acq_rel);
+    if (!shards_[shard].queue->tryPush(std::move(task))) {
+        pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+        stats_.queueFull.fetch_add(1, std::memory_order_relaxed);
+        CASH_METRIC_INC("service.queue_full");
+        respondNow(conn,
+                   errorResponse(req.id, errors::QueueFull,
+                                 "request queue is full; retry"));
+        return;
+    }
+    ++conn.inFlight;
+    traceServiceSpan("enqueue", t0,
+                     {{"conn", conn.id},
+                      {"req", req.id},
+                      {"shard", shard}});
+}
+
+void
+ServiceServer::enqueueFanout(IoThread &io, Connection &conn,
+                             const Request &req)
+{
+    (void)io;
+    double t0 = traceNowUs();
+    std::uint32_t n = shardCount();
+    auto fan = std::make_shared<Fanout>();
+    fan->connId = conn.id;
+    fan->reqId = req.id;
+    fan->op = req.op;
+    fan->remaining.store(n, std::memory_order_relaxed);
+    fan->parts.resize(n);
+
+    ++conn.inFlight;
+    bool finalize_here = false;
+    Clock::time_point now = Clock::now();
+    for (std::uint32_t s = 0; s < n; ++s) {
+        SimTask task;
+        task.kind = SimTask::Kind::FanPart;
+        task.connId = conn.id;
+        task.request = req;
+        task.enqueued = now;
+        task.fanout = fan;
+        pendingTasks_.fetch_add(1, std::memory_order_acq_rel);
+        if (shards_[s].queue->tryPush(std::move(task)))
+            continue;
+        pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+        fan->failCode.store(errors::QueueFull,
+                            std::memory_order_relaxed);
+        if (fan->remaining.fetch_sub(1, std::memory_order_acq_rel)
+            == 1)
+            finalize_here = true;
+    }
+    if (finalize_here) {
+        // Every shard refused the part (or the last refusal raced
+        // the other shards' completions): respond in place.
+        --conn.inFlight;
+        respondNow(conn, finalizeFanout(*fan));
+    }
+    traceServiceSpan("fanout", t0,
+                     {{"conn", conn.id},
+                      {"req", req.id},
+                      {"shards", n}});
+}
+
+void
+ServiceServer::routeRequest(IoThread &io, Connection &conn,
+                            const Request &req)
+{
+    switch (req.op) {
+      case Op::Ping:
+        enqueueSingle(io, conn, req, 0);
+        return;
+      case Op::Arrive: {
+        // Invalid classes go to shard 0 for the canonical error.
+        std::uint32_t shard = 0;
+        if (req.cls < entryCfgs_.size()) {
+            std::vector<cloud::ShardLoad> loads = copyLoads();
+            std::lock_guard<std::mutex> lock(routerMutex_);
+            shard = router_.chooseShard(entryCfgs_[req.cls], loads);
+        }
+        enqueueSingle(io, conn, req, shard);
+        return;
+      }
+      case Op::Depart:
+      case Op::Query: {
+        cloud::ShardId shard = cloud::tenantShard(req.tenant);
+        if (shard >= shardCount()) {
+            respondNow(conn,
+                       errorResponse(
+                           req.id, errors::UnknownTenant,
+                           strfmt("tenant %u names shard %u of a "
+                                  "%u-shard region",
+                                  req.tenant, shard,
+                                  shardCount())));
+            return;
+        }
+        enqueueSingle(io, conn, req, shard);
+        return;
+      }
+      case Op::Migrate: {
+        if (shardCount() < 2) {
+            respondNow(conn,
+                       errorResponse(req.id, errors::BadRequest,
+                                     "region has a single shard"));
+            return;
+        }
+        cloud::ShardId from = cloud::tenantShard(req.tenant);
+        if (from >= shardCount()) {
+            respondNow(conn,
+                       errorResponse(
+                           req.id, errors::UnknownTenant,
+                           strfmt("tenant %u names shard %u of a "
+                                  "%u-shard region",
+                                  req.tenant, from, shardCount())));
+            return;
+        }
+        std::uint32_t target = req.to;
+        if (target == Request::kAutoShard) {
+            // Router's choice: the emptiest other shard.
+            std::vector<cloud::ShardLoad> loads = copyLoads();
+            target = from == 0 ? 1 : 0;
+            for (cloud::ShardId s = 0; s < shardCount(); ++s)
+                if (s != from
+                    && loads[s].freeSlices
+                        > loads[target].freeSlices)
+                    target = s;
+        } else if (target >= shardCount()) {
+            respondNow(
+                conn,
+                errorResponse(
+                    req.id, errors::BadRequest,
+                    strfmt("target shard %u out of range (region "
+                           "has %u)",
+                           target, shardCount())));
+            return;
+        } else if (target == from) {
+            respondNow(conn,
+                       errorResponse(
+                           req.id, errors::BadRequest,
+                           strfmt("tenant %u is already on shard "
+                                  "%u",
+                                  req.tenant, target)));
+            return;
+        }
+        Request resolved = req;
+        resolved.to = target;
+        enqueueSingle(io, conn, resolved, from);
+        return;
+      }
+      case Op::Step:
+      case Op::Snapshot:
+      case Op::Drain:
+      case Op::Shards:
+      case Op::RegionSnapshot:
+        enqueueFanout(io, conn, req);
+        return;
+    }
+}
+
+void
+ServiceServer::handleFrame(IoThread &io, Connection &conn,
                            const std::string &payload)
 {
-    double t0 = traceNowUs();
     std::string parse_err;
     std::optional<JsonValue> doc = parseJson(payload, &parse_err);
     if (!doc) {
@@ -267,8 +582,7 @@ ServiceServer::handleFrame(Connection &conn,
         stats_.protocolErrors.fetch_add(1,
                                         std::memory_order_relaxed);
         CASH_METRIC_INC("service.protocol_errors");
-        respondNow(conn,
-                   errorResponse(id, code.c_str(), detail));
+        respondNow(conn, errorResponse(id, code.c_str(), detail));
         return;
     }
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -279,25 +593,11 @@ ServiceServer::handleFrame(Connection &conn,
                                  "server is shutting down"));
         return;
     }
-    QueuedRequest qr;
-    qr.connId = conn.id;
-    qr.request = *req;
-    qr.enqueued = Clock::now();
-    if (!queue_.tryPush(std::move(qr))) {
-        stats_.queueFull.fetch_add(1, std::memory_order_relaxed);
-        CASH_METRIC_INC("service.queue_full");
-        respondNow(conn,
-                   errorResponse(req->id, errors::QueueFull,
-                                 "request queue is full; retry"));
-        return;
-    }
-    ++conn.inFlight;
-    traceServiceSpan("enqueue", t0,
-                     {{"conn", conn.id}, {"req", req->id}});
+    routeRequest(io, conn, *req);
 }
 
 bool
-ServiceServer::serviceRead(Connection &conn)
+ServiceServer::serviceRead(IoThread &io, Connection &conn)
 {
     char buf[4096];
     while (true) {
@@ -306,7 +606,7 @@ ServiceServer::serviceRead(Connection &conn)
             conn.lastActivity = Clock::now();
             conn.decoder.feed(buf, static_cast<std::size_t>(n));
             while (auto payload = conn.decoder.next())
-                handleFrame(conn, *payload);
+                handleFrame(io, conn, *payload);
             if (const char *err = conn.decoder.error()) {
                 stats_.protocolErrors.fetch_add(
                     1, std::memory_order_relaxed);
@@ -364,27 +664,36 @@ ServiceServer::serviceWrite(Connection &conn)
 }
 
 void
-ServiceServer::closeConnection(std::uint64_t conn_id)
+ServiceServer::closeConnection(IoThread &io, std::uint64_t conn_id)
 {
-    auto it = conns_.find(conn_id);
-    if (it == conns_.end())
+    auto it = io.conns.find(conn_id);
+    if (it == io.conns.end())
         return;
-    ::close(it->second->fd);
-    conns_.erase(it);
+    ::close(it->second->fd); // closing deregisters from epoll
+    io.conns.erase(it);
     stats_.closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
-ServiceServer::collectOutgoing()
+ServiceServer::collectMailbox(IoThread &io)
 {
-    std::vector<Outgoing> batch;
+    std::vector<std::unique_ptr<Connection>> fresh;
+    std::vector<Outgoing> outs;
     {
-        std::lock_guard<std::mutex> lock(outgoingMutex_);
-        batch.swap(outgoing_);
+        std::lock_guard<std::mutex> lock(io.mailboxMutex);
+        fresh.swap(io.pendingConns);
+        outs.swap(io.outgoing);
     }
-    for (Outgoing &out : batch) {
-        auto it = conns_.find(out.connId);
-        if (it == conns_.end())
+    for (auto &conn : fresh) {
+        if (stopRequested_.load(std::memory_order_relaxed))
+            conn->readClosed = true;
+        Connection &c = *conn;
+        io.conns.emplace(c.id, std::move(conn));
+        updateInterest(io, c);
+    }
+    for (Outgoing &out : outs) {
+        auto it = io.conns.find(out.connId);
+        if (it == io.conns.end())
             continue; // client left before its answer was ready
         it->second->outbox += out.framed;
         if (it->second->inFlight > 0)
@@ -394,30 +703,33 @@ ServiceServer::collectOutgoing()
 }
 
 void
-ServiceServer::ioLoop()
+ServiceServer::ioLoop(std::uint32_t ti)
 {
+    IoThread &io = *ioThreads_[ti];
     bool stop_begun = false;
     bool flushing = false;
     Clock::time_point flush_deadline{};
+    std::vector<epoll_event> events(128);
 
     while (true) {
         if (stopRequested_.load(std::memory_order_relaxed)
             && !stop_begun) {
             stop_begun = true;
-            for (int fd : listenFds_)
-                if (fd >= 0)
-                    ::close(fd);
-            listenFds_.clear();
-            unixListenFd_ = -1;
+            if (ti == 0) {
+                for (int fd : listenFds_)
+                    if (fd >= 0)
+                        ::close(fd);
+                listenFds_.clear();
+            }
             // No more reads: everything already decoded has been
-            // enqueued, so closing the queue hands the simulation
-            // thread its final batch.
-            for (auto &kv : conns_)
+            // routed; quiescence tells stop() the queues can be
+            // half-closed.
+            for (auto &kv : io.conns)
                 kv.second->readClosed = true;
-            queue_.close();
+            ioQuiesced_.fetch_add(1, std::memory_order_release);
         }
 
-        collectOutgoing();
+        collectMailbox(io);
 
         if (simDone_.load(std::memory_order_acquire)
             && !flushing) {
@@ -429,7 +741,7 @@ ServiceServer::ioLoop()
         if (flushing) {
             bool all_flushed = true;
             std::vector<std::uint64_t> dead;
-            for (auto &kv : conns_) {
+            for (auto &kv : io.conns) {
                 Connection &conn = *kv.second;
                 if (!serviceWrite(conn)) {
                     dead.push_back(conn.id);
@@ -439,47 +751,32 @@ ServiceServer::ioLoop()
                     all_flushed = false;
             }
             for (std::uint64_t id : dead)
-                closeConnection(id);
+                closeConnection(io, id);
             if (all_flushed || Clock::now() >= flush_deadline) {
                 std::vector<std::uint64_t> ids;
-                for (auto &kv : conns_)
+                for (auto &kv : io.conns)
                     ids.push_back(kv.first);
                 for (std::uint64_t id : ids)
-                    closeConnection(id);
+                    closeConnection(io, id);
                 return;
             }
         }
 
-        // --- Build the poll set.
-        std::vector<pollfd> fds;
-        std::vector<std::uint64_t> owner; // 0 = wake/listener
-        fds.push_back({wakeFd_[0], POLLIN, 0});
-        owner.push_back(0);
-        for (int fd : listenFds_) {
-            fds.push_back({fd, POLLIN, 0});
-            owner.push_back(0);
-        }
-        for (auto &kv : conns_) {
-            Connection &conn = *kv.second;
-            short events = 0;
-            if (!conn.readClosed)
-                events |= POLLIN;
-            if (conn.outOff < conn.outbox.size())
-                events |= POLLOUT;
-            if (events == 0 && conn.closeAfterFlush) {
-                // Outbox empty and nothing more to read — but a
-                // half-closed client may still be owed responses to
-                // requests sitting in the sim queue. Hold the
-                // connection (off the poll set; the sim thread's
-                // wake pipe fires when the responses publish).
-                if (conn.inFlight == 0)
-                    closeConnection(conn.id);
-                continue;
+        // --- Maintenance: retire finished connections, refresh
+        // epoll interest for the rest.
+        {
+            std::vector<std::uint64_t> done;
+            for (auto &kv : io.conns) {
+                Connection &conn = *kv.second;
+                if (conn.closeAfterFlush && conn.inFlight == 0
+                    && conn.outOff >= conn.outbox.size()) {
+                    done.push_back(conn.id);
+                    continue;
+                }
+                updateInterest(io, conn);
             }
-            if (events == 0)
-                events = POLLIN; // detect resets on idle conns
-            fds.push_back({conn.fd, events, 0});
-            owner.push_back(conn.id);
+            for (std::uint64_t id : done)
+                closeConnection(io, id);
         }
 
         int timeout = -1;
@@ -488,53 +785,56 @@ ServiceServer::ioLoop()
         } else if (config_.idleTimeoutMs > 0) {
             Clock::time_point now = Clock::now();
             timeout = config_.idleTimeoutMs;
-            for (auto &kv : conns_) {
+            for (auto &kv : io.conns) {
                 int left = config_.idleTimeoutMs
                     - msBetween(kv.second->lastActivity, now);
                 timeout = std::max(0, std::min(timeout, left));
             }
         }
 
-        int rc = ::poll(fds.data(),
-                        static_cast<nfds_t>(fds.size()), timeout);
+        int rc = ::epoll_wait(io.epollFd, events.data(),
+                              static_cast<int>(events.size()),
+                              timeout);
         if (rc < 0 && errno != EINTR) {
-            warn("service: poll failed: %s", std::strerror(errno));
+            warn("service: epoll_wait failed: %s",
+                 std::strerror(errno));
             return;
         }
 
-        // --- Wake pipe.
-        if (fds[0].revents & POLLIN) {
-            char buf[64];
-            while (::read(wakeFd_[0], buf, sizeof(buf)) > 0) {
-            }
-        }
-
-        // --- Listeners.
-        std::size_t idx = 1;
-        std::size_t num_listeners = listenFds_.size();
-        for (std::size_t i = 0; i < num_listeners; ++i, ++idx)
-            if (fds[idx].revents & POLLIN)
-                acceptPending(fds[idx].fd);
-
-        // --- Connections.
         std::vector<std::uint64_t> dead;
-        for (; idx < fds.size(); ++idx) {
-            std::uint64_t id = owner[idx];
-            auto it = conns_.find(id);
-            if (it == conns_.end())
+        for (int i = 0; i < rc; ++i) {
+            std::uint64_t tag = events[i].data.u64;
+            std::uint32_t ev = events[i].events;
+            if (tag == 0) {
+                std::uint64_t drained = 0;
+                while (::read(io.wakeFd, &drained,
+                              sizeof(drained))
+                       > 0) {
+                }
+                continue;
+            }
+            if (tag < kConnTagBase) {
+                std::size_t li = static_cast<std::size_t>(tag - 1);
+                if (!stop_begun && li < listenFds_.size())
+                    acceptPending(listenFds_[li]);
+                continue;
+            }
+            std::uint64_t id = tag - kConnTagBase;
+            auto it = io.conns.find(id);
+            if (it == io.conns.end())
                 continue;
             Connection &conn = *it->second;
-            if (fds[idx].revents & (POLLERR | POLLNVAL)) {
+            if (ev & EPOLLERR) {
                 dead.push_back(id);
                 continue;
             }
-            if ((fds[idx].revents & POLLIN) && !conn.readClosed) {
-                if (!serviceRead(conn)) {
+            if ((ev & EPOLLIN) && !conn.readClosed) {
+                if (!serviceRead(io, conn)) {
                     dead.push_back(id);
                     continue;
                 }
             }
-            if ((fds[idx].revents & POLLHUP) && conn.readClosed
+            if ((ev & EPOLLHUP) && conn.readClosed
                 && conn.outOff >= conn.outbox.size()) {
                 dead.push_back(id);
                 continue;
@@ -545,18 +845,15 @@ ServiceServer::ioLoop()
                     continue;
                 }
             }
-            if (conn.closeAfterFlush && conn.inFlight == 0
-                && conn.outOff >= conn.outbox.size())
-                dead.push_back(id);
         }
         for (std::uint64_t id : dead)
-            closeConnection(id);
+            closeConnection(io, id);
 
         // --- Idle reaping.
         if (config_.idleTimeoutMs > 0 && !stop_begun) {
             Clock::time_point now = Clock::now();
             std::vector<std::uint64_t> idle;
-            for (auto &kv : conns_)
+            for (auto &kv : io.conns)
                 if (msBetween(kv.second->lastActivity, now)
                     >= config_.idleTimeoutMs)
                     idle.push_back(kv.first);
@@ -564,66 +861,275 @@ ServiceServer::ioLoop()
                 stats_.idleClosed.fetch_add(
                     1, std::memory_order_relaxed);
                 CASH_METRIC_INC("service.idle_closed");
-                closeConnection(id);
+                closeConnection(io, id);
             }
         }
     }
 }
 
 // ---------------------------------------------------------------
-// Simulation thread.
+// Simulation threads.
 // ---------------------------------------------------------------
 
 void
-ServiceServer::simLoop()
+ServiceServer::publish(std::uint64_t conn_id, std::string framed)
 {
-    std::vector<QueuedRequest> batch;
-    std::vector<Outgoing> replies;
-    while (queue_.popBatch(batch, config_.maxBatch)) {
+    std::uint32_t owner =
+        static_cast<std::uint32_t>(conn_id % ioThreads_.size());
+    IoThread &io = *ioThreads_[owner];
+    {
+        std::lock_guard<std::mutex> lock(io.mailboxMutex);
+        io.outgoing.push_back({conn_id, std::move(framed)});
+    }
+    wake(owner);
+}
+
+JsonValue
+ServiceServer::finalizeFanout(Fanout &fanout)
+{
+    if (const char *code =
+            fanout.failCode.load(std::memory_order_relaxed)) {
+        if (code == errors::QueueFull) {
+            stats_.queueFull.fetch_add(1,
+                                       std::memory_order_relaxed);
+            CASH_METRIC_INC("service.queue_full");
+            return errorResponse(fanout.reqId, code,
+                                 "request queue is full; retry");
+        }
+        stats_.deadlineExceeded.fetch_add(
+            1, std::memory_order_relaxed);
+        CASH_METRIC_INC("service.deadline_exceeded");
+        return errorResponse(fanout.reqId, code,
+                             "queued past the request deadline");
+    }
+    switch (fanout.op) {
+      case Op::Step:
+        return mergeStepParts(fanout.reqId, fanout.parts);
+      case Op::Snapshot:
+        return mergeSnapshotParts(fanout.reqId, fanout.parts);
+      case Op::Drain:
+        return mergeDrainParts(fanout.reqId, fanout.parts);
+      case Op::Shards: {
+        RegionStats rs{stats_.migrations.load(),
+                       stats_.rebalances.load()};
+        return mergeShardsParts(
+            fanout.reqId, fanout.parts,
+            cloud::placementPolicyName(config_.placement), rs);
+      }
+      case Op::RegionSnapshot: {
+        RegionStats rs{stats_.migrations.load(),
+                       stats_.rebalances.load()};
+        std::vector<std::uint64_t> routed;
+        {
+            std::lock_guard<std::mutex> lock(routerMutex_);
+            routed = router_.stats().routed;
+        }
+        return mergeRegionSnapshotParts(fanout.reqId,
+                                        fanout.parts, routed, rs);
+      }
+      default:
+        return errorResponse(fanout.reqId, errors::BadRequest,
+                             "op cannot fan out");
+    }
+}
+
+void
+ServiceServer::simHandleMigrateSource(std::uint32_t shard,
+                                      SimTask &task)
+{
+    Shard &sh = shards_[shard];
+    std::uint32_t local = cloud::tenantLocal(task.request.tenant);
+    const auto &tenants = sh.provider->tenants();
+    if (local >= tenants.size()
+        || tenants[local]->state != cloud::TenantState::Active) {
+        publish(task.connId,
+                encodeFrame(
+                    errorResponse(
+                        task.request.id, errors::UnknownTenant,
+                        strfmt("tenant %u is not active on shard "
+                               "%u",
+                               task.request.tenant, shard))
+                        .dump()));
+        return;
+    }
+    auto snap = sh.core->migrateOut(local);
+    if (!snap) {
+        publish(task.connId,
+                encodeFrame(
+                    errorResponse(
+                        task.request.id, errors::BadRequest,
+                        strfmt("tenant %u is not migratable "
+                               "(request-driven source)",
+                               task.request.tenant))
+                        .dump()));
+        return;
+    }
+    SimTask mt;
+    mt.kind = SimTask::Kind::MigrateIn;
+    mt.connId = task.connId;
+    mt.request.id = task.request.id;
+    mt.snapshotJson = snapshotToJson(*snap).dump();
+    mt.fromShard = shard;
+    mt.stallCycles = snap->stallCycles;
+    pendingTasks_.fetch_add(1, std::memory_order_acq_rel);
+    shards_[task.request.to].queue->pushInternal(std::move(mt));
+}
+
+void
+ServiceServer::simHandleMigrateIn(std::uint32_t shard,
+                                  SimTask &task)
+{
+    Shard &sh = shards_[shard];
+    auto parsed = parseJson(task.snapshotJson);
+    std::optional<cloud::TenantSnapshot> snap =
+        parsed ? snapshotFromJson(*parsed) : std::nullopt;
+    if (!snap)
+        panic("migration snapshot did not round-trip: %s",
+              task.snapshotJson.c_str());
+    std::uint32_t new_id = sh.core->migrateIn(*snap);
+    stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+    CASH_METRIC_INC("service.migrations");
+    if (task.connId == 0)
+        return; // rebalance-triggered: nobody to answer
+    const cloud::Tenant &t =
+        *sh.provider->tenants()[cloud::tenantLocal(new_id)];
+    JsonValue resp = okResponse(task.request.id);
+    resp.set("tenant", JsonValue(new_id));
+    resp.set("from", JsonValue(task.fromShard));
+    resp.set("to", JsonValue(shard));
+    resp.set("stall_cycles", JsonValue(task.stallCycles));
+    resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
+    resp.set("bill", JsonValue(t.bill()));
+    publish(task.connId, encodeFrame(resp.dump()));
+}
+
+void
+ServiceServer::simHandleTask(std::uint32_t shard, SimTask &task,
+                             Clock::time_point now)
+{
+    Shard &sh = shards_[shard];
+    bool late = config_.requestDeadlineMs > 0
+        && task.kind != SimTask::Kind::MigrateIn
+        && msBetween(task.enqueued, now) > config_.requestDeadlineMs;
+
+    switch (task.kind) {
+      case SimTask::Kind::Single: {
+        JsonValue resp;
+        if (late) {
+            stats_.deadlineExceeded.fetch_add(
+                1, std::memory_order_relaxed);
+            CASH_METRIC_INC("service.deadline_exceeded");
+            resp = errorResponse(task.request.id,
+                                 errors::DeadlineExceeded,
+                                 "queued past the request "
+                                 "deadline");
+        } else if (task.request.op == Op::Migrate) {
+            simHandleMigrateSource(shard, task);
+            return; // the target shard answers
+        } else {
+            double t0 = traceNowUs();
+            resp = sh.core->apply(task.request);
+            traceServiceSpan(opName(task.request.op), t0,
+                             {{"conn", task.connId},
+                              {"req", task.request.id},
+                              {"shard", shard}});
+        }
+        publish(task.connId, encodeFrame(resp.dump()));
+        return;
+      }
+      case SimTask::Kind::FanPart: {
+        Fanout &fan = *task.fanout;
+        if (late) {
+            fan.failCode.store(errors::DeadlineExceeded,
+                               std::memory_order_relaxed);
+        } else {
+            double t0 = traceNowUs();
+            fan.parts[shard] = sh.core->apply(task.request);
+            traceServiceSpan(opName(task.request.op), t0,
+                             {{"conn", task.connId},
+                              {"req", task.request.id},
+                              {"shard", shard}});
+        }
+        if (fan.remaining.fetch_sub(1, std::memory_order_acq_rel)
+            == 1)
+            publish(fan.connId,
+                    encodeFrame(finalizeFanout(fan).dump()));
+        return;
+      }
+      case SimTask::Kind::MigrateIn:
+        simHandleMigrateIn(shard, task);
+        return;
+    }
+}
+
+void
+ServiceServer::simAfterBatch(std::uint32_t shard)
+{
+    Shard &sh = shards_[shard];
+    std::vector<cloud::ShardLoad> loads;
+    {
+        std::lock_guard<std::mutex> lock(loadMutex_);
+        loadBoard_[shard] = sh.core->load();
+        loads = loadBoard_;
+    }
+    if (shardCount() < 2 || !config_.rebalance.enabled)
+        return;
+    if (stopRequested_.load(std::memory_order_relaxed)
+        || sh.core->draining())
+        return;
+    std::optional<cloud::RebalancePlan> plan;
+    {
+        std::lock_guard<std::mutex> lock(routerMutex_);
+        plan = router_.maybeRebalanceFrom(shard, loads);
+    }
+    if (!plan)
+        return;
+    cloud::TenantId migrant = sh.provider->pickMigrant();
+    if (migrant == cloud::invalidTenant)
+        return;
+    auto snap = sh.core->migrateOut(migrant);
+    if (!snap)
+        return;
+    stats_.rebalances.fetch_add(1, std::memory_order_relaxed);
+    CASH_METRIC_INC("service.rebalances");
+    CASH_TRACE_HOST_SPAN(trace::Category::Service, "rebalance",
+                         traceNowUs(), 0.0,
+                         {{"from", shard}, {"to", plan->to}});
+    SimTask mt;
+    mt.kind = SimTask::Kind::MigrateIn;
+    mt.connId = 0;
+    mt.snapshotJson = snapshotToJson(*snap).dump();
+    mt.fromShard = shard;
+    mt.stallCycles = snap->stallCycles;
+    pendingTasks_.fetch_add(1, std::memory_order_acq_rel);
+    shards_[plan->to].queue->pushInternal(std::move(mt));
+}
+
+void
+ServiceServer::simLoop(std::uint32_t shard)
+{
+    Shard &sh = shards_[shard];
+    std::vector<SimTask> batch;
+    while (sh.queue->popBatch(batch, config_.maxBatch)) {
         stats_.batches.fetch_add(1, std::memory_order_relaxed);
         CASH_METRIC_SAMPLE("service.batch_size",
                            static_cast<double>(batch.size()));
         double batch_t0 = traceNowUs();
-        replies.clear();
         Clock::time_point now = Clock::now();
-        for (QueuedRequest &qr : batch) {
-            JsonValue resp;
-            if (config_.requestDeadlineMs > 0
-                && msBetween(qr.enqueued, now)
-                    > config_.requestDeadlineMs) {
-                stats_.deadlineExceeded.fetch_add(
-                    1, std::memory_order_relaxed);
-                CASH_METRIC_INC("service.deadline_exceeded");
-                resp = errorResponse(qr.request.id,
-                                     errors::DeadlineExceeded,
-                                     "queued past the request "
-                                     "deadline");
-            } else {
-                double t0 = traceNowUs();
-                resp = core_.apply(qr.request);
-                traceServiceSpan(opName(qr.request.op), t0,
-                                 {{"conn", qr.connId},
-                                  {"req", qr.request.id}});
-            }
-            replies.push_back(
-                {qr.connId, encodeFrame(resp.dump())});
+        for (SimTask &task : batch) {
+            simHandleTask(shard, task, now);
+            pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
         }
         traceServiceSpan("batch", batch_t0,
-                         {{"requests", batch.size()}});
-        {
-            std::lock_guard<std::mutex> lock(outgoingMutex_);
-            for (Outgoing &r : replies)
-                outgoing_.push_back(std::move(r));
-        }
-        wake();
+                         {{"shard", shard},
+                          {"requests", batch.size()}});
+        simAfterBatch(shard);
     }
 
-    // Queue closed and drained: the SIGTERM path. Finish with the
-    // provider drain — final bills, conservation audit — and hand
-    // the report to stop()'s caller.
-    finalReport_ = core_.drainReport();
-    simDone_.store(true, std::memory_order_release);
-    wake();
+    // Queue closed and drained: the fleet-drain path. Finish with
+    // this shard's provider drain — final bills, conservation
+    // audit — and leave the partial for stop() to aggregate.
+    sh.drainPartial = sh.core->drainReport();
 }
 
 } // namespace cash::service

@@ -1,38 +1,45 @@
 /**
  * @file
- * ServiceServer: one CloudProvider behind a batching network
+ * ServiceServer: a multi-chip region behind an epoll network
  * front-end.
  *
- * Threading model (two threads, strict ownership):
+ * Threading model (strict ownership, no shared mutable simulator
+ * state):
  *
- *  - The IO thread owns every socket. It runs a non-blocking poll(2)
- *    event loop over the listeners (TCP and/or Unix-domain) and all
- *    connections: accepts, reads, incremental frame decoding
- *    (service/protocol.hh), request parsing, and all writes. Decoded
- *    requests go into a BoundedQueue; protocol errors (malformed
- *    JSON, oversized frames, unknown ops) and backpressure
- *    (`queue_full`) are answered directly on the IO thread, so a
- *    flooding client cannot wedge the simulator.
+ *  - N `ioThreads` own the sockets, partitioned by connection id
+ *    (owner = id % N). Each runs a level-triggered epoll(7) loop:
+ *    thread 0 additionally owns the listeners and hands accepted
+ *    connections to their owners through per-thread mailboxes
+ *    (mutex + eventfd wake). An IO thread does all reads, frame
+ *    decoding, parsing, routing, and writes for its connections;
+ *    protocol errors and backpressure (`queue_full`) are answered
+ *    in place, so a flooding client cannot wedge a simulator.
  *
- *  - The simulation thread owns the CloudProvider. It blocks on the
- *    queue, drains it in bounded batches, applies each request
- *    through ServiceCore in dequeue order — every mutation lands at
- *    a quantum boundary by construction — and publishes framed
- *    responses back to the IO thread (self-pipe wakeup).
+ *  - `shards` simulation threads each own one CloudProvider (shard
+ *    s seeded with params.seed + s) behind a ServiceCore and a
+ *    BoundedQueue. Single-shard requests are routed to the owning
+ *    shard's queue (arrivals via the PlacementRouter, tenant ops by
+ *    the shard byte of the tenant id). Region-wide ops fan out one
+ *    part per shard; the last shard to finish merges the partials
+ *    (service/region.hh) and publishes the response. Cross-shard
+ *    migration is a sim-to-sim hand-off: the source serializes the
+ *    tenant (migrateOut → JSON) and pushes a capacity-exempt task
+ *    to the target's queue, which replays it (migrateIn) and
+ *    responds. Rebalance triggers run on each sim thread after
+ *    every batch against a shared load board, planning only
+ *    *out-migrations* from that thread's own shard.
  *
- * Determinism: provider state is a pure function of the request
- * sequence. One client (or any externally serialized request order)
- * reproduces bills bit-for-bit; concurrency only permutes whose
- * request is applied first.
+ * Determinism: each shard's state is a pure function of its applied
+ * request sequence. One shard and one client reproduce the PR-5
+ * daemon bit-for-bit; more shards only partition the sequence.
  *
- * Robustness: bounded queue with explicit `queue_full` responses,
- * optional per-request deadlines (`deadline_exceeded` instead of
- * applying stale work), idle-connection timeouts, a max-frame cap,
- * and malformed-frame rejection (error response, then close — a
- * corrupt length prefix poisons the stream). stop() performs the
- * SIGTERM drain: stop accepting, apply everything already queued,
- * finish in-flight quanta, drain the provider (final bills +
- * auditProvider), flush every outbox, then exit.
+ * Shutdown (stop(), the SIGTERM path) is a fleet-wide audited
+ * drain: stop accepting and reading everywhere, wait for the IO
+ * threads to quiesce, half-close the queues (closeExternal), wait
+ * for in-flight tasks — migration chains included — to drain,
+ * close the queues, let every sim thread drain its provider (final
+ * bills + conservation audit), aggregate the per-shard reports into
+ * one region report, then flush every outbox and exit.
  */
 
 #ifndef CASH_SERVICE_SERVER_HH
@@ -48,9 +55,11 @@
 #include <thread>
 #include <vector>
 
+#include "cloud/placement.hh"
 #include "service/core.hh"
 #include "service/protocol.hh"
 #include "service/queue.hh"
+#include "service/region.hh"
 
 namespace cash::service
 {
@@ -65,8 +74,8 @@ struct ServerConfig
      *  (see ServiceServer::tcpPort()). */
     bool listenTcp = false;
     std::uint16_t tcpPort = 0;
-    /** Request-queue bound: beyond this the front-end answers
-     *  `queue_full`. */
+    /** Per-shard request-queue bound: beyond this the front-end
+     *  answers `queue_full`. */
     std::size_t queueCapacity = 256;
     /** Simulation-thread batch bound per queue drain. */
     std::size_t maxBatch = 64;
@@ -79,10 +88,18 @@ struct ServerConfig
     int requestDeadlineMs = 0;
     /** auditProvider() after every request and stepped quantum. */
     bool audit = false;
+    /** Region size: one provider + sim thread each, 1..256. */
+    std::uint32_t shards = 1;
+    /** Socket-owning event-loop threads. */
+    std::uint32_t ioThreads = 1;
+    /** Arrival placement policy across the shards. */
+    cloud::PlacementPolicy placement =
+        cloud::PlacementPolicy::BinPack;
+    /** Migration-trigger tunables (ignored with one shard). */
+    cloud::RebalanceParams rebalance;
 };
 
-/** Front-end accounting (all updated on one thread each; reads are
- *  snapshots for reporting). */
+/** Front-end accounting (atomics: many writer threads). */
 struct ServerStats
 {
     std::atomic<std::uint64_t> accepted{0};
@@ -94,14 +111,18 @@ struct ServerStats
     std::atomic<std::uint64_t> deadlineExceeded{0};
     std::atomic<std::uint64_t> protocolErrors{0};
     std::atomic<std::uint64_t> batches{0};
+    /** Completed cross-shard migrations (explicit + triggered). */
+    std::atomic<std::uint64_t> migrations{0};
+    /** Migrations initiated by the rebalance triggers. */
+    std::atomic<std::uint64_t> rebalances{0};
 };
 
 class ServiceServer
 {
   public:
-    /** @param provider served provider; owned by the caller, must
-     *         outlive the server; untouched after stop(). */
-    ServiceServer(cloud::CloudProvider &provider,
+    /** Builds the region: shard s runs a CloudProvider seeded with
+     *  params.seed + s. The server owns its providers. */
+    ServiceServer(const cloud::ProviderParams &params,
                   const ServerConfig &config);
     ~ServiceServer();
 
@@ -113,14 +134,13 @@ class ServiceServer
     void start();
 
     /**
-     * Graceful drain, callable once from any thread (the daemon
-     * calls it after SIGTERM): stop accepting and reading, apply
-     * the already-queued requests, drain the provider (final
-     * bills + audit), flush responses, join both threads.
+     * Fleet-wide graceful drain, callable once from any thread
+     * (the daemon calls it after SIGTERM); see the file comment
+     * for the full sequence.
      */
     void stop();
 
-    /** Wake the event loop for shutdown from a signal handler
+    /** Wake the event loops for shutdown from a signal handler
      *  (async-signal-safe; the actual stop() still must be called
      *  from a normal thread). */
     void wakeFromSignal();
@@ -130,11 +150,24 @@ class ServiceServer
 
     const ServerStats &stats() const { return stats_; }
 
-    /** The drain report captured by stop() ({"bills":...}); null
-     *  object before stop() completes. */
+    /** The aggregated region drain report captured by stop()
+     *  ({"bills":...,"revenue":...,"departed":...}); null object
+     *  before stop() completes. */
     const JsonValue &finalReport() const { return finalReport_; }
 
     const ServerConfig &config() const { return config_; }
+
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    /** Shard s's provider (stable address; read-safe only when its
+     *  sim thread is quiesced, e.g. after stop()). */
+    const cloud::CloudProvider &provider(std::uint32_t shard) const
+    {
+        return *shards_[shard].provider;
+    }
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -147,24 +180,54 @@ class ServiceServer
         std::string outbox;     ///< framed bytes awaiting write
         std::size_t outOff = 0; ///< written prefix of outbox
         Clock::time_point lastActivity;
-        /** Requests enqueued to the sim thread whose responses have
+        /** Requests enqueued to sim threads whose responses have
          *  not yet been collected into the outbox. A half-closed
          *  connection stays open until this reaches zero, so the
          *  "flush pending responses, then close" contract holds. */
         std::uint64_t inFlight = 0;
         bool readClosed = false;
         bool closeAfterFlush = false;
+        /** Interest mask currently registered with epoll. */
+        std::uint32_t epollMask = 0;
+        bool registered = false;
 
         explicit Connection(std::size_t max_frame)
             : decoder(max_frame)
         {}
     };
 
-    struct QueuedRequest
+    /** Shared state of one fanned-out region op. The last sim
+     *  thread to decrement `remaining` merges and responds. */
+    struct Fanout
     {
         std::uint64_t connId = 0;
+        std::uint64_t reqId = 0;
+        Op op = Op::Snapshot;
+        std::atomic<std::uint32_t> remaining{0};
+        /** First failure (errors::* constant), if any. */
+        std::atomic<const char *> failCode{nullptr};
+        /** One slot per shard; each sim thread writes only its
+         *  own (publication order via `remaining`). */
+        std::vector<JsonValue> parts;
+    };
+
+    struct SimTask
+    {
+        enum class Kind : std::uint8_t
+        {
+            Single,    ///< one-shard request, direct response
+            FanPart,   ///< this shard's part of a region op
+            MigrateIn, ///< replay a serialized tenant here
+        };
+        Kind kind = Kind::Single;
+        std::uint64_t connId = 0; ///< 0 = internal (no response)
         Request request;
         Clock::time_point enqueued;
+        std::shared_ptr<Fanout> fanout;
+        /** MigrateIn: the snapshot JSON text and provenance. */
+        std::string snapshotJson;
+        std::uint32_t fromShard = 0;
+        std::uint64_t stallCycles = 0;
     };
 
     struct Outgoing
@@ -173,51 +236,95 @@ class ServiceServer
         std::string framed;
     };
 
-    void ioLoop();
-    void simLoop();
+    /** One simulation shard. */
+    struct Shard
+    {
+        std::unique_ptr<cloud::CloudProvider> provider;
+        std::unique_ptr<ServiceCore> core;
+        std::unique_ptr<BoundedQueue<SimTask>> queue;
+        std::thread thread;
+        /** This shard's drain report, written by its sim thread
+         *  after the queue closes. */
+        JsonValue drainPartial;
+    };
 
-    /** Accept everything pending on a listener. */
+    /** One socket-owning event-loop thread. */
+    struct IoThread
+    {
+        int epollFd = -1;
+        int wakeFd = -1; ///< eventfd
+        std::thread thread;
+        std::mutex mailboxMutex;
+        /** Connections accepted by thread 0, awaiting adoption. */
+        std::vector<std::unique_ptr<Connection>> pendingConns;
+        /** Responses published by sim threads. */
+        std::vector<Outgoing> outgoing;
+        /** Owner-thread-only state. */
+        std::map<std::uint64_t, std::unique_ptr<Connection>> conns;
+    };
+
+    void ioLoop(std::uint32_t ti);
+    void simLoop(std::uint32_t shard);
+
     void acceptPending(int listen_fd);
-
-    /** Read + decode + enqueue for one connection. Returns false
-     *  when the connection died. */
-    bool serviceRead(Connection &conn);
-
-    /** Handle one decoded frame payload on the IO thread. */
-    void handleFrame(Connection &conn, const std::string &payload);
-
-    /** Queue a response payload onto a connection's outbox. */
+    bool serviceRead(IoThread &io, Connection &conn);
+    void handleFrame(IoThread &io, Connection &conn,
+                     const std::string &payload);
+    void routeRequest(IoThread &io, Connection &conn,
+                      const Request &req);
+    void enqueueSingle(IoThread &io, Connection &conn,
+                       const Request &req, std::uint32_t shard);
+    void enqueueFanout(IoThread &io, Connection &conn,
+                       const Request &req);
     void respondNow(Connection &conn, const JsonValue &resp);
-
-    /** Flush as much outbox as the socket accepts. Returns false
-     *  when the connection died. */
     bool serviceWrite(Connection &conn);
+    void closeConnection(IoThread &io, std::uint64_t conn_id);
+    void collectMailbox(IoThread &io);
+    void updateInterest(IoThread &io, Connection &conn);
 
-    void closeConnection(std::uint64_t conn_id);
+    /** Merge (or fail) a completed fanout into its response. */
+    JsonValue finalizeFanout(Fanout &fanout);
 
-    /** Move sim-thread responses into connection outboxes. */
-    void collectOutgoing();
+    /** Hand a framed response to the owner IO thread. */
+    void publish(std::uint64_t conn_id, std::string framed);
 
-    void wake();
+    /** Sim-thread handlers. */
+    void simHandleTask(std::uint32_t shard, SimTask &task,
+                       Clock::time_point now);
+    void simHandleMigrateSource(std::uint32_t shard, SimTask &task);
+    void simHandleMigrateIn(std::uint32_t shard, SimTask &task);
+    /** Publish the shard's load and run the rebalance triggers. */
+    void simAfterBatch(std::uint32_t shard);
 
-    cloud::CloudProvider &provider_;
+    std::vector<cloud::ShardLoad> copyLoads();
+    void wake(std::uint32_t ti);
+    void wakeAll();
+
     ServerConfig config_;
-    ServiceCore core_;
+    std::vector<Shard> shards_;
+    std::vector<std::unique_ptr<IoThread>> ioThreads_;
+    cloud::PlacementRouter router_;
+    std::mutex routerMutex_; ///< guards router_ (stats + cooldowns)
+
+    /** Entry (admission-minimum) config per catalog class, for
+     *  routing arrivals without touching a provider. */
+    std::vector<VCoreConfig> entryCfgs_;
+
+    /** Load board: shard s's occupancy as last published by its
+     *  sim thread. */
+    std::mutex loadMutex_;
+    std::vector<cloud::ShardLoad> loadBoard_;
 
     std::vector<int> listenFds_;
-    int unixListenFd_ = -1;
     std::uint16_t boundTcpPort_ = 0;
-    int wakeFd_[2] = {-1, -1}; ///< self-pipe: [read, write]
 
-    std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
-    std::uint64_t nextConnId_ = 1;
+    std::atomic<std::uint64_t> nextConnId_{1};
+    /** Tasks enqueued (external + internal) and not yet fully
+     *  processed; stop() waits for 0 before closing the queues so
+     *  migration chains complete. */
+    std::atomic<std::int64_t> pendingTasks_{0};
+    std::atomic<std::uint32_t> ioQuiesced_{0};
 
-    BoundedQueue<QueuedRequest> queue_;
-    std::mutex outgoingMutex_;
-    std::vector<Outgoing> outgoing_;
-
-    std::thread ioThread_;
-    std::thread simThread_;
     std::atomic<bool> started_{false};
     std::atomic<bool> stopRequested_{false};
     std::atomic<bool> simDone_{false};

@@ -627,11 +627,10 @@ class RawConn
 
 TEST(Loopback, SynchronousSessionOverUnixSocket)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("sync");
     sc.audit = true;
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     {
@@ -666,11 +665,10 @@ TEST(Loopback, SynchronousSessionOverUnixSocket)
 
 TEST(Loopback, TcpEphemeralPort)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.listenTcp = true;
     sc.tcpPort = 0; // ephemeral
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
     ASSERT_NE(server.tcpPort(), 0);
 
@@ -686,10 +684,9 @@ TEST(Loopback, TcpEphemeralPort)
 
 TEST(Loopback, PipelinedResponsesMatchByIdOutOfWaitOrder)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("pipe");
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     {
@@ -717,10 +714,9 @@ TEST(Loopback, PipelinedResponsesMatchByIdOutOfWaitOrder)
 
 TEST(Loopback, ConcurrentClientsAllGetAnswers)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("conc");
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     constexpr unsigned kClients = 8;
@@ -785,12 +781,11 @@ TEST(Loopback, ConcurrentClientsAllGetAnswers)
 
 TEST(Loopback, QueueFullIsAnsweredNotDropped)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("full");
     sc.queueCapacity = 1;
     sc.maxBatch = 1;
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     {
@@ -832,10 +827,9 @@ TEST(Loopback, QueueFullIsAnsweredNotDropped)
 
 TEST(Loopback, MalformedJsonGetsErrorThenClose)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("badjson");
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     {
@@ -873,11 +867,10 @@ TEST(Loopback, MalformedJsonGetsErrorThenClose)
 
 TEST(Loopback, OversizedAndEmptyFramesAreRejected)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("hostile");
     sc.maxFrame = 256;
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     {
@@ -905,10 +898,9 @@ TEST(Loopback, OversizedAndEmptyFramesAreRejected)
 
 TEST(Loopback, DrainOpAndHalfClose)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("drain");
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     {
@@ -940,10 +932,9 @@ TEST(Loopback, DrainOpAndHalfClose)
 
 TEST(Loopback, StopDrainReportCarriesFinalBills)
 {
-    cloud::CloudProvider provider(tinyServiceParams());
     ServerConfig sc;
     sc.unixPath = testSocketPath("bills");
-    ServiceServer server(provider, sc);
+    ServiceServer server(tinyServiceParams(), sc);
     server.start();
 
     std::size_t admitted = 0;

@@ -8,7 +8,8 @@
  * Drives N concurrent sessions (service/loadgen.hh): each session
  * has its own connection, a seeded open-loop arrival process, a
  * bounded pipeline window, and a deterministic op mix of arrivals /
- * departures / queries / quantum steps. Prints the
+ * departures / queries / quantum steps / cross-shard migrations
+ * (--migrate-prob, for daemons running --shards > 1). Prints the
  * interleaving-invariant contract line to stdout (sent == received,
  * dropped == 0) and the latency/throughput summary to stderr. With
  * --trace/--metrics, per-request latencies also land in the
@@ -32,6 +33,9 @@ main(int argc, char **argv)
     using namespace cash;
 
     try {
+        // The latency/throughput summary goes to stderr via
+        // inform(); raise the default Warn level so it shows.
+        setLogLevel(LogLevel::Info);
         trace::TraceOptions topts(argc, argv);
 
         service::LoadConfig cfg;
@@ -86,6 +90,9 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--step-prob")) {
                 need(i, arg);
                 cfg.stepProb = std::strtod(argv[++i], nullptr);
+            } else if (!std::strcmp(arg, "--migrate-prob")) {
+                need(i, arg);
+                cfg.migrateProb = std::strtod(argv[++i], nullptr);
             } else if (!std::strcmp(arg, "--step-quanta")) {
                 need(i, arg);
                 cfg.stepQuanta = static_cast<std::uint32_t>(
@@ -98,8 +105,9 @@ main(int argc, char **argv)
                 fatal("unknown flag '%s' (see --unix, --tcp, "
                       "--host, --sessions, --requests, --rate, "
                       "--window, --seed, --classes, --depart-prob, "
-                      "--query-prob, --step-prob, --step-quanta, "
-                      "--residence-max, --trace, --metrics)",
+                      "--query-prob, --step-prob, --migrate-prob, "
+                      "--step-quanta, --residence-max, --trace, "
+                      "--metrics)",
                       arg);
             }
         }

@@ -1,24 +1,31 @@
 /**
  * @file
- * cash_serviced: the CASH provider as a long-running daemon.
+ * cash_serviced: a region of CASH chips as a long-running daemon.
  *
- * Serves one CloudProvider over the length-prefixed JSON protocol
+ * Serves one CloudProvider per shard (--shards N; default one, the
+ * legacy single-chip daemon) over the length-prefixed JSON protocol
  * (service/protocol.hh) on a Unix-domain socket and/or loopback TCP:
  *
  *   cash_serviced --unix /tmp/cash.sock
  *   cash_serviced --tcp 0            # ephemeral port, printed
  *   cash_serviced --unix s.sock --queue-cap 64 --deadline-ms 200
+ *   cash_serviced --unix s.sock --shards 4 --io-threads 2 \
+ *       --placement spread --migrate-frag 1.5
  *
- * The provider's stochastic arrival stream is off: every tenant
- * enters and leaves through requests, so the provider state is a
- * pure function of the request sequence (see DESIGN.md §10).
+ * Each provider's stochastic arrival stream is off: every tenant
+ * enters and leaves through requests, so each shard's state is a
+ * pure function of its applied request sequence (DESIGN.md §10-11).
+ * Arrivals are placed across the shards by the PlacementRouter;
+ * tenants migrate between shards on request (op "migrate") or when
+ * the --migrate-* triggers fire.
  *
- * SIGTERM/SIGINT trigger the graceful drain: stop accepting, apply
- * everything already queued, drain the provider (every tenant
- * departed, billing conservation audited), flush responses, then
- * print the final drain report — one JSON object with the final
- * bills — to stdout and exit 0. --trace/--metrics work as on every
- * other binary (trace/options.hh).
+ * SIGTERM/SIGINT trigger the fleet-wide graceful drain: stop
+ * accepting, apply everything already queued (migration chains
+ * included), drain every shard (every tenant departed, billing
+ * conservation audited), flush responses, then print the aggregated
+ * region report — one JSON object with every shard's final bills —
+ * to stdout and exit 0. --trace/--metrics work as on every other
+ * binary (trace/options.hh).
  */
 
 #include <cerrno>
@@ -56,6 +63,11 @@ main(int argc, char **argv)
     using namespace cash;
 
     try {
+        // A daemon's status lines (listen address, drain progress,
+        // request/migration counters) are operational output, not
+        // debug chatter: force them on regardless of the library
+        // default. Scripts grep the stats line from stderr.
+        setLogLevel(LogLevel::Info);
         trace::TraceOptions topts(argc, argv);
 
         service::ServerConfig cfg;
@@ -115,11 +127,46 @@ main(int argc, char **argv)
                 need(i, arg);
                 params.fabric.rows = static_cast<std::uint32_t>(
                     std::strtoul(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--shards")) {
+                need(i, arg);
+                cfg.shards = static_cast<std::uint32_t>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--io-threads")) {
+                need(i, arg);
+                cfg.ioThreads = static_cast<std::uint32_t>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            } else if (!std::strcmp(arg, "--placement")) {
+                need(i, arg);
+                auto p =
+                    cloud::placementPolicyFromName(argv[++i]);
+                if (!p)
+                    fatal("--placement must be binpack or spread, "
+                          "got '%s'",
+                          argv[i]);
+                cfg.placement = *p;
+            } else if (!std::strcmp(arg, "--migrate-frag")) {
+                need(i, arg);
+                cfg.rebalance.fragThreshold =
+                    std::strtod(argv[++i], nullptr);
+            } else if (!std::strcmp(arg,
+                                    "--migrate-imbalance")) {
+                need(i, arg);
+                cfg.rebalance.imbalanceThreshold =
+                    std::strtod(argv[++i], nullptr);
+            } else if (!std::strcmp(arg, "--migrate-cooldown")) {
+                need(i, arg);
+                cfg.rebalance.cooldownRounds =
+                    std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(arg, "--no-rebalance")) {
+                cfg.rebalance.enabled = false;
             } else {
                 fatal("unknown flag '%s' (see --unix, --tcp, "
                       "--queue-cap, --max-batch, --max-frame, "
                       "--idle-timeout-ms, --deadline-ms, --audit, "
                       "--seed, --quantum, --coarse, --rows, "
+                      "--shards, --io-threads, --placement, "
+                      "--migrate-frag, --migrate-imbalance, "
+                      "--migrate-cooldown, --no-rebalance, "
                       "--trace, --metrics)",
                       arg);
             }
@@ -131,8 +178,7 @@ main(int argc, char **argv)
             fatal("cannot create signal pipe: %s",
                   std::strerror(errno));
 
-        cloud::CloudProvider provider(params);
-        service::ServiceServer server(provider, cfg);
+        service::ServiceServer server(params, cfg);
 
         struct sigaction sa{};
         sa.sa_handler = onSignal;
@@ -160,7 +206,7 @@ main(int argc, char **argv)
         inform("cash_serviced: %llu request(s) over %llu "
                "connection(s) in %llu batch(es); queue_full=%llu "
                "deadline_exceeded=%llu protocol_errors=%llu "
-               "idle_closed=%llu",
+               "idle_closed=%llu migrations=%llu rebalances=%llu",
                static_cast<unsigned long long>(st.requests.load()),
                static_cast<unsigned long long>(st.accepted.load()),
                static_cast<unsigned long long>(st.batches.load()),
@@ -170,7 +216,11 @@ main(int argc, char **argv)
                static_cast<unsigned long long>(
                    st.protocolErrors.load()),
                static_cast<unsigned long long>(
-                   st.idleClosed.load()));
+                   st.idleClosed.load()),
+               static_cast<unsigned long long>(
+                   st.migrations.load()),
+               static_cast<unsigned long long>(
+                   st.rebalances.load()));
 
         // The drain report — final bills, audited — is the daemon's
         // one piece of stdout.

@@ -6,8 +6,10 @@
  * allocate / resize / release / compact at the allocator layer,
  * create / EXPAND-SHRINK / trace-execution / destroy at the chip
  * layer, tenant arrive / depart / provider-step at the cloud layer,
- * and wire-format frames (valid requests, malformed JSON, empty and
- * oversized frames) through the service decode→apply path — and
+ * wire-format frames (valid requests, malformed JSON, empty and
+ * oversized frames) through the service decode→apply path, and
+ * region ops (placement-routed arrivals, cross-shard migrations,
+ * aggregated drains) through a two-shard RegionCore — and
  * audits the structural invariants (check/audit.hh) after every
  * single operation. Builds compiled with -DCASH_CHECK_INVARIANTS=ON
  * additionally run every CASH_INVARIANT hook inside the hot layers.
@@ -21,6 +23,7 @@
  *   fuzz_reconfig --seed 1234 --verbose     # replay one seed
  *   fuzz_reconfig --seeds 32 --mode cloud   # cloud layer only
  *   fuzz_reconfig --seeds 32 --mode service # wire decode→apply only
+ *   fuzz_reconfig --seeds 32 --mode region  # two-shard region ops
  *   fuzz_reconfig --seeds 64 --inject alloc-leak   # mutation test:
  *       the named deliberate bug must be caught and shrunk
  *       (requires a CASH_CHECK_INVARIANTS build)
@@ -44,6 +47,7 @@
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "service/core.hh"
+#include "service/region.hh"
 #include "service/protocol.hh"
 #include "sim/ssim.hh"
 #include "trace/options.hh"
@@ -84,6 +88,14 @@ enum class OpKind : std::uint8_t
     SvcBadOp,    ///< well-formed JSON, unknown op name
     SvcEmpty,    ///< zero-length frame (poisons the decoder)
     SvcOversize, ///< frame above the decoder's max (poisons too)
+    // Region-layer ops (RegionCore, two shards).
+    RgnArrive,
+    RgnDepart,
+    RgnQuery,
+    RgnStep,
+    RgnMigrate,
+    RgnSnapshot, ///< region_snapshot or shards, by op.a parity
+    RgnDrain,
 };
 
 struct Op
@@ -147,6 +159,21 @@ struct Op
             return "svc-empty-frame";
           case OpKind::SvcOversize:
             return "svc-oversize-frame";
+          case OpKind::RgnArrive:
+            return strfmt("rgn-arrive   slot=%u class=%u "
+                          "residence=%u", slot, a, b);
+          case OpKind::RgnDepart:
+            return strfmt("rgn-depart   slot=%u", slot);
+          case OpKind::RgnQuery:
+            return strfmt("rgn-query    slot=%u", slot);
+          case OpKind::RgnStep:
+            return strfmt("rgn-step     quanta=%u", 1 + a % 4);
+          case OpKind::RgnMigrate:
+            return strfmt("rgn-migrate  slot=%u", slot);
+          case OpKind::RgnSnapshot:
+            return a % 2 ? "rgn-region-snapshot" : "rgn-shards";
+          case OpKind::RgnDrain:
+            return "rgn-drain";
         }
         return "?";
     }
@@ -272,6 +299,39 @@ genServiceOps(std::uint64_t seed, std::uint32_t count)
         // drain would starve the rest of the sequence.
         if (pick == 14 && i + 4 > count)
             op.kind = OpKind::SvcDrain;
+        op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
+        op.a = static_cast<std::uint32_t>(rng.nextBounded(16));
+        op.b = 1 + static_cast<std::uint32_t>(rng.nextBounded(12));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::vector<Op>
+genRegionOps(std::uint64_t seed, std::uint32_t count)
+{
+    Rng rng(seed * 7 + 5);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Op op;
+        std::uint64_t pick = rng.nextBounded(20);
+        if (pick < 6)
+            op.kind = OpKind::RgnArrive;
+        else if (pick < 9)
+            op.kind = OpKind::RgnDepart;
+        else if (pick < 11)
+            op.kind = OpKind::RgnQuery;
+        else if (pick < 15)
+            op.kind = OpKind::RgnStep;
+        else if (pick < 18)
+            op.kind = OpKind::RgnMigrate;
+        else
+            op.kind = OpKind::RgnSnapshot;
+        // At most one drain per sequence, near the end (arrivals
+        // after a drain are correctly refused — see genServiceOps).
+        if (pick == 14 && i + 4 > count)
+            op.kind = OpKind::RgnDrain;
         op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
         op.a = static_cast<std::uint32_t>(rng.nextBounded(16));
         op.b = 1 + static_cast<std::uint32_t>(rng.nextBounded(12));
@@ -660,6 +720,137 @@ replayService(const std::vector<Op> &ops, std::uint64_t seed)
     return std::nullopt;
 }
 
+/**
+ * Region-layer replay: a two-shard RegionCore on tight FineGrain
+ * chips, driven through the same Request objects the wire would
+ * deliver — placement-routed arrivals, region-id departs/queries,
+ * cross-shard migrations (serialize → JSON → replay), region
+ * snapshots, and the aggregated drain. auditProvider runs on EVERY
+ * shard after every op, so a migration that double-bills, leaks a
+ * holding, or breaks lifecycle algebra on either side fails the op
+ * that caused it.
+ */
+std::optional<Failure>
+replayRegion(const std::vector<Op> &ops, std::uint64_t seed)
+{
+    cloud::ProviderParams params;
+    params.fabric.sliceCols = 1;
+    params.fabric.bankCols = 4;
+    params.fabric.rows = 8;
+    params.provisioning = cloud::Provisioning::FineGrain;
+    params.arrivalProb = 0.0;
+    params.quantum = 50'000;
+    params.seed = seed;
+    constexpr std::uint32_t kShards = 2;
+    service::RegionCore region(params, kShards,
+                               /*audit_each_quantum=*/false);
+    std::size_t num_classes =
+        region.provider(0).params().catalog.size();
+
+    // Slots hold REGION tenant ids (shard << 24 | local).
+    std::vector<std::optional<std::uint32_t>> slots(kSlots);
+    std::uint64_t next_id = 1;
+
+    auto audit_all = [&region] {
+        for (std::uint32_t s = 0; s < kShards; ++s)
+            auditProvider(region.provider(s));
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        try {
+            service::Request req;
+            req.id = next_id++;
+            switch (op.kind) {
+              case OpKind::RgnArrive: {
+                if (slots[op.slot])
+                    break;
+                req.op = service::Op::Arrive;
+                req.cls = static_cast<std::uint32_t>(
+                    op.a % num_classes);
+                req.residence = op.b;
+                service::JsonValue resp = region.apply(req);
+                if (resp.getBool("ok").value_or(false)
+                    && resp.getString("state").value_or("")
+                        != "rejected") {
+                    if (auto t = resp.getUint("tenant"))
+                        slots[op.slot] =
+                            static_cast<std::uint32_t>(*t);
+                }
+                break;
+              }
+              case OpKind::RgnDepart:
+                if (!slots[op.slot])
+                    break;
+                req.op = service::Op::Depart;
+                req.tenant = *slots[op.slot];
+                // unknown_tenant is fine: it may have departed on
+                // its own during an RgnStep.
+                region.apply(req);
+                slots[op.slot].reset();
+                break;
+              case OpKind::RgnQuery:
+                if (!slots[op.slot])
+                    break;
+                req.op = service::Op::Query;
+                req.tenant = *slots[op.slot];
+                region.apply(req);
+                break;
+              case OpKind::RgnStep:
+                req.op = service::Op::Step;
+                req.quanta = 1 + op.a % 4;
+                region.apply(req);
+                break;
+              case OpKind::RgnMigrate: {
+                if (!slots[op.slot])
+                    break;
+                req.op = service::Op::Migrate;
+                req.tenant = *slots[op.slot];
+                // Auto target: the router picks the other shard.
+                service::JsonValue resp = region.apply(req);
+                if (resp.getBool("ok").value_or(false)) {
+                    auto t = resp.getUint("tenant");
+                    if (!t)
+                        return Failure{i, "ok migrate response "
+                                          "without a tenant id"};
+                    std::uint32_t new_id =
+                        static_cast<std::uint32_t>(*t);
+                    if (cloud::tenantShard(new_id)
+                        == cloud::tenantShard(*slots[op.slot]))
+                        return Failure{
+                            i, "migrate landed on the source shard"};
+                    slots[op.slot] = new_id;
+                }
+                break;
+              }
+              case OpKind::RgnSnapshot:
+                req.op = op.a % 2 ? service::Op::RegionSnapshot
+                                  : service::Op::Shards;
+                region.apply(req);
+                break;
+              case OpKind::RgnDrain: {
+                req.op = service::Op::Drain;
+                service::JsonValue resp = region.apply(req);
+                if (!resp.getBool("ok").value_or(false))
+                    return Failure{i, "drain answered !ok"};
+                for (auto &slot : slots)
+                    slot.reset();
+                break;
+              }
+              default:
+                break; // non-region op in a mixed shrink
+            }
+            audit_all();
+        } catch (const InvariantError &e) {
+            return Failure{i, e.what()};
+        } catch (const FatalError &e) {
+            return Failure{i, strfmt("unexpected FatalError: %s",
+                                     e.what())};
+        }
+    }
+    return std::nullopt;
+}
+
 // ---------------------------------------------------------------
 // Shrinking: iterated single-op deletion to a fixpoint. Sequences
 // are small (tens of ops) and replays are cheap, so the quadratic
@@ -697,6 +888,7 @@ struct Options
     bool modeSim = true;
     bool modeCloud = true;
     bool modeService = true;
+    bool modeRegion = true;
     bool shrink = true;
     bool verbose = false;
     Fault inject = Fault::None;
@@ -716,13 +908,15 @@ reportFailure(const char *mode, std::uint64_t seed,
         std::fprintf(stderr, "    [%2zu] %s\n", i,
                      minimized[i].str().c_str());
     int enabled = (opt.modeAlloc ? 1 : 0) + (opt.modeSim ? 1 : 0)
-        + (opt.modeCloud ? 1 : 0) + (opt.modeService ? 1 : 0);
+        + (opt.modeCloud ? 1 : 0) + (opt.modeService ? 1 : 0)
+        + (opt.modeRegion ? 1 : 0);
     const char *only = "";
     if (enabled == 1) {
         only = opt.modeAlloc ? " --mode alloc"
             : opt.modeSim    ? " --mode sim"
             : opt.modeCloud  ? " --mode cloud"
-                             : " --mode service";
+            : opt.modeService ? " --mode service"
+                              : " --mode region";
     }
     std::fprintf(stderr,
                  "  reproduce: fuzz_reconfig --seed %llu --ops %u"
@@ -813,15 +1007,32 @@ run(const Options &opt)
                 reportFailure("service", seed, opt, min, mf);
             }
         }
+        if (opt.modeRegion) {
+            std::vector<Op> ops =
+                genRegionOps(seed, opt.opsPerSeed);
+            if (auto f = replayRegion(ops, seed)) {
+                ++failures;
+                std::vector<Op> min = opt.shrink
+                    ? shrinkOps(ops,
+                                [seed](const std::vector<Op> &c) {
+                                    return replayRegion(c, seed)
+                                        .has_value();
+                                })
+                    : ops;
+                Failure mf = replayRegion(min, seed).value_or(*f);
+                reportFailure("region", seed, opt, min, mf);
+            }
+        }
     }
 
-    std::printf("fuzz_reconfig: %llu seed(s) x%s%s%s%s, %u ops "
+    std::printf("fuzz_reconfig: %llu seed(s) x%s%s%s%s%s, %u ops "
                 "each, invariants %s, inject=%s: %llu failure(s)\n",
                 static_cast<unsigned long long>(opt.numSeeds),
                 opt.modeAlloc ? " alloc" : "",
                 opt.modeSim ? " sim" : "",
                 opt.modeCloud ? " cloud" : "",
-                opt.modeService ? " service" : "", opt.opsPerSeed,
+                opt.modeService ? " service" : "",
+                opt.modeRegion ? " region" : "", opt.opsPerSeed,
                 invariantsEnabled ? "on" : "off",
                 faultName(opt.inject),
                 static_cast<unsigned long long>(failures));
@@ -876,10 +1087,12 @@ main(int argc, char **argv)
                 opt.modeCloud = mode == "cloud" || mode == "all";
                 opt.modeService = mode == "service"
                     || mode == "all";
+                opt.modeRegion = mode == "region" || mode == "all";
                 if (!opt.modeAlloc && !opt.modeSim && !opt.modeCloud
-                    && !opt.modeService)
+                    && !opt.modeService && !opt.modeRegion)
                     fatal("unknown mode '%s' "
-                          "(alloc|sim|cloud|service|both|all)",
+                          "(alloc|sim|cloud|service|region|both|"
+                          "all)",
                           mode.c_str());
             } else if (!std::strcmp(arg, "--inject")) {
                 need(i, arg);

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Performance trajectory: measure the two throughput numbers that
+# gate the repo's usefulness — simulated instructions per host
+# second (bench_sim_speed, google-benchmark JSON) and service
+# responses per host second (bench_service stderr) — and compare
+# them against the committed baselines at the repo root:
+#
+#   BENCH_sim_speed.json   one entry per (slices x banks) point
+#   BENCH_service.json     one entry per (sessions x pacing x shards)
+#
+# The comparison is SOFT by default: host variance between CI
+# runners dwarfs real regressions, so a drop only warns. Set
+# CASH_PERF_STRICT=1 to turn warnings into failures (for controlled
+# hosts). Run with --update to rewrite the baselines from this run
+# (commit the result to move the trajectory).
+#
+#   tools/perf_trajectory.sh <build-dir> [--update]
+set -eu
+
+BUILD=${1:?usage: perf_trajectory.sh <build-dir> [--update]}
+UPDATE=${2:-}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# --- Measure ----------------------------------------------------
+
+"$BUILD/bench/bench_sim_speed" \
+    --benchmark_out="$DIR/sim_speed.json" \
+    --benchmark_format=json \
+    --benchmark_min_time=0.2 > /dev/null 2>&1
+
+CASH_BENCH_FAST=1 "$BUILD/bench/bench_service" \
+    > /dev/null 2> "$DIR/service.err"
+
+python3 - "$DIR" <<'EOF'
+import json, re, sys
+d = sys.argv[1]
+
+# Normalize google-benchmark output to {name: items_per_second}.
+raw = json.load(open(f"{d}/sim_speed.json"))
+sim = {b["name"]: round(b.get("items_per_second", 0.0), 1)
+       for b in raw["benchmarks"]}
+json.dump({"unit": "simulated instructions / host second",
+           "benchmarks": sim},
+          open(f"{d}/BENCH_sim_speed.json", "w"), indent=1)
+
+# bench_service reports host throughput per grid cell on stderr:
+#   "service <N> sessions <pacing> x<S> shards: <R> req/s, ..."
+cells = {}
+pat = re.compile(r"service (\d+) sessions (\S+) x(\d+) shards: "
+                 r"(\d+) req/s")
+for line in open(f"{d}/service.err"):
+    m = pat.search(line)
+    if m:
+        key = f"{m.group(1)}-sessions/{m.group(2)}/{m.group(3)}-shards"
+        cells[key] = int(m.group(4))
+json.dump({"unit": "responses / host second", "cells": cells},
+          open(f"{d}/BENCH_service.json", "w"), indent=1)
+EOF
+
+# --- Compare against the committed baselines (soft) -------------
+
+python3 - "$DIR" "$ROOT" <<'EOF'
+import json, os, sys
+d, root = sys.argv[1], sys.argv[2]
+strict = os.environ.get("CASH_PERF_STRICT") == "1"
+# Below this fraction of the baseline counts as a regression.
+THRESHOLD = 0.6
+regressed = []
+
+def compare(name, new_map, old_map):
+    for key, old in old_map.items():
+        new = new_map.get(key)
+        if new is None:
+            regressed.append(f"{name}: '{key}' disappeared")
+        elif old > 0 and new < THRESHOLD * old:
+            regressed.append(
+                f"{name}: '{key}' {new:.0f} vs baseline {old:.0f} "
+                f"({100 * new / old:.0f}%)")
+
+for fname, field in (("BENCH_sim_speed.json", "benchmarks"),
+                     ("BENCH_service.json", "cells")):
+    base = os.path.join(root, fname)
+    if not os.path.exists(base):
+        print(f"perf_trajectory: no baseline {fname} (first run)")
+        continue
+    old = json.load(open(base))
+    new = json.load(open(os.path.join(d, fname)))
+    compare(fname, new[field], old[field])
+
+if regressed:
+    for r in regressed:
+        print(f"perf_trajectory: REGRESSION {r}")
+    if strict:
+        sys.exit(1)
+    print("perf_trajectory: soft mode, not failing "
+          "(set CASH_PERF_STRICT=1 to enforce)")
+else:
+    print("perf_trajectory: within the trajectory envelope")
+EOF
+
+if [ "$UPDATE" = "--update" ]; then
+    cp "$DIR/BENCH_sim_speed.json" "$ROOT/BENCH_sim_speed.json"
+    cp "$DIR/BENCH_service.json" "$ROOT/BENCH_service.json"
+    echo "perf_trajectory: baselines updated at $ROOT"
+fi
