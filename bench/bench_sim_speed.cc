@@ -5,10 +5,32 @@
  * oracle's exhaustive sweeps. Each iteration advances the vcore by
  * a fixed 100K-cycle window on a looping x264 stream;
  * items_per_second reports simulated instructions per host second.
+ * BM_SimulateSampled runs the same grid under SimMode::Sampled
+ * (sim/sampler.hh), so the committed BENCH_sim_speed.json baseline
+ * records the sampled-mode speedup next to the full-detail rows.
+ *
+ * One extra mode, outside google-benchmark:
+ *
+ *   bench_sim_speed --sampled-error
+ *
+ * runs every figure workload (workload/apps.hh, the paper's Fig 7
+ * set) both full and sampled, measuring cycles-to-commit-N as the
+ * runtime estimate, and FAILS (exit 1) unless geomean estimate
+ * error <= 3%, per-workload error <= 5%, and geomean host-time
+ * speedup >= 5x. tools/sample_error_gate.sh runs this in CI; the
+ * bounds are the repo's sampling-accuracy contract (DESIGN.md §12).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/experiment.hh"
 #include "sim/ssim.hh"
 #include "workload/apps.hh"
 #include "workload/trace_gen.hh"
@@ -44,6 +66,35 @@ BENCHMARK(BM_SimulateInstructions)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_SimulateSampled(benchmark::State &state)
+{
+    // Same measurement as BM_SimulateInstructions with slice
+    // sampling on: the items_per_second ratio between the two rows
+    // IS the sampled-mode speedup the baseline records.
+    auto slices = static_cast<std::uint32_t>(state.range(0));
+    auto banks = static_cast<std::uint32_t>(state.range(1));
+    SSim sim;
+    sim.setSampling(SimMode::Sampled);
+    auto id = *sim.createVCore(slices, banks);
+    const AppModel &app = appByName("x264");
+    PhasedTraceSource src(app.phases, 11, true, 0);
+    sim.vcore(id).bindSource(&src);
+    InstCount done = 0;
+    for (auto _ : state) {
+        InstCount before = sim.vcore(id).meta().totalCommitted;
+        sim.vcore(id).runUntil(sim.vcore(id).now() + 100'000);
+        done += sim.vcore(id).meta().totalCommitted - before;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_SimulateSampled)
+    ->Args({1, 1})
+    ->Args({2, 4})
+    ->Args({4, 16})
+    ->Args({8, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_Reconfiguration(benchmark::State &state)
 {
     // Host cost of an EXPAND/SHRINK round trip (allocator + vcore
@@ -63,7 +114,151 @@ BM_Reconfiguration(benchmark::State &state)
 }
 BENCHMARK(BM_Reconfiguration)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------
+// --sampled-error: the full-vs-sampled error-bound harness.
+// ---------------------------------------------------------------
+
+/** The certified bounds (also quoted in DESIGN.md §12). */
+constexpr double kGeomeanErrorBound = 0.03;
+constexpr double kPerWorkloadErrorBound = 0.05;
+constexpr double kGeomeanSpeedupBound = 5.0;
+
+/** Instructions whose runtime each estimate covers. */
+constexpr InstCount kHarnessInsts = 8'000'000;
+
+/** Phase-length multiplier for throughput apps — the experiment
+ *  scale (ExperimentParams::phaseScale): the app models define
+ *  short phases and every consumer stretches them to multi-quantum
+ *  timescales. The gate certifies sampling at that scale; raw
+ *  phases change too fast for slice sampling to pay off (the
+ *  sampler detects every boundary and reverts to detail — correct,
+ *  but with nothing left to fast-forward). */
+constexpr double kHarnessPhaseScale = 8.0;
+
+struct HarnessRun
+{
+    /** Estimated cycles to commit kHarnessInsts (interpolated at
+     *  the crossing, so window granularity cancels). */
+    double cycles = 0.0;
+    /** Host seconds the run took. */
+    double wallSeconds = 0.0;
+};
+
+HarnessRun
+cyclesToCommit(const AppModel &app, SimMode mode)
+{
+    SSim sim;
+    if (mode == SimMode::Sampled)
+        sim.setSampling(SimMode::Sampled);
+    auto id = *sim.createVCore(2, 8);
+    VirtualCore &vc = sim.vcore(id);
+    AppModel scaled = app.isRequestDriven()
+        ? app
+        : scalePhases(app, kHarnessPhaseScale);
+    auto src = makeSource(scaled);
+    vc.bindSource(src.get());
+
+    auto t0 = std::chrono::steady_clock::now();
+    HarnessRun run;
+    Cycle prev_clock = 0;
+    InstCount prev_done = 0;
+    for (;;) {
+        RunResult r = vc.runUntil(vc.now() + 50'000);
+        InstCount done = vc.meta().totalCommitted;
+        Cycle clock = vc.now();
+        if (done >= kHarnessInsts) {
+            // Linear interpolation inside the crossing window
+            // removes the window/quantum quantization that would
+            // otherwise dominate the comparison.
+            double span = static_cast<double>(done - prev_done);
+            double frac = span > 0.0
+                ? static_cast<double>(kHarnessInsts - prev_done)
+                    / span
+                : 1.0;
+            run.cycles = static_cast<double>(prev_clock)
+                + frac * static_cast<double>(clock - prev_clock);
+            break;
+        }
+        if (r.finished) {
+            run.cycles = static_cast<double>(clock);
+            break;
+        }
+        prev_clock = clock;
+        prev_done = done;
+    }
+    run.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    return run;
+}
+
+int
+runSampledErrorHarness()
+{
+    const std::vector<AppModel> &apps = allApps();
+    std::printf("sampled-error harness: %zu figure workloads, "
+                "cycles to commit %llu insts, full vs sampled\n",
+                apps.size(),
+                static_cast<unsigned long long>(kHarnessInsts));
+    std::printf("%-12s %14s %14s %8s %9s\n", "app", "full_cycles",
+                "sampled_cycles", "err%", "speedup");
+
+    double log_err_sum = 0.0;
+    double log_speedup_sum = 0.0;
+    double max_err = 0.0;
+    std::string max_err_app;
+    for (const AppModel &app : apps) {
+        HarnessRun full = cyclesToCommit(app, SimMode::Full);
+        HarnessRun sampled = cyclesToCommit(app, SimMode::Sampled);
+        double err = std::fabs(sampled.cycles - full.cycles)
+            / full.cycles;
+        double speedup = sampled.wallSeconds > 0.0
+            ? full.wallSeconds / sampled.wallSeconds : 1.0;
+        std::printf("%-12s %14.0f %14.0f %8.2f %8.1fx\n",
+                    app.name.c_str(), full.cycles, sampled.cycles,
+                    err * 100.0, speedup);
+        // Floor the per-app error for the geomean: a (near-)exact
+        // workload should help the aggregate, not collapse it to 0.
+        log_err_sum += std::log(std::max(err, 1e-6));
+        log_speedup_sum += std::log(std::max(speedup, 1e-6));
+        if (err > max_err) {
+            max_err = err;
+            max_err_app = app.name;
+        }
+    }
+    auto n = static_cast<double>(apps.size());
+    double geo_err = std::exp(log_err_sum / n);
+    double geo_speedup = std::exp(log_speedup_sum / n);
+
+    std::printf("geomean error %.2f%% (bound %.0f%%), max error "
+                "%.2f%% on %s (bound %.0f%%), geomean speedup "
+                "%.1fx (bound %.0fx)\n",
+                geo_err * 100.0, kGeomeanErrorBound * 100.0,
+                max_err * 100.0, max_err_app.c_str(),
+                kPerWorkloadErrorBound * 100.0, geo_speedup,
+                kGeomeanSpeedupBound);
+
+    bool ok = geo_err <= kGeomeanErrorBound
+        && max_err <= kPerWorkloadErrorBound
+        && geo_speedup >= kGeomeanSpeedupBound;
+    std::printf("sampled-error harness: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 } // namespace cash
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--sampled-error"))
+            return cash::runSampledErrorHarness();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

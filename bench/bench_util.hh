@@ -30,6 +30,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "baselines/experiment.hh"
 #include "common/csv.hh"
@@ -51,6 +52,15 @@ fastMode()
     return v && v[0] == '1';
 }
 
+/** Process-wide sampled-simulation switch, set by the --sampled
+ *  flag (TraceOptions below) before any params are built. */
+inline bool &
+sampledMode()
+{
+    static bool sampled = false;
+    return sampled;
+}
+
 /** Experiment parameters at bench scale. */
 inline ExperimentParams
 benchParams(bool request_app = false)
@@ -61,6 +71,8 @@ benchParams(bool request_app = false)
     ep.horizon = request_app ? 360'000'000 : 150'000'000;
     if (fastMode())
         ep.horizon /= 4;
+    if (sampledMode())
+        ep.simMode = SimMode::Sampled;
     return ep;
 }
 
@@ -112,19 +124,32 @@ finishBench(harness::ExperimentEngine &engine,
  *
  * A thin wrapper over the shared trace::TraceOptions
  * (trace/options.hh), which implements the flags, the session
- * lifetime, and the exports. The bench layer adds exactly one
- * policy: benches take no other arguments, so anything left in argv
- * after extraction earns a warning rather than being passed on.
+ * lifetime, and the exports. The bench layer adds --sampled
+ * (sampled simulation, see sim/sampler.hh; results then carry the
+ * error-gate bound) and exactly one policy: benches take no other
+ * arguments, so anything left in argv after extraction earns a
+ * warning rather than being passed on.
  */
 class TraceOptions
 {
   public:
     TraceOptions(int argc, char **argv) : opts_(argc, argv)
     {
-        // opts_ compacted argv in place; argc now counts leftovers.
+        // opts_ compacted argv in place; argc now counts
+        // leftovers. Extract --sampled the same way before the
+        // unknown-argument warning pass.
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::string_view(argv[i]) == "--sampled") {
+                sampledMode() = true;
+                continue;
+            }
+            argv[out++] = argv[i];
+        }
+        argc = out;
         for (int i = 1; i < argc; ++i)
             warn("unknown argument '%s' ignored (supported: "
-                 "--trace <file>, --metrics <file>)",
+                 "--trace <file>, --metrics <file>, --sampled)",
                  argv[i]);
     }
 

@@ -42,6 +42,8 @@ runPolicy(const AppModel &app, const AppProfile &profile,
           const CostModel &cost, const ExperimentParams &params)
 {
     SSim sim(params.fabric, params.sim);
+    if (params.simMode == SimMode::Sampled)
+        sim.setSampling(SimMode::Sampled, params.sampler);
     const VCoreConfig &start = space.base();
     auto id = sim.createVCore(start.slices, start.banks);
     if (!id)

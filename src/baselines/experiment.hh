@@ -20,6 +20,7 @@
 #include "baselines/policy.hh"
 #include "baselines/profile.hh"
 #include "core/runtime.hh"
+#include "sim/sampler.hh"
 
 namespace cash
 {
@@ -57,6 +58,11 @@ struct ExperimentParams
     double phaseScale = 8.0;
     /** CASH runtime tunables (quantum is overridden by `quantum`). */
     RuntimeParams runtime;
+    /** Full or sampled simulation (bench --sampled sets Sampled;
+     *  results then carry the error-gate bound, see DESIGN.md §12). */
+    SimMode simMode = SimMode::Full;
+    /** Slice-sampling schedule when simMode is Sampled. */
+    SamplerParams sampler;
 };
 
 /**

@@ -80,6 +80,39 @@ auditVCore(const VirtualCore &vc, const SimParams &params)
     CASH_AUDIT(member_committed <= meta.totalCommitted,
                "vcore %u member commits exceed the aggregate",
                vc.id());
+
+    // Estimated-vs-detailed bookkeeping: full simulation must never
+    // report estimated work, and sampled simulation must keep the
+    // estimate a subset of the totals it contributed to.
+    if (!vc.samplingEnabled()) {
+        CASH_AUDIT(meta.estimatedInsts == 0 && meta.ffCycles == 0,
+                   "vcore %u reports estimated work (%llu insts, "
+                   "%llu cycles) in full simulation", vc.id(),
+                   static_cast<unsigned long long>(
+                       meta.estimatedInsts),
+                   static_cast<unsigned long long>(meta.ffCycles));
+    } else {
+        CASH_AUDIT(meta.estimatedInsts <= meta.totalCommitted,
+                   "vcore %u estimated more instructions than it "
+                   "committed", vc.id());
+        CASH_AUDIT(meta.ffCycles <= meta.clock,
+                   "vcore %u fast-forwarded more cycles than "
+                   "elapsed", vc.id());
+        const SliceController *ctl = vc.sampler();
+        CASH_AUDIT(ctl != nullptr,
+                   "vcore %u sampling enabled without a controller",
+                   vc.id());
+        const SamplerStats &st = ctl->stats();
+        CASH_AUDIT(st.ffInsts == meta.estimatedInsts,
+                   "vcore %u sampler ledger (%llu) diverges from "
+                   "meta estimate (%llu)", vc.id(),
+                   static_cast<unsigned long long>(st.ffInsts),
+                   static_cast<unsigned long long>(
+                       meta.estimatedInsts));
+        CASH_AUDIT(st.ffCycles == meta.ffCycles,
+                   "vcore %u sampler cycle ledger diverges",
+                   vc.id());
+    }
 }
 
 void

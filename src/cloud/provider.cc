@@ -32,6 +32,8 @@ CloudProvider::CloudProvider(const ProviderParams &params)
 {
     if (params_.catalog.empty())
         params_.catalog = defaultCatalog();
+    if (params_.simMode == SimMode::Sampled)
+        sim_.setSampling(SimMode::Sampled, params_.sampler);
     if (params_.provisioning == Provisioning::FineGrain)
         sim_.setCommandGate(
             [this](VCoreId id, const CommandRequest &req) {
@@ -473,7 +475,8 @@ CloudProvider::drain()
         if (t.state != TenantState::Departed)
             continue;
         bills.push_back({t.id, t.cls.app, t.bill(), t.qosSamples(),
-                         t.qosViolations()});
+                         t.qosViolations(),
+                         params_.simMode == SimMode::Sampled});
     }
     return bills;
 }

@@ -102,6 +102,13 @@ struct ProviderParams
     std::uint64_t seed = 42;
     /** Catalog; empty means defaultCatalog(). */
     std::vector<TenantClass> catalog;
+    /** Full or sampled simulation for tenant vcores (off by
+     *  default). Admission/arbitration/departure decisions come
+     *  from exact state either way; sampled mode marks every final
+     *  bill as estimated (FinalBill::estimated). */
+    SimMode simMode = SimMode::Full;
+    /** Slice-sampling schedule when simMode is Sampled. */
+    SamplerParams sampler;
 };
 
 /**
@@ -155,6 +162,12 @@ struct FinalBill
     double bill = 0.0;
     std::uint64_t qosSamples = 0;
     std::uint64_t qosViolations = 0;
+    /** The bill was produced under sampled simulation: its holdings
+     *  integral is exact, but the QoS samples and the runtime's
+     *  sizing decisions rode on partially extrapolated counters
+     *  (the error-gate bound applies). Never silently true: full
+     *  simulation always reports false. */
+    bool estimated = false;
 };
 
 /** Aggregate provider-side accounting. */

@@ -14,10 +14,21 @@
  * O(log |b_i - b_i+1|) steps. The innovation magnitude is exposed
  * so the optimizer can react to detected phase changes (rescaling
  * its learned speedup table).
+ *
+ * Header-only on purpose: both the runtime controller (src/core)
+ * and the sampled-simulation slice controller (src/sim/sampler)
+ * run this recursion, and src/sim must not link src/core — the
+ * dependency points the other way.
  */
 
 #ifndef CASH_CORE_KALMAN_HH
 #define CASH_CORE_KALMAN_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/invariant.hh"
+#include "common/log.hh"
 
 namespace cash
 {
@@ -36,7 +47,13 @@ class KalmanEstimator
      */
     KalmanEstimator(double initial_b = 1.0,
                     double process_var = 1e-4,
-                    double measurement_var = 1e-2);
+                    double measurement_var = 1e-2)
+        : bHat_(initial_b), processVar_(process_var),
+          measurementVar_(measurement_var)
+    {
+        if (process_var < 0.0 || measurement_var <= 0.0)
+            fatal("Kalman variances must be positive");
+    }
 
     /**
      * Fold in one observation.
@@ -45,7 +62,38 @@ class KalmanEstimator
      * @param s the speedup that was applied when q was measured
      * @return the a-posteriori estimate b_hat(t)
      */
-    double update(double q, double s);
+    double update(double q, double s)
+    {
+        // A-priori estimates (Eqn 4, first two lines).
+        double b_prior = bHat_;
+        double e_prior = errVar_ + processVar_;
+
+        // Kalman gain for the measurement q = s * b.
+        double denom = s * s * e_prior + measurementVar_;
+        gain_ = denom > 1e-18 ? e_prior * s / denom : 0.0;
+
+        // Innovation and a-posteriori correction.
+        double predicted = s * b_prior;
+        innovation_ = std::fabs(q - predicted) / std::max(q, 1e-9);
+        bHat_ = b_prior + gain_ * (q - predicted);
+        errVar_ = (1.0 - gain_ * lastS_) * e_prior;
+        errVar_ = std::max(errVar_, 1e-12);
+        bHat_ = std::max(bHat_, 1e-9);
+
+        lastS_ = s;
+
+        // The scalar Riccati recursion must keep the error
+        // covariance positive and finite, or every later gain is
+        // garbage.
+        CASH_INVARIANT(errVar_ > 0.0 && std::isfinite(errVar_),
+                       "Kalman covariance left the positive reals "
+                       "(%g)", errVar_);
+        CASH_INVARIANT(std::isfinite(bHat_) && bHat_ > 0.0,
+                       "Kalman estimate diverged (%g)", bHat_);
+        CASH_INVARIANT(std::isfinite(gain_),
+                       "Kalman gain diverged (%g)", gain_);
+        return bHat_;
+    }
 
     /** A-posteriori estimate b_hat(t) (Eqn 4), in normalized-QoS
      *  per unit of table-promised speedup. */
@@ -59,7 +107,12 @@ class KalmanEstimator
     double gain() const { return gain_; }
 
     /** Re-seed the estimate (e.g., after an external reset). */
-    void reset(double b, double err_var = 1.0);
+    void reset(double b, double err_var = 1.0)
+    {
+        bHat_ = std::max(b, 1e-9);
+        errVar_ = err_var;
+        innovation_ = 0.0;
+    }
 
   private:
     double bHat_;

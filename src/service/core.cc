@@ -257,6 +257,7 @@ ServiceCore::drainReport()
         row.set("bill", JsonValue(b.bill));
         row.set("qos_samples", JsonValue(b.qosSamples));
         row.set("qos_violations", JsonValue(b.qosViolations));
+        row.set("estimated", JsonValue(b.estimated));
         row.set("shard", JsonValue(shardId_));
         arr.push(std::move(row));
         total += b.bill;

@@ -12,6 +12,7 @@
 #ifndef CASH_SIM_ISA_HH
 #define CASH_SIM_ISA_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -90,6 +91,26 @@ struct FetchResult
 };
 
 /**
+ * Result of a fast-forward skip() over an instruction source.
+ */
+struct SkipResult
+{
+    /** Instructions consumed (functionally committed). */
+    InstCount skipped = 0;
+    /** The stream ended inside the skip. */
+    bool finished = false;
+    /** The skip stopped early at a program-phase boundary; the
+     *  sampled simulator must re-measure before extrapolating
+     *  further. Never set by pure availability shortfalls. */
+    bool phaseBoundary = false;
+    /** Requests completed by the skipped instructions. */
+    std::uint64_t requests = 0;
+    /** Summed latency of those requests (estimated; commit times
+     *  inside a skip are interpolated, not simulated). */
+    std::uint64_t requestLatencySum = 0;
+};
+
+/**
  * Abstract instruction source: the boundary between workloads and
  * the simulator. Workloads generate MicroOps; the virtual core
  * reports commit times back so request latency can be measured.
@@ -117,6 +138,55 @@ class InstSource
      * runtime like a heartbeat counter; 0 when not applicable.
      */
     virtual std::uint64_t backlog() const { return 0; }
+
+    /**
+     * Fast-forward: functionally consume up to n instructions
+     * attributable to the cycle window [from, to] without timing
+     * simulation. The source must stay consistent with what next()
+     * would have produced in aggregate (same phase schedule, same
+     * pacing/caps), though the per-instruction stream may differ —
+     * sampled simulation only needs the statistics to match.
+     *
+     * May stop short of n when (a) the stream finishes, (b) a phase
+     * boundary is reached (phaseBoundary set, so the caller can
+     * re-measure), or (c) no more work arrives inside the window
+     * (pacing). Commit notifications use commit cycles interpolated
+     * linearly across the window.
+     *
+     * The default walks next()/onCommit one instruction at a time:
+     * functionally exact, no timing model, but not O(1). Sources
+     * with arithmetic state (PhasedTraceSource) override it.
+     */
+    virtual SkipResult skip(InstCount n, Cycle from, Cycle to)
+    {
+        SkipResult r;
+        Cycle cursor = from;
+        while (r.skipped < n) {
+            FetchResult fr = next(cursor);
+            if (fr.kind == FetchResult::Kind::Finished) {
+                r.finished = true;
+                break;
+            }
+            if (fr.kind == FetchResult::Kind::IdleUntil) {
+                if (fr.idleUntil > to)
+                    break; // no more work inside the window
+                cursor = std::max(cursor + 1, fr.idleUntil);
+                continue;
+            }
+            ++r.skipped;
+            Cycle commit = from
+                + (to - from) * r.skipped / std::max<InstCount>(n, 1);
+            commit = std::max(commit, cursor);
+            if (fr.op.endOfRequest && fr.op.request != invalidRequest) {
+                ++r.requests;
+                r.requestLatencySum += commit > fr.op.requestArrival
+                    ? commit - fr.op.requestArrival : 0;
+            }
+            onCommit(fr.op, commit);
+            cursor = std::max(cursor, commit);
+        }
+        return r;
+    }
 };
 
 } // namespace cash

@@ -30,9 +30,20 @@ SSim::createVCore(std::uint32_t num_slices, std::uint32_t num_banks)
         return std::nullopt;
     auto vc = std::make_unique<VirtualCore>(
         grid_, params_, alloc->id, alloc->slices, alloc->banks);
+    if (simMode_ == SimMode::Sampled)
+        vc->enableSampling(samplerParams_);
     VCoreId id = alloc->id;
     vcores_[id] = std::move(vc);
     return id;
+}
+
+void
+SSim::setSampling(SimMode mode, const SamplerParams &params)
+{
+    simMode_ = mode;
+    samplerParams_ = params;
+    if (mode == SimMode::Sampled)
+        CASH_METRIC_INC("sim.sampled_mode");
 }
 
 void

@@ -98,6 +98,23 @@ class SSim
                   const SimParams &params = SimParams());
 
     /**
+     * Select full or sampled simulation for vcores created AFTER
+     * this call (existing vcores keep their mode). Sampled mode
+     * (sim/sampler.hh) trades per-instruction detail during steady
+     * phases for raw speed; billing integrals and lifecycle
+     * accounting stay exact, instruction counts become partially
+     * estimated (VCoreMeta::estimatedInsts). Off by default.
+     */
+    void setSampling(SimMode mode,
+                     const SamplerParams &params = SamplerParams());
+
+    SimMode simMode() const { return simMode_; }
+    const SamplerParams &samplerParams() const
+    {
+        return samplerParams_;
+    }
+
+    /**
      * Allocate and construct a virtual core.
      *
      * @param num_slices member Slices (>= 1)
@@ -171,6 +188,8 @@ class SSim
     VCoreId runtimeHome_ = invalidVCore;
     std::uint64_t rinMessages_ = 0;
     CommandGate gate_;
+    SimMode simMode_ = SimMode::Full;
+    SamplerParams samplerParams_{};
 };
 
 } // namespace cash

@@ -1,6 +1,7 @@
 #include "sim/vcore.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "check/invariant.hh"
 #include "common/log.hh"
@@ -47,6 +48,14 @@ void
 VirtualCore::bindSource(InstSource *source)
 {
     source_ = source;
+}
+
+void
+VirtualCore::enableSampling(const SamplerParams &params)
+{
+    if (sampler_)
+        fatal("sampling already enabled on this vcore");
+    sampler_ = std::make_unique<SliceController>(params);
 }
 
 std::vector<SliceId>
@@ -105,7 +114,30 @@ VirtualCore::meta() const
     m.appBacklog = source_ ? source_->backlog() : 0;
     m.numSlices = static_cast<std::uint32_t>(slices_.size());
     m.numBanks = l2_.numBanks();
+    m.estimatedInsts = estimatedInsts_;
+    m.ffCycles = ffCycles_;
     return m;
+}
+
+SliceCounters
+VirtualCore::aggregateCounters() const
+{
+    SliceCounters sum;
+    for (const auto &sc : slices_) {
+        sum.committedInsts += sc->ctrs.committedInsts;
+        sum.committedRequests += sc->ctrs.committedRequests;
+        sum.requestLatencySum += sc->ctrs.requestLatencySum;
+        sum.l1dAccesses += sc->ctrs.l1dAccesses;
+        sum.l1dMisses += sc->ctrs.l1dMisses;
+        sum.l1iAccesses += sc->ctrs.l1iAccesses;
+        sum.l1iMisses += sc->ctrs.l1iMisses;
+        sum.l2Accesses += sc->ctrs.l2Accesses;
+        sum.l2Misses += sc->ctrs.l2Misses;
+        sum.branches += sc->ctrs.branches;
+        sum.branchMispredicts += sc->ctrs.branchMispredicts;
+        sum.operandNetMsgs += sc->ctrs.operandNetMsgs;
+    }
+    return sum;
 }
 
 void
@@ -472,7 +504,157 @@ VirtualCore::runUntil(Cycle target)
 {
     if (!source_)
         fatal("runUntil with no instruction source bound");
+    if (!sampler_)
+        return runDetailed(target);
 
+    // Sampled mode: advance one sampling quantum at a time, on a
+    // fixed grid so detailed commit overshoot cannot drift the
+    // schedule. Warmup/measure quanta run through the detailed
+    // loop (bracketed by counter snapshots so the controller sees
+    // the quantum's deltas); steady quanta are extrapolated.
+    RunResult result;
+    while (clock_ < target) {
+        Cycle seg_end = std::min(target, sampler_->segmentEnd(clock_));
+        if (sampler_->fastForwarding()) {
+            if (fastForward(seg_end, result)) {
+                result.finished = true;
+                break;
+            }
+        } else {
+            Cycle c0 = clock_;
+            InstCount i0 = totalCommitted_;
+            Cycle idle0 = idleCycles_;
+            SliceCounters before = aggregateCounters();
+            RunResult r = runDetailed(seg_end);
+            result.committed += r.committed;
+            result.idleCycles += r.idleCycles;
+            SliceCounters after = aggregateCounters();
+            SliceCounters delta;
+            delta.committedInsts =
+                after.committedInsts - before.committedInsts;
+            delta.committedRequests =
+                after.committedRequests - before.committedRequests;
+            delta.requestLatencySum =
+                after.requestLatencySum - before.requestLatencySum;
+            delta.l1dAccesses = after.l1dAccesses - before.l1dAccesses;
+            delta.l1dMisses = after.l1dMisses - before.l1dMisses;
+            delta.l1iAccesses = after.l1iAccesses - before.l1iAccesses;
+            delta.l1iMisses = after.l1iMisses - before.l1iMisses;
+            delta.l2Accesses = after.l2Accesses - before.l2Accesses;
+            delta.l2Misses = after.l2Misses - before.l2Misses;
+            delta.branches = after.branches - before.branches;
+            delta.branchMispredicts =
+                after.branchMispredicts - before.branchMispredicts;
+            delta.operandNetMsgs =
+                after.operandNetMsgs - before.operandNetMsgs;
+            sampler_->onDetailedQuantum(c0, totalCommitted_ - i0,
+                                        clock_ - c0,
+                                        idleCycles_ - idle0, delta);
+            if (r.finished) {
+                result.finished = true;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+bool
+VirtualCore::fastForward(Cycle seg_end, RunResult &result)
+{
+    const FfModel &model = sampler_->model();
+    Cycle start = clock_;
+    Cycle dur = seg_end - clock_;
+    auto want = static_cast<InstCount>(
+        std::llround(model.ipc * static_cast<double>(dur)));
+
+    SkipResult sk;
+    if (want > 0)
+        sk = source_->skip(want, clock_, seg_end);
+
+    // Busy/idle split from the model: the quantum's busy portion
+    // is what the skipped work would have taken at the measured
+    // busy IPC; any remainder is pacing idle (or a boundary stop).
+    Cycle busy = dur;
+    if (sk.skipped < want) {
+        busy = std::min(dur, static_cast<Cycle>(std::llround(
+            static_cast<double>(sk.skipped) / model.ipc)));
+    }
+    Cycle advance_to;
+    if (sk.phaseBoundary || sk.finished) {
+        // Stop where the stream stopped; the rest of the quantum
+        // is handled by the (re-measuring or finished) caller.
+        advance_to = clock_ + busy;
+    } else {
+        advance_to = seg_end;
+        Cycle idle = dur - busy;
+        idleCycles_ += idle;
+        result.idleCycles += idle;
+    }
+
+    totalCommitted_ += sk.skipped;
+    estimatedInsts_ += sk.skipped;
+    requestsDone_ += sk.requests;
+    requestLatencySum_ += sk.requestLatencySum;
+    result.committed += sk.skipped;
+    creditCounters(sk.skipped, sk.requests, sk.requestLatencySum);
+
+    Cycle advanced = advance_to > clock_ ? advance_to - clock_ : 0;
+    ffCycles_ += advanced;
+    if (advance_to > clock_)
+        advanceFloors(advance_to);
+    sampler_->onFastForward(start, sk.skipped, advanced,
+                            sk.phaseBoundary);
+
+    CASH_INVARIANT(estimatedInsts_ <= totalCommitted_,
+                   "more estimated than committed instructions");
+    CASH_INVARIANT(ffCycles_ <= clock_,
+                   "fast-forwarded %llu of %llu total cycles",
+                   static_cast<unsigned long long>(ffCycles_),
+                   static_cast<unsigned long long>(clock_));
+    return sk.finished;
+}
+
+void
+VirtualCore::creditCounters(InstCount insts, std::uint64_t requests,
+                            std::uint64_t request_latency)
+{
+    if (insts == 0)
+        return;
+    const FfModel &model = sampler_->model();
+    auto n = static_cast<std::uint64_t>(slices_.size());
+    // Integer even-split: member sums stay exactly equal to the
+    // vcore-level totals, which the vcore auditor reconciles.
+    auto spread = [&](std::uint64_t total,
+                      std::uint64_t SliceCounters::*field) {
+        std::uint64_t per = total / n;
+        std::uint64_t rem = total % n;
+        for (std::uint64_t i = 0; i < n; ++i)
+            slices_[i]->ctrs.*field += per + (i < rem ? 1 : 0);
+    };
+    auto rate = [&](double r) {
+        return static_cast<std::uint64_t>(
+            std::llround(r * static_cast<double>(insts)));
+    };
+    spread(insts, &SliceCounters::committedInsts);
+    spread(requests, &SliceCounters::committedRequests);
+    spread(request_latency, &SliceCounters::requestLatencySum);
+    spread(rate(model.l1dAccessRate), &SliceCounters::l1dAccesses);
+    spread(rate(model.l1dMissRate), &SliceCounters::l1dMisses);
+    spread(rate(model.l1iAccessRate), &SliceCounters::l1iAccesses);
+    spread(rate(model.l1iMissRate), &SliceCounters::l1iMisses);
+    spread(rate(model.l2AccessRate), &SliceCounters::l2Accesses);
+    spread(rate(model.l2MissRate), &SliceCounters::l2Misses);
+    spread(rate(model.branchRate), &SliceCounters::branches);
+    spread(rate(model.mispredictRate),
+           &SliceCounters::branchMispredicts);
+    spread(rate(model.operandNetRate),
+           &SliceCounters::operandNetMsgs);
+}
+
+RunResult
+VirtualCore::runDetailed(Cycle target)
+{
     RunResult result;
     while (clock_ < target) {
         FetchResult fr = source_->next(clock_);
@@ -611,6 +793,11 @@ VirtualCore::reconfigure(std::vector<SliceId> new_slices,
     Cycle stall = cost.totalStall();
     reconfigStall_ += stall;
     advanceFloors(clock_ + stall);
+
+    // A resize invalidates everything the sampler measured: the
+    // IPC level is a property of the configuration.
+    if (sampler_)
+        sampler_->onReconfigure();
 
     CASH_INVARIANT(clock_ == clock_pre + stall,
                    "reconfiguration stall not charged to the clock");

@@ -41,6 +41,7 @@
 #include "sim/perf_counter.hh"
 #include "sim/reconfig.hh"
 #include "sim/regfile.hh"
+#include "sim/sampler.hh"
 
 namespace cash
 {
@@ -60,6 +61,12 @@ struct VCoreMeta
     std::uint64_t appBacklog = 0;
     std::uint32_t numSlices = 0;
     std::uint32_t numBanks = 0;
+    /** Of totalCommitted, instructions advanced by fast-forward
+     *  extrapolation instead of the detailed model (0 in full
+     *  simulation — the auditors check that). */
+    InstCount estimatedInsts = 0;
+    /** Cycles covered by fast-forward (never exceeds clock). */
+    Cycle ffCycles = 0;
 };
 
 /**
@@ -93,8 +100,23 @@ class VirtualCore
     void bindSource(InstSource *source);
 
     /**
+     * Switch this vcore to sampled simulation (SMARTS-style slices
+     * + analytic fast-forward; see sim/sampler.hh). Call before the
+     * first runUntil. Irreversible for the vcore's lifetime.
+     */
+    void enableSampling(const SamplerParams &params);
+
+    bool samplingEnabled() const { return sampler_ != nullptr; }
+
+    /** The slice scheduler, or nullptr in full simulation. */
+    const SliceController *sampler() const { return sampler_.get(); }
+
+    /**
      * Advance simulated time until the vcore clock reaches target
-     * or the source finishes.
+     * or the source finishes. In sampled mode, steady quanta are
+     * extrapolated instead of simulated (RunResult::committed then
+     * includes estimated instructions; billing integrals and the
+     * clock remain exact).
      */
     RunResult runUntil(Cycle target);
 
@@ -182,6 +204,22 @@ class VirtualCore
     /** Process one instruction; returns its commit cycle. */
     Cycle processInst(const MicroOp &op);
 
+    /** The full-detail runUntil loop (every instruction timed). */
+    RunResult runDetailed(Cycle target);
+
+    /** Extrapolate one quantum ending at seg_end from the sampler
+     *  model; returns true when the source finished inside it. */
+    bool fastForward(Cycle seg_end, RunResult &result);
+
+    /** Spread extrapolated event counts across the member Slices
+     *  (sums preserved exactly, so per-member counters keep
+     *  reconciling against the vcore totals). */
+    void creditCounters(InstCount insts, std::uint64_t requests,
+                        std::uint64_t request_latency);
+
+    /** Sum of all member counters. */
+    SliceCounters aggregateCounters() const;
+
     /**
      * Pick the member Slice an instruction executes on. Memory ops
      * go to the Slice owning their address partition (the LS-bank
@@ -244,6 +282,11 @@ class VirtualCore
     mutable std::uint64_t bankCycles_ = 0;
     std::uint64_t requestsDone_ = 0;
     std::uint64_t requestLatencySum_ = 0;
+
+    /** Sampled-mode state (null in full simulation). */
+    std::unique_ptr<SliceController> sampler_;
+    InstCount estimatedInsts_ = 0;
+    Cycle ffCycles_ = 0;
 };
 
 } // namespace cash

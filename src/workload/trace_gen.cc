@@ -180,6 +180,50 @@ PhasedTraceSource::onCommit(const MicroOp &op, Cycle commit_cycle)
     (void)commit_cycle;
 }
 
+SkipResult
+PhasedTraceSource::skip(InstCount n, Cycle from, Cycle to)
+{
+    (void)from;
+    (void)to;
+    SkipResult r;
+    while (r.skipped < n) {
+        if (totalInsts_ != 0 && emitted_ >= totalInsts_) {
+            r.finished = true;
+            break;
+        }
+        const InstCount len = phases_[phaseIdx_].lengthInsts;
+        if (phaseEmitted_ >= len) {
+            // Same lazy transition next() performs — but stop (and
+            // let the detailed path re-measure) whenever the phase
+            // INDEX changes. A single-phase loop wraps in place:
+            // same phase, same statistics.
+            std::uint32_t nxt = phaseIdx_ + 1;
+            if (nxt >= phases_.size()) {
+                if (!loop_) {
+                    r.finished = true;
+                    break;
+                }
+                nxt = 0;
+            }
+            if (nxt != phaseIdx_) {
+                r.phaseBoundary = true;
+                break;
+            }
+            ++laps_;
+            enterPhase(nxt);
+            continue;
+        }
+        InstCount room = len - phaseEmitted_;
+        if (totalInsts_ != 0)
+            room = std::min(room, totalInsts_ - emitted_);
+        InstCount take = std::min(n - r.skipped, room);
+        phaseEmitted_ += take;
+        emitted_ += take;
+        r.skipped += take;
+    }
+    return r;
+}
+
 PacedSource::PacedSource(InstSource &inner, double pace,
                          InstCount chunk)
     : inner_(inner), pace_(pace), chunk_(chunk)
@@ -216,6 +260,28 @@ PacedSource::onCommit(const MicroOp &op, Cycle commit_cycle)
     inner_.onCommit(op, commit_cycle);
 }
 
+SkipResult
+PacedSource::skip(InstCount n, Cycle from, Cycle to)
+{
+    // Instruction N is available once its chunk has arrived, i.e.
+    // at cycle (N/chunk)*chunk/pace. Work available inside the
+    // window: every chunk due by `to`.
+    auto due_chunks = static_cast<InstCount>(
+        static_cast<double>(to) * pace_
+        / static_cast<double>(chunk_));
+    InstCount avail = (due_chunks + 1) * chunk_;
+    InstCount take = avail > handedOut_
+        ? std::min(n, avail - handedOut_) : 0;
+    SkipResult r;
+    if (take > 0) {
+        r = inner_.skip(take, from, to);
+        handedOut_ += r.skipped;
+    }
+    // Coming up short of n here is pacing, never a phase boundary:
+    // the inner skip's flags pass through untouched.
+    return r;
+}
+
 CappedSource::CappedSource(InstSource &inner, InstCount cap)
     : inner_(inner), cap_(cap)
 {
@@ -239,6 +305,22 @@ void
 CappedSource::onCommit(const MicroOp &op, Cycle commit_cycle)
 {
     inner_.onCommit(op, commit_cycle);
+}
+
+SkipResult
+CappedSource::skip(InstCount n, Cycle from, Cycle to)
+{
+    SkipResult r;
+    if (used_ >= cap_) {
+        r.finished = true;
+        return r;
+    }
+    InstCount take = std::min(n, cap_ - used_);
+    r = inner_.skip(take, from, to);
+    used_ += r.skipped;
+    if (used_ >= cap_)
+        r.finished = true;
+    return r;
 }
 
 } // namespace cash

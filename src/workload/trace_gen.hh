@@ -45,6 +45,17 @@ class PhasedTraceSource : public InstSource
     FetchResult next(Cycle now) override;
     void onCommit(const MicroOp &op, Cycle commit_cycle) override;
 
+    /**
+     * Arithmetic O(#phases-crossed) fast-forward: bumps the emit
+     * counters without drawing from the RNG, so the skipped stream
+     * is statistically identical (phases are stationary mixes) but
+     * not instruction-identical to what next() would produce.
+     * Stops with phaseBoundary at any phase-INDEX change; a
+     * single-phase looping app wraps laps silently (same phase,
+     * same statistics, nothing to re-measure).
+     */
+    SkipResult skip(InstCount n, Cycle from, Cycle to) override;
+
     /** Index (into the phase list) of the phase being emitted. */
     std::uint32_t currentPhase() const { return phaseIdx_; }
 
@@ -99,6 +110,11 @@ class PacedSource : public InstSource
     FetchResult next(Cycle now) override;
     void onCommit(const MicroOp &op, Cycle commit_cycle) override;
 
+    /** Delegates to the inner stream, clamped to the work that has
+     *  arrived by `to` (an arrival shortfall is pacing, not a phase
+     *  boundary — the caller idles out the rest of the window). */
+    SkipResult skip(InstCount n, Cycle from, Cycle to) override;
+
     double pace() const { return pace_; }
     InstCount chunk() const { return chunk_; }
 
@@ -122,6 +138,9 @@ class CappedSource : public InstSource
     FetchResult next(Cycle now) override;
     void onCommit(const MicroOp &op, Cycle commit_cycle) override;
     std::uint64_t backlog() const override { return inner_.backlog(); }
+
+    /** Delegates to the inner stream, clamped to the cap. */
+    SkipResult skip(InstCount n, Cycle from, Cycle to) override;
 
     InstCount remaining() const { return cap_ - used_; }
 

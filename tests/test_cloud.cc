@@ -207,6 +207,50 @@ TEST(CloudProvider, FineGrainHostsMoreThanStaticPeak)
               b.stats().rejected + b.stats().abandoned);
 }
 
+TEST(CloudProvider, SampledTwinTracksFullLifecycle)
+{
+    // Twin-run property of sampled simulation (sim/sampler.hh):
+    // under StaticPeak the admission verdicts depend only on the
+    // seeded arrival process and capacity, which sampling leaves
+    // exact. The same seed must therefore produce the identical
+    // admit/reject/depart lifecycle and the same bill sequence,
+    // with only the `estimated` marker differing. Bills agree to
+    // the clock, not to the bit: each round bills the vcore's
+    // actual elapsed cycles, and the detailed loop may overshoot
+    // the 500k-cycle quantum boundary by a handful of cycles where
+    // fast-forward lands exactly on it — a few cycles in 500'000
+    // per round, so <= 1e-4 relative on the integral.
+    auto run = [](SimMode mode) {
+        ProviderParams p = tinyParams(Provisioning::StaticPeak, 77);
+        p.simMode = mode;
+        CloudProvider prov(p);
+        prov.run(48);
+        auditProvider(prov);
+        ProviderStats st = prov.stats();
+        std::vector<FinalBill> bills = prov.drain();
+        return std::make_pair(st, bills);
+    };
+    auto [full_st, full_bills] = run(SimMode::Full);
+    auto [samp_st, samp_bills] = run(SimMode::Sampled);
+
+    EXPECT_EQ(full_st.admitted, samp_st.admitted);
+    EXPECT_EQ(full_st.rejected, samp_st.rejected);
+    EXPECT_EQ(full_st.abandoned, samp_st.abandoned);
+    EXPECT_EQ(full_st.departed, samp_st.departed);
+    EXPECT_EQ(full_st.tenantRounds, samp_st.tenantRounds);
+
+    ASSERT_FALSE(full_bills.empty());
+    ASSERT_EQ(full_bills.size(), samp_bills.size());
+    for (std::size_t i = 0; i < full_bills.size(); ++i) {
+        EXPECT_EQ(full_bills[i].tenant, samp_bills[i].tenant);
+        EXPECT_EQ(full_bills[i].app, samp_bills[i].app);
+        EXPECT_NEAR(full_bills[i].bill, samp_bills[i].bill,
+                    1e-4 * (1.0 + full_bills[i].bill));
+        EXPECT_FALSE(full_bills[i].estimated);
+        EXPECT_TRUE(samp_bills[i].estimated);
+    }
+}
+
 // --- Mutation test ---------------------------------------------
 
 TEST(CloudProviderMutation, LeakedHoldingIsCaught)

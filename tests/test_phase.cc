@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Direct tests of phase-boundary behaviour in the synthetic
+ * workload layer: when PhasedTraceSource transitions between
+ * phases, how laps are counted, and how the fast-forward skip()
+ * contract reports boundaries without performing the transition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/phase.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+std::vector<PhaseParams>
+threePhases(InstCount len = 1'000)
+{
+    std::vector<PhaseParams> ps(3);
+    ps[0].name = "a";
+    ps[1].name = "b";
+    ps[2].name = "c";
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        ps[i].lengthInsts = len;
+        ps[i].dataBase = static_cast<Addr>(i) * 64 * miB;
+    }
+    return ps;
+}
+
+/** Drain n instructions through next(), returning how many came. */
+InstCount
+drain(InstSource &src, InstCount n)
+{
+    InstCount got = 0;
+    Cycle now = 0;
+    while (got < n) {
+        FetchResult fr = src.next(now++);
+        if (fr.kind == FetchResult::Kind::Finished)
+            break;
+        if (fr.kind == FetchResult::Kind::Inst)
+            ++got;
+    }
+    return got;
+}
+
+TEST(PhaseBoundary, NextTransitionsAtLengthInsts)
+{
+    PhasedTraceSource src(threePhases(1'000), 5, true, 0);
+    EXPECT_EQ(src.currentPhase(), 0u);
+    drain(src, 1'000);
+    // The transition is lazy: it happens when the next instruction
+    // past the boundary is generated.
+    drain(src, 1);
+    EXPECT_EQ(src.currentPhase(), 1u);
+    drain(src, 1'000);
+    EXPECT_EQ(src.currentPhase(), 2u);
+    EXPECT_EQ(src.laps(), 0u);
+    // Finishing phase c wraps back to a and counts a lap.
+    drain(src, 1'000);
+    EXPECT_EQ(src.currentPhase(), 0u);
+    EXPECT_EQ(src.laps(), 1u);
+}
+
+TEST(PhaseBoundary, NonLoopingSourceFinishesAfterLastPhase)
+{
+    PhasedTraceSource src(threePhases(500), 5, false, 0);
+    EXPECT_EQ(drain(src, 2'000), 1'500u);
+    FetchResult fr = src.next(0);
+    EXPECT_EQ(fr.kind, FetchResult::Kind::Finished);
+    SkipResult sr = src.skip(100, 0, 1'000);
+    EXPECT_TRUE(sr.finished);
+    EXPECT_EQ(sr.skipped, 0u);
+}
+
+TEST(PhaseBoundary, SkipStopsAtBoundaryWithoutTransitioning)
+{
+    PhasedTraceSource src(threePhases(1'000), 5, true, 0);
+    SkipResult sr = src.skip(5'000, 0, 100'000);
+    // Stops exactly at the end of phase a, reports the boundary,
+    // and leaves the transition for the next detailed fetch.
+    EXPECT_TRUE(sr.phaseBoundary);
+    EXPECT_FALSE(sr.finished);
+    EXPECT_EQ(sr.skipped, 1'000u);
+    EXPECT_EQ(src.currentPhase(), 0u);
+    drain(src, 1);
+    EXPECT_EQ(src.currentPhase(), 1u);
+}
+
+TEST(PhaseBoundary, SkipWithinPhaseReportsNoBoundary)
+{
+    PhasedTraceSource src(threePhases(10'000), 5, true, 0);
+    SkipResult sr = src.skip(4'000, 0, 50'000);
+    EXPECT_EQ(sr.skipped, 4'000u);
+    EXPECT_FALSE(sr.phaseBoundary);
+    EXPECT_FALSE(sr.finished);
+    EXPECT_EQ(src.emitted(), 4'000u);
+    EXPECT_EQ(src.currentPhase(), 0u);
+}
+
+TEST(PhaseBoundary, SinglePhaseLoopWrapsSilently)
+{
+    // A one-phase looping app re-enters the same stationary mix:
+    // nothing changes statistically, so skip() must NOT report a
+    // boundary (a sampled simulator would otherwise never
+    // fast-forward such an app), but laps keep counting.
+    std::vector<PhaseParams> one(1);
+    one[0].lengthInsts = 1'000;
+    PhasedTraceSource src(one, 9, true, 0);
+    SkipResult sr = src.skip(5'500, 0, 100'000);
+    EXPECT_EQ(sr.skipped, 5'500u);
+    EXPECT_FALSE(sr.phaseBoundary);
+    EXPECT_GE(src.laps(), 5u);
+    EXPECT_EQ(src.currentPhase(), 0u);
+}
+
+TEST(PhaseBoundary, SkipHonoursTotalInstsCap)
+{
+    PhasedTraceSource src(threePhases(1'000), 5, true, 2'500);
+    SkipResult a = src.skip(900, 0, 1'000);
+    EXPECT_EQ(a.skipped, 900u);
+    EXPECT_FALSE(a.finished);
+    // Crosses the first boundary? No: stops AT it.
+    SkipResult b = src.skip(900, 1'000, 2'000);
+    EXPECT_TRUE(b.phaseBoundary);
+    EXPECT_EQ(b.skipped, 100u);
+    // Consume the cap through detailed fetches + skip; the source
+    // must finish at exactly totalInsts.
+    drain(src, 1);
+    SkipResult c{};
+    for (int i = 0; i < 10 && !c.finished; ++i) {
+        c = src.skip(10'000, 2'000, 50'000);
+        if (c.phaseBoundary)
+            drain(src, 1);
+    }
+    EXPECT_TRUE(c.finished);
+    EXPECT_EQ(src.emitted(), 2'500u);
+    EXPECT_EQ(src.next(50'000).kind, FetchResult::Kind::Finished);
+}
+
+TEST(PhaseBoundary, PacedSkipClampsToArrivedWork)
+{
+    std::vector<PhaseParams> one(1);
+    one[0].lengthInsts = 100'000;
+    PhasedTraceSource inner(one, 13, true, 0);
+    PacedSource paced(inner, 0.5, 1'000);
+    // By cycle 10'000 only ~5'000 instructions of work exist; a
+    // skip asking for far more gets the backlog, and the shortfall
+    // carries NO phase-boundary flag (it is pacing, not a phase).
+    SkipResult sr = paced.skip(50'000, 0, 10'000);
+    EXPECT_GT(sr.skipped, 0u);
+    EXPECT_LE(sr.skipped, 7'000u);
+    EXPECT_FALSE(sr.phaseBoundary);
+    EXPECT_FALSE(sr.finished);
+}
+
+TEST(PhaseBoundary, CappedSkipFinishesAtCap)
+{
+    std::vector<PhaseParams> one(1);
+    one[0].lengthInsts = 100'000;
+    PhasedTraceSource inner(one, 13, true, 0);
+    CappedSource capped(inner, 3'000);
+    SkipResult sr = capped.skip(10'000, 0, 100'000);
+    EXPECT_EQ(sr.skipped, 3'000u);
+    EXPECT_TRUE(sr.finished);
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Property tests for sampled simulation (sim/sampler.hh): the
+ * slice controller's schedule, fast-forward exactness on synthetic
+ * steady streams, phase-change reaction, billing-integral
+ * preservation, and determinism. The end-to-end error bound over
+ * the figure workloads lives in bench_sim_speed --sampled-error
+ * (tools/sample_error_gate.sh), not here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/audit.hh"
+#include "cloud/provider.hh"
+#include "sim/ssim.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+/**
+ * A perfectly periodic synthetic stream: independent single-cycle
+ * integer ops, no memory, no branches. Detailed IPC is a constant
+ * after pipeline fill, so fast-forward extrapolation should
+ * reproduce full simulation almost exactly — the residual is one
+ * rounding instruction per extrapolated segment.
+ */
+class ConstSource final : public InstSource
+{
+  public:
+    FetchResult next(Cycle) override
+    {
+        FetchResult fr;
+        fr.kind = FetchResult::Kind::Inst;
+        fr.op.op = OpClass::IntAlu;
+        fr.op.pc = 0x1000 + (n_ % 16) * 4;
+        fr.op.destReg = static_cast<std::uint8_t>(n_ % 8);
+        ++n_;
+        return fr;
+    }
+
+    void onCommit(const MicroOp &, Cycle) override {}
+
+  private:
+    std::uint64_t n_ = 0;
+};
+
+InstCount
+committedAt(SimMode mode, InstSource &src, Cycle horizon)
+{
+    SSim sim;
+    if (mode == SimMode::Sampled)
+        sim.setSampling(SimMode::Sampled);
+    auto id = *sim.createVCore(2, 8);
+    VirtualCore &vc = sim.vcore(id);
+    vc.bindSource(&src);
+    while (vc.now() < horizon) {
+        RunResult r = vc.runUntil(
+            std::min<Cycle>(horizon, vc.now() + 100'000));
+        if (r.finished)
+            break;
+    }
+    auditVCore(vc, SimParams{});
+    return vc.meta().totalCommitted;
+}
+
+TEST(Sampler, PeriodicStreamSamplesToFullSimIpc)
+{
+    constexpr Cycle horizon = 3'000'000;
+    ConstSource full_src;
+    ConstSource sampled_src;
+    auto full = static_cast<double>(
+        committedAt(SimMode::Full, full_src, horizon));
+    auto sampled = static_cast<double>(
+        committedAt(SimMode::Sampled, sampled_src, horizon));
+    ASSERT_GT(full, 0.0);
+    // Near-exact by construction (documented bound: the measured
+    // IPC of a constant stream IS its steady-state IPC, so the
+    // only error left is per-segment rounding).
+    EXPECT_NEAR(sampled / full, 1.0, 0.005)
+        << "full=" << full << " sampled=" << sampled;
+}
+
+/** Two phases with very different mixes, stretched so whole
+ *  fast-forward bursts fit inside one phase. */
+std::vector<PhaseParams>
+twoPhases()
+{
+    PhaseParams a;
+    a.name = "lean";
+    a.ilpMeanDist = 24.0;
+    a.memFrac = 0.05;
+    a.branchFrac = 0.04;
+    a.lengthInsts = 3'000'000;
+    PhaseParams b;
+    b.name = "memory";
+    b.ilpMeanDist = 2.5;
+    b.memFrac = 0.45;
+    b.workingSet = 4 * miB;
+    b.branchFrac = 0.18;
+    b.lengthInsts = 3'000'000;
+    b.dataBase = 256 * miB;
+    return {a, b};
+}
+
+TEST(Sampler, PhaseChangeMidFastForwardForcesRemeasurement)
+{
+    SSim sim;
+    sim.setSampling(SimMode::Sampled);
+    auto id = *sim.createVCore(2, 8);
+    VirtualCore &vc = sim.vcore(id);
+    PhasedTraceSource src(twoPhases(), 7, true, 0);
+    vc.bindSource(&src);
+
+    // Far enough to cross several phase boundaries mid-burst.
+    while (vc.now() < 12'000'000)
+        vc.runUntil(vc.now() + 500'000);
+    auditVCore(vc, SimParams{});
+
+    const SliceController *sc = vc.sampler();
+    ASSERT_NE(sc, nullptr);
+    const SamplerStats &st = sc->stats();
+    EXPECT_GE(st.measurementSlices, 2u);
+    EXPECT_GE(st.phaseAborts, 1u)
+        << "no fast-forward ever hit a phase boundary";
+    EXPECT_GT(st.ffCycles, 0u);
+
+    // Within one quantum of an aborted fast-forward the controller
+    // must be back in detailed simulation: no record after a
+    // phase-abort record may extrapolate.
+    const auto &sched = sc->schedule();
+    std::size_t aborts_seen = 0;
+    for (std::size_t i = 0; i + 1 < sched.size(); ++i) {
+        if (!sched[i].phaseAbort)
+            continue;
+        ++aborts_seen;
+        EXPECT_EQ(sched[i + 1].mode, SliceMode::Warmup)
+            << "record " << i + 1
+            << " extrapolates right after a phase abort";
+    }
+    EXPECT_GE(aborts_seen, 1u);
+}
+
+TEST(Sampler, BillingIntegralMatchesFullSimulation)
+{
+    // Static-peak provisioning: placement and holdings depend only
+    // on the seeded arrival process and round counting, both exact
+    // under sampling, so the billing integrals must agree with
+    // full simulation to rounding (documented bound: exact — the
+    // holdings integral never reads an extrapolated counter).
+    auto run = [](SimMode mode) {
+        cloud::ProviderParams p;
+        p.provisioning = cloud::Provisioning::StaticPeak;
+        p.seed = 1234;
+        p.arrivalProb = 0.5;
+        p.meanResidenceRounds = 10.0;
+        p.simMode = mode;
+        cloud::CloudProvider prov(p);
+        prov.run(60);
+        auditProvider(prov);
+        double active = prov.revenue();
+        std::vector<cloud::FinalBill> bills = prov.drain();
+        auditProvider(prov);
+        return std::make_pair(active, bills);
+    };
+    auto [full_rev, full_bills] = run(SimMode::Full);
+    auto [sampled_rev, sampled_bills] = run(SimMode::Sampled);
+
+    ASSERT_FALSE(full_bills.empty());
+    ASSERT_EQ(full_bills.size(), sampled_bills.size());
+    EXPECT_NEAR(sampled_rev, full_rev, 1e-9 * (1.0 + full_rev));
+    for (std::size_t i = 0; i < full_bills.size(); ++i) {
+        EXPECT_EQ(full_bills[i].tenant, sampled_bills[i].tenant);
+        EXPECT_EQ(full_bills[i].app, sampled_bills[i].app);
+        EXPECT_NEAR(full_bills[i].bill, sampled_bills[i].bill,
+                    1e-9 * (1.0 + full_bills[i].bill));
+        EXPECT_FALSE(full_bills[i].estimated);
+        EXPECT_TRUE(sampled_bills[i].estimated);
+    }
+}
+
+TEST(Sampler, ScheduleIsDeterministic)
+{
+    auto schedule = [](std::uint64_t seed) {
+        SSim sim;
+        sim.setSampling(SimMode::Sampled);
+        auto id = *sim.createVCore(2, 8);
+        VirtualCore &vc = sim.vcore(id);
+        PhasedTraceSource src(twoPhases(), seed, true, 0);
+        vc.bindSource(&src);
+        while (vc.now() < 6'000'000)
+            vc.runUntil(vc.now() + 250'000);
+        const SliceController *sc = vc.sampler();
+        return std::make_pair(sc->schedule(),
+                              vc.meta().totalCommitted);
+    };
+    auto [sched_a, committed_a] = schedule(11);
+    auto [sched_b, committed_b] = schedule(11);
+    ASSERT_FALSE(sched_a.empty());
+    EXPECT_EQ(sched_a, sched_b);
+    EXPECT_EQ(committed_a, committed_b);
+}
+
+TEST(Sampler, EstimatedCountsReconcileWithController)
+{
+    SSim sim;
+    sim.setSampling(SimMode::Sampled);
+    auto id = *sim.createVCore(1, 4);
+    VirtualCore &vc = sim.vcore(id);
+    PhasedTraceSource src(twoPhases(), 3, true, 0);
+    vc.bindSource(&src);
+    while (vc.now() < 4'000'000)
+        vc.runUntil(vc.now() + 100'000);
+
+    const VCoreMeta &m = vc.meta();
+    const SamplerStats &st = vc.sampler()->stats();
+    EXPECT_EQ(m.estimatedInsts, st.ffInsts);
+    EXPECT_EQ(m.ffCycles, st.ffCycles);
+    EXPECT_LE(m.estimatedInsts, m.totalCommitted);
+    EXPECT_LE(m.ffCycles, vc.now());
+    EXPECT_GT(m.ffCycles, 0u) << "sampling never fast-forwarded";
+    auditVCore(vc, SimParams{});
+}
+
+TEST(Sampler, FullModeReportsNothingEstimated)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 4);
+    VirtualCore &vc = sim.vcore(id);
+    PhasedTraceSource src(twoPhases(), 3, true, 0);
+    vc.bindSource(&src);
+    vc.runUntil(500'000);
+    EXPECT_EQ(vc.meta().estimatedInsts, 0u);
+    EXPECT_EQ(vc.meta().ffCycles, 0u);
+    EXPECT_EQ(vc.sampler(), nullptr);
+    EXPECT_FALSE(vc.samplingEnabled());
+}
+
+} // namespace
+} // namespace cash

@@ -123,6 +123,11 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--coarse")) {
                 params.provisioning =
                     cloud::Provisioning::CoarseGrain;
+            } else if (!std::strcmp(arg, "--sampled")) {
+                // Sampled simulation (sim/sampler.hh): steady
+                // phases fast-forward; final bills are flagged
+                // "estimated" in the drain report.
+                params.simMode = SimMode::Sampled;
             } else if (!std::strcmp(arg, "--rows")) {
                 need(i, arg);
                 params.fabric.rows = static_cast<std::uint32_t>(
@@ -163,8 +168,8 @@ main(int argc, char **argv)
                 fatal("unknown flag '%s' (see --unix, --tcp, "
                       "--queue-cap, --max-batch, --max-frame, "
                       "--idle-timeout-ms, --deadline-ms, --audit, "
-                      "--seed, --quantum, --coarse, --rows, "
-                      "--shards, --io-threads, --placement, "
+                      "--seed, --quantum, --coarse, --sampled, "
+                      "--rows, --shards, --io-threads, --placement, "
                       "--migrate-frag, --migrate-imbalance, "
                       "--migrate-cooldown, --no-rebalance, "
                       "--trace, --metrics)",

@@ -416,10 +416,27 @@ makeTenantSource(std::uint64_t seed, std::uint32_t slot)
         /*loop=*/true);
 }
 
+/** --sampled: replay every op family under sampled simulation
+ *  (sim/sampler.hh). The audits must hold exactly as in full mode;
+ *  a divergence shrinks with the usual single-op-deletion
+ *  contract. Short sampling quanta keep the 50k-cycle fuzz rounds
+ *  actually exercising the fast-forward path. */
+bool g_sampled = false;
+
+SamplerParams
+fuzzSamplerParams()
+{
+    SamplerParams sp;
+    sp.sliceQuantum = 2'000;
+    return sp;
+}
+
 std::optional<Failure>
 replaySim(const std::vector<Op> &ops, std::uint64_t seed)
 {
     SSim sim;
+    if (g_sampled)
+        sim.setSampling(SimMode::Sampled, fuzzSamplerParams());
     std::vector<Tenant> slots(kSlots);
 
     auto live = [&slots]() {
@@ -500,6 +517,10 @@ replayCloud(const std::vector<Op> &ops, std::uint64_t seed)
     params.arrivalProb = 0.0; // arrivals only through the ops
     params.quantum = 50'000;  // short rounds keep replays cheap
     params.seed = seed;
+    if (g_sampled) {
+        params.simMode = SimMode::Sampled;
+        params.sampler = fuzzSamplerParams();
+    }
     cloud::CloudProvider provider(params);
     std::size_t num_classes = provider.params().catalog.size();
 
@@ -579,6 +600,10 @@ replayService(const std::vector<Op> &ops, std::uint64_t seed)
     params.arrivalProb = 0.0;
     params.quantum = 50'000;
     params.seed = seed;
+    if (g_sampled) {
+        params.simMode = SimMode::Sampled;
+        params.sampler = fuzzSamplerParams();
+    }
     cloud::CloudProvider provider(params);
     std::size_t num_classes = provider.params().catalog.size();
     service::ServiceCore core(provider, /*audit_each_quantum=*/false);
@@ -741,6 +766,10 @@ replayRegion(const std::vector<Op> &ops, std::uint64_t seed)
     params.arrivalProb = 0.0;
     params.quantum = 50'000;
     params.seed = seed;
+    if (g_sampled) {
+        params.simMode = SimMode::Sampled;
+        params.sampler = fuzzSamplerParams();
+    }
     constexpr std::uint32_t kShards = 2;
     service::RegionCore region(params, kShards,
                                /*audit_each_quantum=*/false);
@@ -891,6 +920,11 @@ struct Options
     bool modeRegion = true;
     bool shrink = true;
     bool verbose = false;
+    /** Replay every mode under SimMode::Sampled (sim/sampler.hh).
+     *  Op generation and shrinking are untouched — only the replay
+     *  simulators flip, so a seed reproduces identically with or
+     *  without the flag. */
+    bool sampled = false;
     Fault inject = Fault::None;
 };
 
@@ -920,13 +954,14 @@ reportFailure(const char *mode, std::uint64_t seed,
     }
     std::fprintf(stderr,
                  "  reproduce: fuzz_reconfig --seed %llu --ops %u"
-                 "%s%s\n",
+                 "%s%s%s\n",
                  static_cast<unsigned long long>(seed),
                  opt.opsPerSeed, only,
                  opt.inject != Fault::None
                      ? strfmt(" --inject %s",
                               faultName(opt.inject)).c_str()
-                     : "");
+                     : "",
+                 opt.sampled ? " --sampled" : "");
 }
 
 int
@@ -938,6 +973,7 @@ run(const Options &opt)
              "are compiled out", faultName(opt.inject));
     }
     setInjectedFault(opt.inject);
+    g_sampled = opt.sampled;
 
     std::uint64_t failures = 0;
     for (std::uint64_t seed = opt.firstSeed;
@@ -1097,6 +1133,8 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--inject")) {
                 need(i, arg);
                 opt.inject = faultFromName(argv[++i]);
+            } else if (!std::strcmp(arg, "--sampled")) {
+                opt.sampled = true;
             } else if (!std::strcmp(arg, "--no-shrink")) {
                 opt.shrink = false;
             } else if (!std::strcmp(arg, "--verbose")) {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sampling-accuracy gate: run every figure workload full vs sampled
+# and fail unless geomean runtime-estimate error <= 3%, per-workload
+# error <= 5%, and geomean host-time speedup >= 5x (the bounds live
+# in bench/bench_sim_speed.cc; theory in DESIGN.md §12).
+#
+# Usage: tools/sample_error_gate.sh [build-dir]   (default: build)
+#
+# CI runs this in the main job; run it locally after touching
+# src/sim/sampler.* or the fast-forward path in src/sim/vcore.cc.
+set -euo pipefail
+
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_sim_speed"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "sample_error_gate: $BIN not found or not executable" >&2
+    echo "  (build first: cmake --build $BUILD -j)" >&2
+    exit 2
+fi
+
+exec "$BIN" --sampled-error
