@@ -9,17 +9,21 @@
  *   fine-grain   — CASH tenancy (admit at minimum config, private
  *                  CashRuntime per tenant, fabric arbitration),
  *   static-peak  — each tenant reserves its declared peak,
- *   coarse-grain — big.LITTLE reservation.
+ *   coarse-grain — big.LITTLE reservation,
+ *   joint        — fine-grain tenancy with DVFS as a second runtime
+ *                  knob (tiles x frequency, SET_FREQ via the gate).
  * Every provider is a pure function of its parameters, so the cells
  * fan out through ExperimentEngine and the output is byte-identical
  * at any CASH_BENCH_THREADS.
  *
  * Reported per cell: hosted tenant-rounds, admissions vs
  * rejections, SLA delivery, revenue at the paper's tile prices
- * ($0.0098/Slice-hr + $0.0032/bank-hr), and chip occupancy. The
- * headline is the CASH-vs-static-peak consolidation ratio: the
- * paper (Sec VI-B) funds its 56% customer cost reduction by packing
- * more tenants per chip at the same delivered QoS.
+ * ($0.0098/Slice-hr + $0.0032/bank-hr), dissipated joules with the
+ * metered energy line item, and chip occupancy. Two headlines: the
+ * CASH-vs-static-peak consolidation ratio (the paper's Sec VI-B 56%
+ * customer cost cut comes from packing more tenants per chip at the
+ * same delivered QoS), and a cost x QoS x energy Pareto comparison
+ * of joint (tiles x frequency) control against tile-only CASH.
  */
 
 #include <cstdio>
@@ -51,8 +55,37 @@ struct CellResult
     std::uint64_t departed = 0;
     double qos = 0.0;
     double revenue = 0.0;
+    double joules = 0.0;
+    double energyRevenue = 0.0;
     double sliceUtil = 0.0;
     double bankUtil = 0.0;
+
+    /** Customer cost of one hosted tenant-round, tiles + energy. */
+    double costPerRound() const
+    {
+        if (tenantRounds == 0)
+            return 0.0;
+        return (revenue + energyRevenue)
+            / static_cast<double>(tenantRounds);
+    }
+
+    /** Tenant-attributed joules per hosted tenant-round. */
+    double joulesPerRound() const
+    {
+        if (tenantRounds == 0)
+            return 0.0;
+        return joules / static_cast<double>(tenantRounds);
+    }
+};
+
+/** A provisioning scheme plus the runtime's knob set: `joint` is
+ *  fine-grain tenancy with DVFS enabled, so its learners trade
+ *  SHRINK against downclock per quantum. */
+struct SchemeSpec
+{
+    const char *name;
+    Provisioning prov;
+    bool dvfs;
 };
 
 } // namespace
@@ -69,10 +102,11 @@ main(int argc, char **argv)
         {"16S/64B", {2, 8, 8}},
     };
     const double loads[] = {0.35, 0.65, 0.95};
-    const Provisioning schemes[] = {
-        Provisioning::FineGrain,
-        Provisioning::StaticPeak,
-        Provisioning::CoarseGrain,
+    const SchemeSpec schemes[] = {
+        {"fine-grain", Provisioning::FineGrain, false},
+        {"static-peak", Provisioning::StaticPeak, false},
+        {"coarse-grain", Provisioning::CoarseGrain, false},
+        {"joint", Provisioning::FineGrain, true},
     };
     const std::uint32_t rounds = bench::fastMode() ? 24 : 72;
 
@@ -93,7 +127,8 @@ main(int argc, char **argv)
             const Point &pt = points[i];
             cloud::ProviderParams pp;
             pp.fabric = chips[pt.chip].fabric;
-            pp.provisioning = schemes[pt.scheme];
+            pp.provisioning = schemes[pt.scheme].prov;
+            pp.runtime.dvfs = schemes[pt.scheme].dvfs;
             pp.arrivalProb = loads[pt.load];
             // Bench-scale rounds: 2M-cycle quanta (the runtime's
             // learner needs them — at short quanta it hunts and
@@ -128,6 +163,8 @@ main(int argc, char **argv)
             r.departed = st.departed;
             r.qos = provider.qosDelivery();
             r.revenue = provider.revenue();
+            r.joules = st.dissipatedJoules;
+            r.energyRevenue = provider.energyRevenue();
             r.sliceUtil = st.meanSliceUtil();
             r.bankUtil = st.meanBankUtil();
             return r;
@@ -135,22 +172,22 @@ main(int argc, char **argv)
         [&](std::size_t i) {
             const Point &pt = points[i];
             return harness::CellKey{
-                chips[pt.chip].name,
-                cloud::provisioningName(schemes[pt.scheme]),
+                chips[pt.chip].name, schemes[pt.scheme].name,
                 pt.load, 0x5EED};
         });
 
-    std::printf("=== Consolidation: tenants per chip under three "
+    std::printf("=== Consolidation: tenants per chip under four "
                 "provisioning schemes ===\n");
     std::printf("%u rounds, catalog-drawn tenants, tile prices "
-                "$0.0098/Slice-hr + $0.0032/bank-hr\n",
+                "$0.0098/Slice-hr + $0.0032/bank-hr, energy "
+                "metered at $0.12/kWh\n",
                 rounds);
 
     bench::CsvSink csv(
         "consolidation",
         {"chip", "load", "scheme", "tenant_rounds", "admitted",
          "rejected", "abandoned", "departed", "qos", "revenue_usd",
-         "slice_util", "bank_util"});
+         "joules", "energy_usd", "slice_util", "bank_util"});
 
     auto at = [&](std::size_t c, std::size_t l,
                   std::size_t s) -> const CellResult & {
@@ -160,17 +197,17 @@ main(int argc, char **argv)
 
     for (std::size_t c = 0; c < std::size(chips); ++c) {
         std::printf("\nchip %s\n", chips[c].name);
-        std::printf("  %-5s %-12s %8s %5s %5s %5s %6s %9s %7s "
-                    "%6s\n",
+        std::printf("  %-5s %-12s %8s %5s %5s %5s %6s %9s %8s %8s "
+                    "%7s %6s\n",
                     "load", "scheme", "ten-rnd", "adm", "rej",
-                    "dep", "QoS", "rev(u$)", "sliceU", "bankU");
+                    "dep", "QoS", "rev(u$)", "joules", "nrg(u$)",
+                    "sliceU", "bankU");
         for (std::size_t l = 0; l < std::size(loads); ++l) {
             for (std::size_t s = 0; s < std::size(schemes); ++s) {
                 const CellResult &r = at(c, l, s);
-                const char *label =
-                    cloud::provisioningName(schemes[s]);
+                const char *label = schemes[s].name;
                 std::printf("  %-5.2f %-12s %8llu %5llu %5llu %5llu "
-                            "%6.3f %9.5f %7.3f %6.3f\n",
+                            "%6.3f %9.5f %8.4f %8.5f %7.3f %6.3f\n",
                             loads[l], label,
                             static_cast<unsigned long long>(
                                 r.tenantRounds),
@@ -180,7 +217,8 @@ main(int argc, char **argv)
                                 r.rejected + r.abandoned),
                             static_cast<unsigned long long>(
                                 r.departed),
-                            r.qos, r.revenue * 1e6, r.sliceUtil,
+                            r.qos, r.revenue * 1e6, r.joules,
+                            r.energyRevenue * 1e6, r.sliceUtil,
                             r.bankUtil);
                 csv.row({chips[c].name, CsvWriter::num(loads[l], 2),
                          label,
@@ -191,6 +229,8 @@ main(int argc, char **argv)
                          std::to_string(r.departed),
                          CsvWriter::num(r.qos, 4),
                          CsvWriter::num(r.revenue, 6),
+                         CsvWriter::num(r.joules, 6),
+                         CsvWriter::num(r.energyRevenue, 9),
                          CsvWriter::num(r.sliceUtil, 4),
                          CsvWriter::num(r.bankUtil, 4)});
             }
@@ -225,6 +265,52 @@ main(int argc, char **argv)
                 "customer cost cut (0.44x) from sub-core\n"
                 "  consolidation at equal delivered QoS; hosted "
                 "ratio > 1x expected under load\n");
+
+    // The DVFS payoff: per cell, compare joint (tiles x frequency)
+    // control against tile-only CASH on the three axes a customer
+    // cares about — $/tenant-round (tiles + energy), delivered QoS,
+    // and joules/tenant-round. `joint` strictly dominates a cell
+    // when it is no worse on every axis and better on at least one;
+    // the energy model gives memory-bound tenants better IPC-per-Hz
+    // at low frequency, so the learner finds downclock points that
+    // tile-only control cannot express.
+    std::printf("\n--- Pareto: joint (tiles x freq) vs tile-only "
+                "CASH ---\n");
+    std::printf("  %-8s %-5s %12s %14s %15s  %s\n", "chip", "load",
+                "cost $/rnd", "QoS", "mJ/rnd", "verdict");
+    std::uint32_t dominated = 0;
+    for (std::size_t c = 0; c < std::size(chips); ++c) {
+        for (std::size_t l = 0; l < std::size(loads); ++l) {
+            const CellResult &fg = at(c, l, 0);
+            const CellResult &jt = at(c, l, 3);
+            bool no_worse = jt.costPerRound() <= fg.costPerRound()
+                && jt.qos >= fg.qos
+                && jt.joulesPerRound() <= fg.joulesPerRound();
+            bool better = jt.costPerRound() < fg.costPerRound()
+                || jt.qos > fg.qos
+                || jt.joulesPerRound() < fg.joulesPerRound();
+            bool dom = no_worse && better;
+            dominated += dom ? 1 : 0;
+            std::printf("  %-8s %-5.2f %5.3fu/%5.3fu %.4f/%.4f "
+                        "%7.4f/%7.4f  %s\n",
+                        chips[c].name, loads[l],
+                        jt.costPerRound() * 1e6,
+                        fg.costPerRound() * 1e6, jt.qos, fg.qos,
+                        jt.joulesPerRound() * 1e3,
+                        fg.joulesPerRound() * 1e3,
+                        dom ? "joint dominates" : "incomparable");
+        }
+    }
+    std::printf("  joint strictly dominates tile-only CASH on "
+                "%u/%zu cells (cost x QoS x energy)\n",
+                dominated, std::size(chips) * std::size(loads));
+    if (dominated == 0) {
+        std::fprintf(stderr,
+                     "FAIL: joint (tiles x frequency) control "
+                     "dominates no cell — DVFS is not paying for "
+                     "itself\n");
+        return 1;
+    }
 
     bench::finishBench(engine, "consolidation");
     return 0;

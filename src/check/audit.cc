@@ -272,6 +272,71 @@ auditProvider(const cloud::CloudProvider &provider)
                static_cast<unsigned long long>(as.compactions),
                static_cast<unsigned long long>(
                    as.fullGrants + as.partialGrants));
+
+    auditEnergy(provider);
+}
+
+void
+auditEnergy(const cloud::CloudProvider &provider)
+{
+    const SSim &sim = provider.chip();
+    const cloud::ProviderStats &st = provider.stats();
+
+    double active_synced = 0.0;
+    for (const auto &tp : provider.tenants()) {
+        const cloud::Tenant &t = *tp;
+        // Watermark identity (any state): the books minus the
+        // carried joules are exactly what this chip's meter has
+        // been synced for. Both sides only ever move together
+        // inside syncEnergy, so this holds at every instant.
+        double local = t.energyAcc - t.migratedJoules;
+        double tol = 1e-9
+            + 1e-6 * std::max(std::fabs(local), t.energySynced);
+        CASH_AUDIT(std::fabs(local - t.energySynced) <= tol,
+                   "tenant %u books %.12g J local but synced "
+                   "watermark %.12g J", t.id, local, t.energySynced);
+        if (t.state != cloud::TenantState::Active)
+            continue;
+        active_synced += t.energySynced;
+
+        // The live meter is monotone: it can run ahead of the
+        // watermark (joules not yet synced) but never behind it.
+        const VirtualCore &vc = sim.vcore(t.vcore);
+        double metered = vc.energyJoules();
+        CASH_AUDIT(metered + tol >= t.energySynced,
+                   "tenant %u meter reads %.12g J below its synced "
+                   "watermark %.12g J", t.id, metered,
+                   t.energySynced);
+
+        // The meter's total decomposes exactly: dissipated ==
+        // dynamic + leakage == Σ per-structure activity energies.
+        double dyn = vc.dynamicJoules();
+        double leak = vc.leakageJoules();
+        EnergyBreakdown bd = vc.energyBreakdown();
+        double parts = bd.total();
+        double mtol = 1e-9 + 1e-6 * std::max(metered, parts);
+        CASH_AUDIT(std::fabs(metered - (dyn + leak)) <= mtol,
+                   "tenant %u meter %.12g J != dynamic %.12g + "
+                   "leakage %.12g", t.id, metered, dyn, leak);
+        CASH_AUDIT(std::fabs(metered - parts) <= mtol,
+                   "tenant %u meter %.12g J != per-structure sum "
+                   "%.12g J", t.id, metered, parts);
+    }
+
+    // Global conservation: every tenant-attributed joule this chip
+    // metered is on an active watermark, folded into a final bill,
+    // or serialized off-chip. Fault::EnergyLeak breaks this.
+    double rhs = active_synced + st.departedJoules
+        + st.exportedJoules;
+    double gtol = 1e-9 + 1e-6 * std::max(st.dissipatedJoules, rhs);
+    CASH_AUDIT(std::fabs(st.dissipatedJoules - rhs) <= gtol,
+               "dissipated %.12g J but active watermarks %.12g + "
+               "departed %.12g + exported %.12g J",
+               st.dissipatedJoules, active_synced, st.departedJoules,
+               st.exportedJoules);
+    CASH_AUDIT(st.overheadJoules >= 0.0,
+               "negative provider overhead energy %.12g J",
+               st.overheadJoules);
 }
 
 } // namespace cash

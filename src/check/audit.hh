@@ -65,9 +65,31 @@ void auditSim(const SSim &sim, const std::vector<VCoreId> &live);
  *    Slice/bank holdings;
  *  - arbitration: compactions never exceed granted expansions.
  *
- * Includes a full auditSim() over the active tenants' vcores.
+ * Includes a full auditSim() over the active tenants' vcores and an
+ * auditEnergy() pass.
  */
 void auditProvider(const cloud::CloudProvider &provider);
+
+/**
+ * Energy conservation for the cloud layer:
+ *
+ *  - per tenant (any state): the books minus the carried joules are
+ *    exactly the chip-local synced watermark
+ *    (energyAcc - migratedJoules == energySynced);
+ *  - per active tenant: the live meter never reads below the
+ *    watermark, and the meter's total decomposes exactly into
+ *    dynamic + leakage and into the per-structure breakdown sum;
+ *  - globally: every joule the chip metered for a tenant is either
+ *    on an active tenant's watermark, folded into a final bill, or
+ *    serialized off-chip by a migration
+ *    (dissipatedJoules == Σ_active energySynced
+ *                        + departedJoules + exportedJoules).
+ *
+ * Fault::EnergyLeak (a dropped departed-joules fold) fails the
+ * global identity. Called from auditProvider(), so every fuzz/test
+ * call site exercises it automatically.
+ */
+void auditEnergy(const cloud::CloudProvider &provider);
 
 } // namespace cash
 

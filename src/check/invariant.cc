@@ -49,8 +49,10 @@ faultFromName(const std::string &name)
         return Fault::RenameDropFlush;
     if (name == "provider-leak")
         return Fault::ProviderLeakHolding;
+    if (name == "energy-leak")
+        return Fault::EnergyLeak;
     fatal("unknown fault '%s' (try alloc-leak, l2-undercount, "
-          "rename-drop, provider-leak)", name.c_str());
+          "rename-drop, provider-leak, energy-leak)", name.c_str());
 }
 
 const char *
@@ -62,6 +64,7 @@ faultName(Fault f)
       case Fault::L2FlushUndercount: return "l2-undercount";
       case Fault::RenameDropFlush: return "rename-drop";
       case Fault::ProviderLeakHolding: return "provider-leak";
+      case Fault::EnergyLeak: return "energy-leak";
     }
     return "?";
 }

@@ -77,6 +77,10 @@ enum class Fault : std::uint8_t
      *  (leaked holding), so tenant-held tiles no longer sum to the
      *  allocator's books. */
     ProviderLeakHolding,
+    /** CloudProvider::depart drops the departing tenant's joules
+     *  instead of folding them into the departed ledger, so the
+     *  chip's dissipated energy no longer balances. */
+    EnergyLeak,
 };
 
 /** Arm a fault (Fault::None disarms). Affects checking builds only. */

@@ -152,6 +152,16 @@ CloudProvider::activate(Tenant &t)
     // run distinct (but reproducible) traces.
     bindExecution(t, entry, (params_.seed << 8) + t.id + 1, 0);
 
+    // Admission-time cost estimate carries the energy axis: nominal
+    // leakage of the entry configuration plus switching energy at
+    // the QoS-target instruction rate (latency apps get the same
+    // coarse 0.5-IPC guess the runtime's rate model uses).
+    const EnergyParams &ep = params_.sim.energy;
+    double est_ipc =
+        t.cls.kind == QosKind::Throughput ? t.target : 0.5;
+    double est_watts = leakWatts(ep, entry.slices, entry.banks, 0)
+        + est_ipc * 1e9 * ep.approxPerInstPJ * 1e-12;
+
     CASH_TRACE_INSTANT(trace::Category::Cloud, "admit",
                        roundTs(round_, params_.quantum),
                        {{"tenant", t.id},
@@ -159,13 +169,60 @@ CloudProvider::activate(Tenant &t)
                         {"slices", entry.slices},
                         {"banks", entry.banks},
                         {"target", t.target},
+                        {"est_watts", est_watts},
+                        {"est_energy_dps", ep.dollars(est_watts)},
                         {"waited", round_ - t.arrivalRound}});
     CASH_METRIC_INC("cloud.admits");
 }
 
 void
+CloudProvider::syncEnergy(Tenant &t)
+{
+    if (t.state != TenantState::Active || t.vcore == invalidVCore)
+        return;
+    double metered = sim_.vcore(t.vcore).energyJoules();
+    double delta = metered - t.energySynced;
+    t.energyAcc += delta;
+    t.energySynced = metered;
+    stats_.dissipatedJoules += delta;
+}
+
+double
+CloudProvider::tenantJoules(const Tenant &t) const
+{
+    // Books plus whatever the live meter has accrued since the last
+    // sync (mirrors how bill() reads through a live runtime).
+    double j = t.energyAcc;
+    if (t.state == TenantState::Active && t.vcore != invalidVCore)
+        j += sim_.vcore(t.vcore).energyJoules() - t.energySynced;
+    return j;
+}
+
+void
+CloudProvider::accrueOverhead(Cycle cycles)
+{
+    const EnergyParams &ep = params_.sim.energy;
+    const FabricAllocator &al = sim_.allocator();
+    // Free tiles and the reserved runtime Slice leak at nominal
+    // voltage whether or not anyone rents them; RIN messages burn
+    // interface-network energy. Neither is billable to a tenant —
+    // it is the provider's cost of doing business, and the
+    // conservation audit tracks it separately.
+    double leak_pj = static_cast<double>(cycles)
+        * (static_cast<double>(al.freeSlices() + 1) * ep.sliceLeakPJ
+           + static_cast<double>(al.freeBanks()) * ep.bankLeakPJ);
+    double rin_pj = static_cast<double>(
+        sim_.rinMessages() - stats_.rinMessagesSeen) * ep.rinPJ;
+    stats_.rinMessagesSeen = sim_.rinMessages();
+    stats_.overheadJoules += (leak_pj + rin_pj) * 1e-12;
+}
+
+void
 CloudProvider::depart(Tenant &t)
 {
+    // Close the energy meter while the vcore is still alive; the
+    // final bill carries every joule the tenant ever dissipated.
+    syncEnergy(t);
     t.state = TenantState::Departed;
     t.departRound = round_;
     ++stats_.departed;
@@ -178,17 +235,26 @@ CloudProvider::depart(Tenant &t)
         t.violations = t.runtime->totalViolations();
     }
     stats_.departedRevenue += t.bill();
+    // Injected fault: drop the departing tenant's joules instead of
+    // folding them into the departed ledger. auditEnergy() must
+    // catch the broken conservation identity.
+    if (!CASH_FAULT_ARMED(Fault::EnergyLeak))
+        stats_.departedJoules += t.energyAcc - t.migratedJoules;
+    stats_.departedEnergyRevenue +=
+        params_.sim.energy.dollars(t.energyAcc);
     stats_.slaSamples += t.qosSamples();
     stats_.slaViolations += t.qosViolations();
     CASH_TRACE_INSTANT(trace::Category::Cloud, "depart",
                        roundTs(round_, params_.quantum),
                        {{"tenant", t.id},
                         {"bill", t.bill()},
+                        {"joules", t.energyAcc},
                         {"samples", t.qosSamples()},
                         {"violations", t.qosViolations()},
                         {"rounds", t.activeRounds}});
     CASH_METRIC_INC("cloud.departs");
     CASH_METRIC_SAMPLE("cloud.tenant_bill", t.bill());
+    CASH_METRIC_SAMPLE("cloud.tenant_joules", t.energyAcc);
     t.runtime.reset();
     t.monitor.reset();
 
@@ -365,6 +431,9 @@ CloudProvider::stepActive()
                     ++t.violations;
             }
         }
+        // Fold the quantum's joules into the tenant's books while
+        // the meter is warm (depart/migrate close the residue).
+        syncEnergy(t);
         ++t.activeRounds;
         ++stats_.tenantRounds;
     }
@@ -377,6 +446,7 @@ CloudProvider::step()
     processQueue();
     processArrivals();
     stepActive();
+    accrueOverhead(params_.quantum);
 
     const FabricAllocator &al = sim_.allocator();
     const FabricGrid &g = al.grid();
@@ -447,6 +517,17 @@ CloudProvider::injectDeparture(TenantId id)
     return false;
 }
 
+bool
+CloudProvider::injectSetFreq(TenantId id, std::uint32_t pstate)
+{
+    if (id >= tenants_.size() || pstate >= kNumPStates)
+        return false;
+    Tenant &t = *tenants_[id];
+    if (t.state != TenantState::Active)
+        return false;
+    return sim_.setFreq(t.vcore, pstate).has_value();
+}
+
 std::vector<FinalBill>
 CloudProvider::drain()
 {
@@ -466,7 +547,8 @@ CloudProvider::drain()
     CASH_TRACE_INSTANT(trace::Category::Cloud, "drain",
                        roundTs(round_, params_.quantum),
                        {{"departed", stats_.departed},
-                        {"revenue", stats_.departedRevenue}});
+                        {"revenue", stats_.departedRevenue},
+                        {"joules", stats_.dissipatedJoules}});
     CASH_METRIC_INC("cloud.drains");
 
     std::vector<FinalBill> bills;
@@ -474,8 +556,9 @@ CloudProvider::drain()
         const Tenant &t = *tp;
         if (t.state != TenantState::Departed)
             continue;
-        bills.push_back({t.id, t.cls.app, t.bill(), t.qosSamples(),
-                         t.qosViolations(),
+        bills.push_back({t.id, t.cls.app, t.bill(), t.energyAcc,
+                         params_.sim.energy.dollars(t.energyAcc),
+                         t.qosSamples(), t.qosViolations(),
                          params_.simMode == SimMode::Sampled});
     }
     return bills;
@@ -498,6 +581,16 @@ CloudProvider::revenue() const
     for (const auto &tp : tenants_)
         if (tp->state == TenantState::Active)
             total += tp->bill();
+    return total;
+}
+
+double
+CloudProvider::energyRevenue() const
+{
+    double total = stats_.departedEnergyRevenue;
+    for (const auto &tp : tenants_)
+        if (tp->state == TenantState::Active)
+            total += params_.sim.energy.dollars(tenantJoules(*tp));
     return total;
 }
 
@@ -543,6 +636,9 @@ CloudProvider::migrateOut(TenantId id)
     if (!phased)
         return std::nullopt; // request-driven sources do not move
 
+    // Close the energy meter before the vcore (and its meter) is
+    // torn down; the joules travel with the snapshot.
+    syncEnergy(t);
     const VirtualCore &vc = sim_.vcore(t.vcore);
     VCoreConfig held{vc.numSlices(), vc.numBanks()};
     const CostModel &cm = params_.pricing;
@@ -571,6 +667,10 @@ CloudProvider::migrateOut(TenantId id)
     snap.heldCfg = held;
     snap.stallCycles = stall;
     snap.hops = t.migrantHops + 1;
+    snap.joules = t.energyAcc;
+    // This shard's share of the tenant's joules leaves the local
+    // conservation identity through the exported ledger.
+    stats_.exportedJoules += t.energyAcc - t.migratedJoules;
 
     // The ledger keeps the pre-stall view for queries on the old
     // id; the revenue moves with the snapshot.
@@ -618,6 +718,12 @@ CloudProvider::migrateIn(const TenantSnapshot &snap)
     t->ewmaQ = snap.ewmaQ;
     t->srcSeed = snap.srcSeed;
     t->migrantHops = snap.hops;
+    // Prior shards' joules arrive as carried books: nothing on this
+    // chip dissipated them, so they sit outside the local meter
+    // (energySynced restarts at the fresh vcore's zero).
+    t->energyAcc = snap.joules;
+    t->migratedJoules = snap.joules;
+    t->energySynced = 0.0;
     ++stats_.migratedIn;
     ++stats_.admitted; // placed or evicted, the books stay balanced
     Tenant &ref = *t;
@@ -650,6 +756,12 @@ CloudProvider::migrateIn(const TenantSnapshot &snap)
         ++stats_.departed;
         ++stats_.migrateEvicted;
         stats_.departedRevenue += ref.bill();
+        // Nothing was dissipated here (energyAcc == migratedJoules),
+        // but the carried energy revenue lands in this shard's books
+        // exactly like the carried tile bill.
+        stats_.departedJoules += ref.energyAcc - ref.migratedJoules;
+        stats_.departedEnergyRevenue +=
+            params_.sim.energy.dollars(ref.energyAcc);
         stats_.slaSamples += ref.qosSamples();
         stats_.slaViolations += ref.qosViolations();
         CASH_TRACE_INSTANT(trace::Category::Cloud, "migrate_evict",
@@ -697,6 +809,9 @@ CloudProvider::gateCommand(VCoreId vcore, const CommandRequest &req)
 
     const VirtualCore &vc = sim_.vcore(vcore);
     VCoreConfig held{vc.numSlices(), vc.numBanks()};
+    // SET_FREQ carries the held tile counts: the arbiter sees a
+    // no-op tile request (always a full grant) and the P-state
+    // passes through — frequency is not a contended fabric resource.
     GrantDecision d = arbiter_.decide(
         held, VCoreConfig{req.slices, req.banks}, sim_.allocator(),
         round_);
@@ -744,7 +859,8 @@ CloudProvider::gateCommand(VCoreId vcore, const CommandRequest &req)
             }
         }
     }
-    return CommandRequest{d.granted.slices, d.granted.banks};
+    return CommandRequest{d.granted.slices, d.granted.banks,
+                          req.pstate};
 }
 
 } // namespace cash::cloud

@@ -151,6 +151,9 @@ struct TenantSnapshot
     /** The billed migration stall, in cycles. */
     Cycle stallCycles = 0;
     std::uint32_t hops = 1;
+    /** Joules dissipated on previous shards (travels with the
+     *  tenant; lands in the target's migratedJoules). */
+    double joules = 0.0;
 };
 
 /** One tenant's finalized bill, as returned by drain(). */
@@ -160,6 +163,12 @@ struct FinalBill
     /** Catalog application the tenant ran. */
     std::string app;
     double bill = 0.0;
+    /** Metered energy attributed to the tenant, all shards. */
+    double joules = 0.0;
+    /** The energy line item: joules x the provider's $/kWh. Billed
+     *  separately from the tile bill (`bill`), so the tile billing
+     *  identity is untouched by the energy subsystem. */
+    double energyBill = 0.0;
     std::uint64_t qosSamples = 0;
     std::uint64_t qosViolations = 0;
     /** The bill was produced under sampled simulation: its holdings
@@ -198,6 +207,26 @@ struct ProviderStats
     /** $ billed to departed tenants (active bills accrue on top;
      *  see CloudProvider::revenue()). */
     double departedRevenue = 0.0;
+
+    // Energy ledgers (joules). The conservation identity
+    // (check/audit.hh auditEnergy):
+    //   dissipatedJoules == Σ_active (energyAcc - migratedJoules)
+    //                       + departedJoules + exportedJoules.
+    /** Tenant-attributed joules metered on THIS chip (excludes
+     *  what migrated-in tenants burned elsewhere). */
+    double dissipatedJoules = 0.0;
+    /** Of dissipatedJoules, already folded into final bills. */
+    double departedJoules = 0.0;
+    /** Of dissipatedJoules, serialized off-chip by migrateOut. */
+    double exportedJoules = 0.0;
+    /** Energy revenue: $ for departed tenants' joules. */
+    double departedEnergyRevenue = 0.0;
+    /** Provider-side overhead joules: leakage of free tiles, the
+     *  runtime Slice, and RIN message energy. Not billed to any
+     *  tenant — the provider's cost of doing business. */
+    double overheadJoules = 0.0;
+    /** rinMessages watermark for overhead accrual. */
+    std::uint64_t rinMessagesSeen = 0;
 
     double meanSliceUtil() const
     {
@@ -258,6 +287,13 @@ class CloudProvider
     /** Force an active or queued tenant to depart now.
      *  @return false if the id is unknown or already gone */
     bool injectDeparture(TenantId id);
+
+    /** Issue SET_FREQ on an active tenant's vcore through the
+     *  provider's command gate (an external actor next to the
+     *  tenant's own runtime; the fuzzer's set_freq op family).
+     *  @return false if the tenant is not active, the P-state is
+     *          out of range, or the gate denied the change */
+    bool injectSetFreq(TenantId id, std::uint32_t pstate);
 
     /**
      * Graceful teardown: stop admissions (every later arrival is
@@ -339,6 +375,14 @@ class CloudProvider
     /** Total $ billed: departed tenants plus running bills. */
     double revenue() const;
 
+    /** Total energy $ billed: departed tenants' joules plus active
+     *  tenants' running meters, at params().sim.energy pricing. */
+    double energyRevenue() const;
+
+    /** Joules attributed to a tenant so far, prior shards and the
+     *  live meter included (what its bill will show). */
+    double tenantJoules(const Tenant &t) const;
+
     /** SLA delivery including active tenants' running tallies. */
     double qosDelivery() const;
 
@@ -367,6 +411,15 @@ class CloudProvider
 
     /** Finalize accounting and release the tenant's fabric. */
     void depart(Tenant &t);
+
+    /** Pull the vcore's energy meter into the tenant's books and
+     *  the chip's dissipated ledger (no-op unless Active). */
+    void syncEnergy(Tenant &t);
+
+    /** Accrue provider-side overhead energy for one round: free
+     *  tiles + runtime-Slice leakage over `cycles`, plus RIN
+     *  message energy since the last accrual. */
+    void accrueOverhead(Cycle cycles);
 
     /** Admit/queue/reject one tenant at the admission layer. */
     void judgeArrival(Tenant &t);

@@ -113,6 +113,17 @@ struct Tenant
     std::uint64_t violations = 0;
     double ewmaQ = 1.0;
 
+    // Energy books (provider-owned; synced from the vcore's meter
+    // at step/depart/migrate). The audit identity per active
+    // tenant: energyAcc - migratedJoules == energySynced, and the
+    // live meter never reads below the watermark.
+    /** Joules attributed to this tenant so far, prior shards
+     *  included. */
+    double energyAcc = 0.0;
+    /** vcore.energyJoules() at the last sync — the watermark the
+     *  next delta is measured against. */
+    double energySynced = 0.0;
+
     // Cross-shard migration baggage (zero for tenants that never
     // moved). A migrated-in tenant carries its prior shards' books
     // so the billing audit stays a per-shard identity:
@@ -127,6 +138,9 @@ struct Tenant
     /** SLA tallies carried from previous shards. */
     std::uint64_t migratedSamples = 0;
     std::uint64_t migratedViolations = 0;
+    /** Joules dissipated on previous shards (subset of energyAcc;
+     *  this shard's meter knows nothing about them). */
+    double migratedJoules = 0.0;
     /** Migrations survived so far. */
     std::uint32_t migrantHops = 0;
 

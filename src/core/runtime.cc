@@ -25,7 +25,8 @@ CashRuntime::CashRuntime(SSim &sim, VCoreId id, QosKind kind,
       learner_(space, params.alpha, 1.0,
                kind == QosKind::RequestLatency),
       optimizer_(space, cost),
-      rng_(seed)
+      rng_(seed),
+      target_(target)
 {
     if (params.quantum == 0)
         fatal("runtime quantum must be non-zero");
@@ -36,6 +37,164 @@ CashRuntime::CashRuntime(SSim &sim, VCoreId id, QosKind kind,
               id, current.str().c_str());
     }
     currentCfg_ = space.indexOf(current);
+    currentPState_ = vc.pstate();
+    if (params.dvfs) {
+        // One speedup table per non-nominal P-state, seeded with
+        // the frequency-scaled prior: a downclock to 1/d nominal
+        // frequency nominally divides QoS by d. Measurements pull
+        // each table toward the app's real IPC-per-Hz — memory-
+        // bound code loses less than the prior claims, and that gap
+        // is what makes downclocking win. Propagation is on for
+        // every QoS kind here: each table sees at most one probe
+        // quantum (below) before the economics consult it, and a
+        // single measurement must level-calibrate the whole table
+        // or the other entries stay pinned to the pessimistic
+        // frequency prior forever.
+        dvfsLearners_.reserve(kNumPStates - 1);
+        for (std::uint32_t p = 1; p < kNumPStates; ++p) {
+            dvfsLearners_.emplace_back(
+                space, params.alpha, pstateTable()[p].freqScale(),
+                true);
+        }
+    }
+}
+
+double
+CashRuntime::dollarRate(std::uint32_t pstate,
+                        const QuantumSchedule &sched) const
+{
+    const EnergyParams &ep = sim_.params().energy;
+    const SpeedupLearner &lrn = pstate == 0
+        ? learner_ : dvfsLearners_[pstate - 1];
+    auto cell = [&](std::size_t k) {
+        const VCoreConfig &c = space_.at(k);
+        double tile_per_s = cost_.ratePerHour(c) / 3600.0;
+        // Committed-instruction rate estimate: for throughput QoS
+        // the table speaks in normalized IPC against an absolute
+        // target; latency QoS has no IPC anchor, so a nominal
+        // half-instruction per cycle stands in (the estimate only
+        // ranks P-states, the meter bills real counters).
+        double ipc = monitor_.kind() == QosKind::Throughput
+            ? lrn.qhat(k) * target_ : 0.5;
+        double watts =
+            leakWatts(ep, c.slices, c.banks, pstate)
+            + ipc * 1e9 * ep.approxPerInstPJ * 1e-12
+                  * pstateTable()[pstate].dynScale();
+        return tile_per_s + ep.dollars(watts);
+    };
+    Cycle t_over = sched.tOver;
+    Cycle t_under = sched.tUnder + sched.tIdle;
+    Cycle total = t_over + t_under;
+    if (total == 0)
+        return cell(sched.over);
+    return (cell(sched.over) * static_cast<double>(t_over)
+            + cell(sched.under) * static_cast<double>(t_under))
+        / static_cast<double>(total);
+}
+
+void
+CashRuntime::selectPState(double q_demand, QuantumStats &st)
+{
+    // Probe schedule: the per-P-state tables start from the
+    // frequency-scaled prior, under which a 2x downclock always
+    // looks infeasible — the economic selection below would never
+    // try it, never measure it, and never learn that memory-bound
+    // code keeps most of its IPC at low frequency. So the first
+    // quantum after start-up runs each non-nominal P-state once
+    // (quanta 1..kNumPStates-1, inside the warm-up window the SLA
+    // accounting already excludes); the probe measurement
+    // level-calibrates that P-state's whole table through the
+    // prior's shape, and from then on the selection runs on
+    // evidence. Latency tenants never probe: queueing punishes an
+    // under-clocked quantum superlinearly (the backlog outlives the
+    // probe), so they keep the pessimistic prior and in practice
+    // stay at nominal frequency.
+    if (probeQuantum()) {
+        switchPState(static_cast<std::uint32_t>(quantaRun_), st);
+        return;
+    }
+
+    // Panic upclock: delivered QoS crossed the violation line while
+    // downclocked. Do not wait for the $-comparison — return to
+    // nominal this quantum and let the economics re-earn the
+    // downclock once the tables have absorbed the miss.
+    if (currentPState_ != 0
+        && lastQ_ < 1.0 - params_.violationTolerance) {
+        switchPState(0, st);
+        return;
+    }
+
+    // Solve the tile LP against every P-state's learned table and
+    // price each candidate schedule in $/s (tiles + joules). The
+    // cheapest feasible operating point wins; if none promises the
+    // demand, the fastest one does. The incumbent gets the same
+    // stickiness margin as tile configurations — a PLL relock and
+    // two cold tables are not worth a near-tie.
+    std::uint32_t best_p = currentPState_;
+    double best_rate = 0.0;
+    bool have_feasible = false;
+    std::uint32_t fastest_p = currentPState_;
+    double fastest_speed = -1.0;
+    for (std::uint32_t p = 0; p < kNumPStates; ++p) {
+        const SpeedupLearner &lrn = p == 0
+            ? learner_ : dvfsLearners_[p - 1];
+        QuantumSchedule s = optimizer_.solve(
+            q_demand, params_.quantum,
+            [&lrn](std::size_t k) { return lrn.qhat(k); });
+        double rate = dollarRate(p, s);
+        // The incumbent keeps its stickiness margin only while it
+        // delivers: an under-delivering P-state whose table has not
+        // caught up yet must not be able to defend itself with a
+        // discount.
+        if (p == currentPState_
+            && lastQ_ >= 1.0 - params_.violationTolerance)
+            rate *= 1.0 - params_.stickiness;
+        if (s.expectedSpeedup > fastest_speed) {
+            fastest_speed = s.expectedSpeedup;
+            fastest_p = p;
+        }
+        // The controller's demand dips below 1 while the plant
+        // over-delivers; tiles may track it (the LP idles the
+        // tail), but a downclock must still promise the target
+        // plus the guard band — its table is one phase drift away
+        // from wrong, and a P-state predicted to deliver at the
+        // violation edge is a planned violation, not a savings.
+        double q_floor = p == 0 ? q_demand
+                                : std::max(q_demand,
+                                           params_.guardBand);
+        if (s.expectedSpeedup + 1e-9 >= q_floor
+            && (!have_feasible || rate < best_rate)) {
+            have_feasible = true;
+            best_rate = rate;
+            best_p = p;
+        }
+    }
+    switchPState(have_feasible ? best_p : fastest_p, st);
+}
+
+void
+CashRuntime::switchPState(std::uint32_t want, QuantumStats &st)
+{
+    if (want == currentPState_)
+        return;
+    auto stall = sim_.setFreq(id_, want);
+    if (!stall)
+        return; // gate denied: stay at the current point
+    currentPState_ = sim_.vcore(id_).pstate();
+    ++st.freqChanges;
+    st.dvfsStall += *stall;
+    CASH_METRIC_INC("runtime.freq_changes");
+    if (*stall > 0) {
+        // The transition stall is held time at the current tiles:
+        // bill it like a reconfiguration stall so the provider's
+        // billing identity (revenue == integrated holdings) holds.
+        double c = cost_.cost(space_.at(currentCfg_), *stall);
+        st.cost += c;
+        totalCost_ += c;
+        st.cycles += *stall;
+        CASH_METRIC_SAMPLE("runtime.dvfs_stall",
+                           static_cast<double>(*stall));
+    }
 }
 
 void
@@ -115,7 +274,7 @@ CashRuntime::runSlot(std::size_t cfg, Cycle duration,
         lastBacklog_ = r.backlog;
         bool protect_drain = backlogged && !growing;
         if (stall * 4 <= elapsed && !protect_drain)
-            learner_.update(currentCfg_, r.normalized);
+            activeLearner().update(currentCfg_, r.normalized);
         st.qos += r.normalized * static_cast<double>(meas);
         validCycles_ += meas;
         lastSlotQ_ = r.normalized;
@@ -142,12 +301,22 @@ CashRuntime::step()
     // below runs in normalized-QoS space, where the plant gain is
     // exactly 1 whenever the learned table is faithful (dividing by
     // b and multiplying back cancels — see DESIGN.md).
+    // A probe quantum's reading is a deliberate experiment at a
+    // non-nominal P-state, not plant feedback: folding it into the
+    // estimator or the deadbeat integrator would flag a phantom
+    // phase change and inflate the demand for quanta after the
+    // probes end. Freeze both across the probe window.
+    bool prev_probe = params_.dvfs
+        && monitor_.kind() == QosKind::Throughput
+        && quantaRun_ >= 2 && quantaRun_ <= kNumPStates;
     double b_pre = kalman_.estimate();
-    double b_hat = kalman_.update(lastQ_, lastS_);
-    if (kalman_.innovation() > params_.phaseThreshold) {
+    double b_hat =
+        prev_probe ? b_pre : kalman_.update(lastQ_, lastS_);
+    if (!prev_probe
+        && kalman_.innovation() > params_.phaseThreshold) {
         st.phaseDetected = true;
         if (params_.rescaleOnPhase && b_pre > 1e-12)
-            learner_.rescale(b_hat / b_pre);
+            activeLearner().rescale(b_hat / b_pre);
         CASH_TRACE_INSTANT(trace::Category::Runtime, "phase_change",
                            q_start,
                            {{"vcore", id_},
@@ -167,32 +336,55 @@ CashRuntime::step()
     // when the gain estimate is right, even under a miscalibrated
     // table. b_hat is clamped away from degeneracy.
     double b_eff = std::clamp(b_hat, 0.25, 4.0);
-    double q_demand = ctrl_.step(lastQ_, b_eff);
+    double q_demand = ctrl_.step(prev_probe ? 1.0 : lastQ_, b_eff);
     // QoS error as the controller sees it: shortfall against the
     // normalized target of 1 (positive = under-delivering).
     CASH_TRACE_COUNTER(trace::Category::Runtime, "qos_error",
                        q_start, "error", 1.0 - lastQ_);
     CASH_TRACE_COUNTER(trace::Category::Runtime, "demand", q_start,
                        "q_demand", q_demand);
-    double base_q = learner_.qhat(0);
+    // --- Joint action space (tiles x frequency): pick this
+    // quantum's P-state before the tile schedule. The rest of the
+    // loop then runs against the chosen operating point's table, so
+    // the Kalman's plant gain, the LP, and the learning updates all
+    // speak the same IPC-per-Hz.
+    if (params_.dvfs)
+        selectPState(q_demand, st);
+    st.pstate = currentPState_;
+    SpeedupLearner &lrn = activeLearner();
+
+    double base_q = lrn.qhat(0);
     st.speedupCmd = base_q > 1e-12 ? q_demand / base_q : q_demand;
 
     // --- Optimizer: two-configuration schedule (Eqn 6) against
-    // the learned per-configuration QoS table.
-    QuantumSchedule sched = optimizer_.solve(
-        q_demand, params_.quantum,
-        [this](std::size_t k) { return learner_.qhat(k); });
+    // the learned per-configuration QoS table. A probe quantum
+    // instead holds the incumbent tiles for the whole quantum: the
+    // probed P-state's table is still the raw frequency prior, and
+    // letting the LP expand against it would bill max-config tiles
+    // for an experiment — and the measurement the probe is *for*
+    // must land at the configuration the tenant actually runs.
+    QuantumSchedule sched;
+    if (probeQuantum()) {
+        sched.over = currentCfg_;
+        sched.under = currentCfg_;
+        sched.tOver = params_.quantum;
+        sched.expectedSpeedup = lrn.qhat(currentCfg_);
+    } else {
+        sched = optimizer_.solve(
+            q_demand, params_.quantum,
+            [&lrn](std::size_t k) { return lrn.qhat(k); });
+    }
 
     // Stickiness: a near-tie does not justify the cold caches of a
     // reconfiguration, so keep the incumbent slot configurations
     // when the newly chosen ones are within tolerance.
-    auto sticky = [this, q_demand](std::size_t chosen,
-                                   std::size_t incumbent,
-                                   bool is_over) {
+    auto sticky = [this, q_demand, &lrn](std::size_t chosen,
+                                         std::size_t incumbent,
+                                         bool is_over) {
         if (chosen == incumbent)
             return chosen;
-        double q_new = learner_.qhat(chosen);
-        double q_old = learner_.qhat(incumbent);
+        double q_new = lrn.qhat(chosen);
+        double q_old = lrn.qhat(incumbent);
         bool feasible = is_over ? q_old >= q_demand
                                 : q_old <= q_demand;
         if (!feasible)
@@ -223,7 +415,7 @@ CashRuntime::step()
         sched.tOver += sched.tUnder;
         sched.tUnder = 0;
         sched.under = sched.over;
-        sched.expectedSpeedup = learner_.qhat(sched.over);
+        sched.expectedSpeedup = lrn.qhat(sched.over);
     }
 
     // Merge slots too short to amortize a reconfiguration.
@@ -243,8 +435,9 @@ CashRuntime::step()
     // the schedule would never visit from going stale.
     Cycle t_explore = 0;
     std::size_t cfg_explore = 0;
-    bool may_explore = monitor_.kind() != QosKind::RequestLatency
-        || lastQ_ > 1.2; // latency apps: explore only when safe
+    bool may_explore = !probeQuantum()
+        && (monitor_.kind() != QosKind::RequestLatency
+            || lastQ_ > 1.2); // latency apps: explore when safe
     if (may_explore && params_.epsilon > 0.0
         && rng_.nextBool(params_.epsilon)) {
         cfg_explore = static_cast<std::size_t>(
@@ -266,10 +459,10 @@ CashRuntime::step()
                        <= params_.quantum + t_explore,
                    "quantum plan exceeds tau by more than the "
                    "exploration slot");
-    CASH_INVARIANT(std::isfinite(learner_.qhat(sched.over))
-                       && learner_.qhat(sched.over) >= 0.0
-                       && std::isfinite(learner_.qhat(sched.under))
-                       && learner_.qhat(sched.under) >= 0.0,
+    CASH_INVARIANT(std::isfinite(lrn.qhat(sched.over))
+                       && lrn.qhat(sched.over) >= 0.0
+                       && std::isfinite(lrn.qhat(sched.under))
+                       && lrn.qhat(sched.under) >= 0.0,
                    "learned QoS table left the non-negative reals");
     CASH_INVARIANT(std::isfinite(q_demand) && q_demand >= 0.0,
                    "controller demand diverged (%g)", q_demand);
@@ -290,7 +483,7 @@ CashRuntime::step()
     // phase changed under us: abort the quantum so the controller
     // reacts sooner.
     bool collapsed = lastSlotValid_ && t_first > 0
-        && lastSlotQ_ < 0.5 * learner_.qhat(first);
+        && lastSlotQ_ < 0.5 * lrn.qhat(first);
     if (!collapsed) {
         runSlot(second, t_second, st);
         if (t_explore != 0)
@@ -307,8 +500,9 @@ CashRuntime::step()
                      {"under", sched.under},
                      {"t_over", sched.tOver},
                      {"t_under", sched.tUnder},
-                     {"qhat_over", learner_.qhat(sched.over)},
-                     {"qhat_under", learner_.qhat(sched.under)},
+                     {"qhat_over", lrn.qhat(sched.over)},
+                     {"qhat_under", lrn.qhat(sched.under)},
+                     {"pstate", currentPState_},
                      {"s_cmd", st.speedupCmd},
                      {"cost", st.cost},
                      {"reconfigs", st.reconfigs}});
@@ -318,13 +512,23 @@ CashRuntime::step()
                     st.reconfigStall);
     if (validCycles_ > 0) {
         st.qos /= static_cast<double>(validCycles_);
+        // A probe quantum's reading already went where it belongs —
+        // the probed P-state's table. Folding it into the control
+        // history too would drag the violation EWMA down during
+        // warm-up and charge phantom violations to the first
+        // counted quanta.
+        bool probe = params_.dvfs
+            && monitor_.kind() == QosKind::Throughput
+            && quantaRun_ >= 2 && quantaRun_ <= kNumPStates;
         // Latency readings are steep and noisy (queueing): smooth
         // the controller's input; throughput readings are already
         // near-deterministic per quantum.
-        lastQ_ = monitor_.kind() == QosKind::RequestLatency
-            ? 0.5 * lastQ_ + 0.5 * st.qos
-            : st.qos;
-        ewmaQ_ = 0.5 * ewmaQ_ + 0.5 * st.qos;
+        if (!probe) {
+            lastQ_ = monitor_.kind() == QosKind::RequestLatency
+                ? 0.5 * lastQ_ + 0.5 * st.qos
+                : st.qos;
+            ewmaQ_ = 0.5 * ewmaQ_ + 0.5 * st.qos;
+        }
         // The first few quanta are the controller's cold start and
         // are excluded from the violation accounting (all policies
         // are treated identically).
@@ -365,6 +569,9 @@ CashRuntime::runUntil(Cycle target_cycle)
         agg.violations += st.violations;
         agg.reconfigs += st.reconfigs;
         agg.reconfigStall += st.reconfigStall;
+        agg.freqChanges += st.freqChanges;
+        agg.dvfsStall += st.dvfsStall;
+        agg.pstate = st.pstate;
         agg.speedupCmd = st.speedupCmd;
         agg.baseEstimate = st.baseEstimate;
         agg.phaseDetected = agg.phaseDetected || st.phaseDetected;

@@ -87,6 +87,12 @@ struct RuntimeParams
     /** Upper bound for the controller's demand (normalized QoS
      *  units; also bounds the reported speedup via b). */
     double maxSpeedup = 8.0;
+    /** Enable the joint (tiles x frequency) action space: one
+     *  speedup table per DVFS P-state, a per-quantum P-state pick
+     *  minimizing the estimated tile + energy $ rate among feasible
+     *  points, and SET_FREQ commands over the RIN. Off by default —
+     *  the classic tile-only CASH loop. */
+    bool dvfs = false;
 };
 
 /**
@@ -116,6 +122,13 @@ struct QuantumStats
     /** Speedup command s(t) of Eqn 2, in units of the base
      *  configuration's throughput. */
     double speedupCmd = 0.0;
+    /** SET_FREQ commands executed this quantum (0 or 1). */
+    std::uint32_t freqChanges = 0;
+    /** Cycles stalled in DVFS transitions (pipeline drain + PLL
+     *  relock), billed at the held configuration. */
+    Cycle dvfsStall = 0;
+    /** P-state the quantum ran at (0 = nominal). */
+    std::uint32_t pstate = 0;
     /** Kalman a-posteriori base-speed estimate b_hat(t) (Eqn 4),
      *  normalized-QoS per unit of table-promised QoS. */
     double baseEstimate = 0.0;
@@ -160,10 +173,14 @@ class CashRuntime
     const KalmanEstimator &kalman() const { return kalman_; }
     /** Deadbeat speedup controller s(t) (Eqns 1-2). */
     const DeadbeatController &controller() const { return ctrl_; }
-    /** Learned per-configuration speedup table q_hat (Eqn 7). */
-    const SpeedupLearner &learner() const { return learner_; }
+    /** Learned per-configuration speedup table q_hat (Eqn 7) of
+     *  the P-state currently held (the nominal-frequency table
+     *  when DVFS is off). */
+    const SpeedupLearner &learner() const { return activeLearner(); }
     /** Index into the ConfigSpace currently held by the vcore. */
     std::size_t currentConfig() const { return currentCfg_; }
+    /** P-state currently held (always 0 when DVFS is off). */
+    std::uint32_t currentPState() const { return currentPState_; }
 
     /** Total $ accumulated across all quanta. */
     double totalCost() const { return totalCost_; }
@@ -176,6 +193,46 @@ class CashRuntime
     /** Reconfigure if needed; run a sub-interval; sample + learn. */
     void runSlot(std::size_t cfg, Cycle duration, QuantumStats &st);
 
+    /** The Q-table of the P-state the vcore currently runs at:
+     *  measurements teach the operating point that produced them. */
+    SpeedupLearner &activeLearner()
+    {
+        return currentPState_ == 0 ? learner_
+                                   : dvfsLearners_[currentPState_ - 1];
+    }
+    const SpeedupLearner &activeLearner() const
+    {
+        return currentPState_ == 0 ? learner_
+                                   : dvfsLearners_[currentPState_ - 1];
+    }
+
+    /** Estimated $/second of running a quantum schedule at a
+     *  P-state: tile rate + energy rate (leakage at the held
+     *  configuration plus approximate per-instruction switching
+     *  energy at the P-state's voltage). */
+    double dollarRate(std::uint32_t pstate,
+                      const QuantumSchedule &sched) const;
+
+    /** Solve the tile LP per P-state, pick the cheapest feasible
+     *  operating point, and SET_FREQ to it (billing the transition
+     *  stall). Runs once per quantum when params.dvfs is on; the
+     *  first quanta instead probe each non-nominal P-state once so
+     *  the per-P-state tables learn from evidence. */
+    void selectPState(double q_demand, QuantumStats &st);
+
+    /** SET_FREQ to `want` if different from the held P-state,
+     *  billing the transition stall at the held tiles. */
+    void switchPState(std::uint32_t want, QuantumStats &st);
+
+    /** True when the current quantum is a DVFS probe (throughput
+     *  tenants only, quanta 1..kNumPStates-1). */
+    bool probeQuantum() const
+    {
+        return params_.dvfs
+            && monitor_.kind() == QosKind::Throughput
+            && quantaRun_ >= 1 && quantaRun_ < kNumPStates;
+    }
+
     SSim &sim_;
     VCoreId id_;
     const ConfigSpace &space_;
@@ -185,9 +242,16 @@ class CashRuntime
     DeadbeatController ctrl_;
     KalmanEstimator kalman_;
     SpeedupLearner learner_;
+    /** P-state 1..kNumPStates-1 tables (empty unless params.dvfs);
+     *  each starts from the frequency-scaled prior of the nominal
+     *  table, and learning corrects it toward the application's
+     *  true IPC-per-Hz. */
+    std::vector<SpeedupLearner> dvfsLearners_;
     TwoConfigOptimizer optimizer_;
     Rng rng_;
 
+    double target_;
+    std::uint32_t currentPState_ = 0;
     std::size_t currentCfg_;
     double lastQ_ = 1.0;
     double lastS_ = 1.0;

@@ -1,0 +1,118 @@
+#include "energy/energy.hh"
+
+#include "check/invariant.hh"
+
+namespace cash
+{
+
+const std::array<PState, kNumPStates> &
+pstateTable()
+{
+    // Divider 1..5 (1.0x .. 0.2x nominal frequency); the voltage
+    // curve flattens toward threshold, so the marginal energy win
+    // of each further downclock shrinks — the learner has to find
+    // the knee, it is not handed a linear ramp.
+    static const std::array<PState, kNumPStates> table = {{
+        {1, 1.00},
+        {2, 0.85},
+        {3, 0.75},
+        {4, 0.70},
+        {5, 0.65},
+    }};
+    return table;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    rob += o.rob;
+    lsq += o.lsq;
+    rename += o.rename;
+    regfile += o.regfile;
+    alu += o.alu;
+    bpred += o.bpred;
+    l1 += o.l1;
+    l2 += o.l2;
+    fabric += o.fabric;
+    leakage += o.leakage;
+    return *this;
+}
+
+namespace
+{
+constexpr double kPicoToJoule = 1e-12;
+} // namespace
+
+void
+EnergyModel::accrueDynamic(const SliceCounters &delta,
+                           std::uint32_t pstate)
+{
+    CASH_INVARIANT(pstate < kNumPStates,
+                   "dynamic accrual at unknown P-state %u", pstate);
+    const double v2 = pstateTable()[pstate].dynScale();
+    const double insts =
+        static_cast<double>(delta.committedInsts);
+    const double l1d = static_cast<double>(delta.l1dAccesses);
+    const double l1i = static_cast<double>(delta.l1iAccesses);
+
+    EnergyBreakdown d;
+    d.rob = insts * params_.robPJ;
+    d.rename = insts * params_.renamePJ;
+    d.regfile = insts * params_.regfilePJ;
+    d.alu = insts * params_.aluPJ;
+    d.lsq = l1d * params_.lsqPJ;
+    d.l1 = (l1d + l1i) * params_.l1PJ;
+    d.l2 = static_cast<double>(delta.l2Accesses) * params_.l2PJ;
+    d.fabric = static_cast<double>(delta.operandNetMsgs)
+        * params_.fabricPJ;
+    d.bpred = static_cast<double>(delta.branches) * params_.bpredPJ
+        + static_cast<double>(delta.branchMispredicts)
+            * params_.mispredictPJ;
+
+    // One voltage-squared scale and one unit conversion, applied
+    // uniformly, so breakdown-sum == dynamic_ stays exact.
+    const double scale = v2 * kPicoToJoule;
+    d.rob *= scale;
+    d.rename *= scale;
+    d.regfile *= scale;
+    d.alu *= scale;
+    d.lsq *= scale;
+    d.l1 *= scale;
+    d.l2 *= scale;
+    d.fabric *= scale;
+    d.bpred *= scale;
+    dynamic_ += d.rob + d.rename + d.regfile + d.alu + d.lsq + d.l1
+        + d.l2 + d.fabric + d.bpred;
+    bk_ += d;
+}
+
+void
+EnergyModel::accrueLeakage(Cycle ref_cycles, std::uint32_t slices,
+                           std::uint32_t banks, std::uint32_t pstate)
+{
+    CASH_INVARIANT(pstate < kNumPStates,
+                   "leakage accrual at unknown P-state %u", pstate);
+    const double v = pstateTable()[pstate].voltScale;
+    double pj = static_cast<double>(ref_cycles)
+        * (static_cast<double>(slices) * params_.sliceLeakPJ
+           + static_cast<double>(banks) * params_.bankLeakPJ)
+        * v;
+    double j = pj * kPicoToJoule;
+    leakage_ += j;
+    bk_.leakage += j;
+}
+
+double
+leakWatts(const EnergyParams &p, std::uint32_t slices,
+          std::uint32_t banks, std::uint32_t pstate)
+{
+    // pJ/cycle at a 1 GHz reference clock: 1 pJ/cycle == 1 mW.
+    const double v = pstateTable()[pstate].voltScale;
+    double pj_per_cycle =
+        (static_cast<double>(slices) * p.sliceLeakPJ
+         + static_cast<double>(banks) * p.bankLeakPJ)
+        * v;
+    return pj_per_cycle * 1e-3;
+}
+
+} // namespace cash

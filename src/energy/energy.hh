@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The energy subsystem: per-structure activity energy, leakage, and
+ * the DVFS P-state table (ROADMAP item 3).
+ *
+ * CASH's economics are tile-denominated, but a real IaaS provider's
+ * marginal cost is joules. The model here follows the
+ * activity-counter approach of XIOSim's zesto-power/McPAT
+ * integration: every microarchitectural structure is assigned a
+ * per-access dynamic energy and a per-cycle leakage power, and the
+ * *existing* performance counters (sim/perf_counter.hh) supply the
+ * access counts — the simulator core pays no new bookkeeping on its
+ * hot path, only the counter increments it already pays.
+ *
+ * Event mapping (all per SliceCounters delta):
+ *
+ *   committedInsts     -> ROB write+commit, rename lookup+update,
+ *                         register-file read/write, ALU issue
+ *   l1dAccesses        -> LSQ search + L1D array
+ *   l1iAccesses        -> L1I array
+ *   l2Accesses         -> one L2 bank activation
+ *   operandNetMsgs     -> operand-network flit traversal
+ *   branches           -> predictor lookup/update
+ *   branchMispredicts  -> pipeline-flush recovery energy
+ *
+ * DVFS: each virtual core runs at one of kNumPStates operating
+ * points. A P-state is an integer clock divider (one core cycle
+ * spans `divider` reference cycles; the reference clock is the
+ * billing/wall clock, 1 GHz) plus a supply-voltage scale. Dynamic
+ * energy scales with voltage squared; leakage *power* scales with
+ * voltage — a downclocked core leaks over a longer wall-clock
+ * window for the same work, which is exactly the SHRINK-vs-downclock
+ * trade the learning runtime weighs.
+ *
+ * Conservation contract (check/audit.hh auditEnergy): a core's total
+ * dissipated energy equals dynamic + leakage equals the sum of the
+ * per-structure breakdown, and the provider's dissipated ledger
+ * equals the sum of all tenant-attributed energies plus what
+ * departed or migrated away. Fault::EnergyLeak breaks the departure
+ * fold to prove the audit catches the class.
+ */
+
+#ifndef CASH_ENERGY_ENERGY_HH
+#define CASH_ENERGY_ENERGY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/perf_counter.hh"
+
+namespace cash
+{
+
+/** One DVFS operating point. */
+struct PState
+{
+    /** Core-clock divider: one core cycle spans this many reference
+     *  cycles, so frequency = nominal / divider. */
+    std::uint32_t divider = 1;
+    /** Supply voltage relative to nominal. */
+    double voltScale = 1.0;
+
+    double freqScale() const
+    {
+        return 1.0 / static_cast<double>(divider);
+    }
+    /** Dynamic-energy multiplier (CV^2 switching energy). */
+    double dynScale() const { return voltScale * voltScale; }
+};
+
+/** Number of supported P-states (index 0 = nominal frequency). */
+constexpr std::uint32_t kNumPStates = 5;
+
+/** The fixed P-state menu: dividers 1..5 with a voltage curve that
+ *  flattens near threshold, as real DVFS tables do. */
+const std::array<PState, kNumPStates> &pstateTable();
+
+/**
+ * Per-event dynamic energies (picojoules per event) and per-cycle
+ * leakage (picojoules per reference cycle), loosely scaled from
+ * published McPAT breakdowns of a small OoO core at 22nm. Absolute
+ * values matter less than their ratios: the model's job is to rank
+ * configurations and P-states, and the audit only needs the algebra
+ * to be conservative.
+ */
+struct EnergyParams
+{
+    // Dynamic, per committed instruction.
+    double robPJ = 1.0;
+    double renamePJ = 0.5;
+    double regfilePJ = 1.2;
+    double aluPJ = 1.5;
+    // Dynamic, per cache/queue event.
+    double lsqPJ = 0.8;  ///< per L1D access (LSQ CAM search)
+    double l1PJ = 5.0;   ///< per L1 (I or D) array access
+    double l2PJ = 20.0;  ///< per L2 bank activation
+    // Dynamic, per network / predictor event.
+    double fabricPJ = 3.0;     ///< per operand-network message
+    double rinPJ = 2.0;        ///< per RIN message (chip overhead)
+    double bpredPJ = 0.8;      ///< per branch lookup/update
+    double mispredictPJ = 10.0; ///< per misprediction (flush)
+    // Leakage, per reference cycle, at nominal voltage.
+    double sliceLeakPJ = 15.0; ///< per allocated Slice
+    double bankLeakPJ = 3.0;   ///< per active L2 bank
+    /** Pipeline-drain + PLL relock stall billed to a SET_FREQ, in
+     *  reference cycles. */
+    Cycle dvfsStallCycles = 2'000;
+    /** Blended per-committed-instruction dynamic energy, for cost
+     *  *estimates* (admission, the runtime's P-state selection).
+     *  The metered model always uses the per-structure counters. */
+    double approxPerInstPJ = 15.0;
+    /** EC2-anchored retail energy price, $/kWh. */
+    double pricePerKwh = 0.12;
+
+    /** $ for a metered number of joules. */
+    double dollars(double joules) const
+    {
+        return joules / 3.6e6 * pricePerKwh;
+    }
+};
+
+/** Where the joules went, by structure (all in joules). */
+struct EnergyBreakdown
+{
+    double rob = 0.0;
+    double lsq = 0.0;
+    double rename = 0.0;
+    double regfile = 0.0;
+    double alu = 0.0;
+    double bpred = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double fabric = 0.0;
+    double leakage = 0.0;
+
+    double total() const
+    {
+        return rob + lsq + rename + regfile + alu + bpred + l1 + l2
+            + fabric + leakage;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+/**
+ * The per-virtual-core energy meter. Fed counter *deltas* (the
+ * caller closes the integral lazily, mirroring the holdings
+ * integral) and leakage windows; keeps dynamic/leakage totals and
+ * the per-structure breakdown in exact agreement by construction.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params)
+        : params_(params)
+    {}
+
+    /**
+     * Fold one counter delta's switching energy, at the voltage of
+     * the P-state the events ran under.
+     */
+    void accrueDynamic(const SliceCounters &delta,
+                       std::uint32_t pstate);
+
+    /**
+     * Fold a leakage window: `ref_cycles` reference cycles with
+     * `slices` Slices and `banks` L2 banks powered, at `pstate`'s
+     * voltage.
+     */
+    void accrueLeakage(Cycle ref_cycles, std::uint32_t slices,
+                       std::uint32_t banks, std::uint32_t pstate);
+
+    const EnergyBreakdown &breakdown() const { return bk_; }
+    double joules() const { return dynamic_ + leakage_; }
+    double dynamicJoules() const { return dynamic_; }
+    double leakageJoules() const { return leakage_; }
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+    EnergyBreakdown bk_;
+    double dynamic_ = 0.0;
+    double leakage_ = 0.0;
+};
+
+/** Idle leakage power of a held configuration in watts at `pstate`
+ *  (reference clock = 1 GHz), for provider overhead and cost
+ *  estimates. */
+double leakWatts(const EnergyParams &p, std::uint32_t slices,
+                 std::uint32_t banks, std::uint32_t pstate);
+
+} // namespace cash
+
+#endif // CASH_ENERGY_ENERGY_HH

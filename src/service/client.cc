@@ -290,4 +290,12 @@ ServiceClient::regionSnapshot()
     return call(r);
 }
 
+JsonValue
+ServiceClient::regionEnergy()
+{
+    Request r;
+    r.op = Op::RegionEnergy;
+    return call(r);
+}
+
 } // namespace cash::service

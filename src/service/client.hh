@@ -88,6 +88,7 @@ class ServiceClient
                       std::uint32_t to = Request::kAutoShard);
     JsonValue shards();
     JsonValue regionSnapshot();
+    JsonValue regionEnergy();
 
     /** Half-close: no more requests; the server flushes pending
      *  responses and then closes (next()/wait() keep working). */

@@ -57,6 +57,9 @@ ServiceCore::apply(const Request &req)
         resp = applySnapshot(req);
         resp.set("shard", JsonValue(shardId_));
         break;
+      case Op::RegionEnergy:
+        resp = applyEnergy(req);
+        break;
       case Op::Migrate:
         resp = errorResponse(req.id, errors::BadRequest,
                              "migrate needs a region engine");
@@ -126,6 +129,10 @@ ServiceCore::applyDepart(const Request &req)
     resp.set("tenant", JsonValue(req.tenant));
     resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
     resp.set("bill", JsonValue(t.bill()));
+    resp.set("joules", JsonValue(provider_.tenantJoules(t)));
+    resp.set("energy_bill",
+             JsonValue(provider_.params().sim.energy.dollars(
+                 provider_.tenantJoules(t))));
     CASH_METRIC_INC("service.departs");
     return resp;
 }
@@ -146,6 +153,10 @@ ServiceCore::applyQuery(const Request &req)
     resp.set("app", JsonValue(t.cls.app));
     resp.set("state", JsonValue(cloud::tenantStateName(t.state)));
     resp.set("bill", JsonValue(t.bill()));
+    resp.set("joules", JsonValue(provider_.tenantJoules(t)));
+    resp.set("energy_bill",
+             JsonValue(provider_.params().sim.energy.dollars(
+                 provider_.tenantJoules(t))));
     resp.set("qos_samples", JsonValue(t.qosSamples()));
     resp.set("qos_violations", JsonValue(t.qosViolations()));
     resp.set("active_rounds", JsonValue(t.activeRounds));
@@ -203,6 +214,29 @@ ServiceCore::applySnapshot(const Request &req)
     resp.set("sla_violations", JsonValue(violations));
     resp.set("migrated_in", JsonValue(st.migratedIn));
     resp.set("migrated_out", JsonValue(st.migratedOut));
+    resp.set("joules", JsonValue(st.dissipatedJoules));
+    resp.set("energy_revenue",
+             JsonValue(provider_.energyRevenue()));
+    return resp;
+}
+
+JsonValue
+ServiceCore::applyEnergy(const Request &req)
+{
+    // One shard's energy ledgers; region engines sum these. The
+    // fields mirror ProviderStats' conservation identity, so a
+    // region-wide audit can be recomputed from the wire.
+    const cloud::ProviderStats &st = provider_.stats();
+    JsonValue resp = okResponse(req.id);
+    resp.set("shard", JsonValue(shardId_));
+    resp.set("round", JsonValue(provider_.round()));
+    resp.set("dissipated_joules", JsonValue(st.dissipatedJoules));
+    resp.set("departed_joules", JsonValue(st.departedJoules));
+    resp.set("exported_joules", JsonValue(st.exportedJoules));
+    resp.set("overhead_joules", JsonValue(st.overheadJoules));
+    resp.set("energy_revenue", JsonValue(provider_.energyRevenue()));
+    resp.set("price_per_kwh",
+             JsonValue(provider_.params().sim.energy.pricePerKwh));
     return resp;
 }
 
@@ -249,22 +283,27 @@ ServiceCore::drainReport()
 
     JsonValue arr = JsonValue::array();
     double total = 0.0;
+    double energy_total = 0.0;
     for (const cloud::FinalBill &b : bills) {
         JsonValue row = JsonValue::object();
         row.set("tenant",
                 JsonValue(cloud::regionTenantId(shardId_, b.tenant)));
         row.set("app", JsonValue(b.app));
         row.set("bill", JsonValue(b.bill));
+        row.set("joules", JsonValue(b.joules));
+        row.set("energy_bill", JsonValue(b.energyBill));
         row.set("qos_samples", JsonValue(b.qosSamples));
         row.set("qos_violations", JsonValue(b.qosViolations));
         row.set("estimated", JsonValue(b.estimated));
         row.set("shard", JsonValue(shardId_));
         arr.push(std::move(row));
         total += b.bill;
+        energy_total += b.energyBill;
     }
     JsonValue resp = okResponse(0);
     resp.set("bills", std::move(arr));
     resp.set("revenue", JsonValue(total));
+    resp.set("energy_revenue", JsonValue(energy_total));
     resp.set("departed", JsonValue(bills.size()));
     CASH_METRIC_INC("service.drains");
     return resp;

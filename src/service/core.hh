@@ -103,6 +103,7 @@ class ServiceCore
     JsonValue applyStep(const Request &req);
     JsonValue applySnapshot(const Request &req);
     JsonValue applyShardInfo(const Request &req);
+    JsonValue applyEnergy(const Request &req);
 
     /** Map a region tenant id onto this shard; sets *resp to an
      *  unknown_tenant error and returns false when it lives

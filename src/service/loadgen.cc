@@ -1,6 +1,7 @@
 #include "service/loadgen.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <thread>
@@ -28,6 +29,11 @@ struct SessionStats
     std::uint64_t oks = 0;
     std::uint64_t queueFull = 0;
     std::uint64_t otherErrors = 0;
+    std::uint64_t arrives = 0;
+    std::uint64_t departs = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t migrates = 0;
     bool failed = false;
     std::vector<double> latenciesUs;
 };
@@ -142,8 +148,22 @@ drawRequest(const LoadConfig &cfg, Rng &rng,
     return r;
 }
 
+void
+countOp(Op op, SessionStats &st)
+{
+    switch (op) {
+    case Op::Arrive: ++st.arrives; break;
+    case Op::Depart: ++st.departs; break;
+    case Op::Query: ++st.queries; break;
+    case Op::Step: ++st.steps; break;
+    case Op::Migrate: ++st.migrates; break;
+    default: break;
+    }
+}
+
 SessionStats
-runSession(const LoadConfig &cfg, unsigned session_index)
+runSession(const LoadConfig &cfg, unsigned session_index,
+           std::atomic<unsigned> &failures)
 {
     SessionStats st;
     Rng rng(cfg.seed + 0x9e3779b97f4a7c15ull * (session_index + 1));
@@ -175,6 +195,7 @@ runSession(const LoadConfig &cfg, unsigned session_index)
                 consumeResponse(client.next(), st, inflight, owned,
                                 migrating);
             Request r = drawRequest(cfg, rng, owned);
+            countOp(r.op, st);
             Clock::time_point t0 = Clock::now();
             std::uint64_t id = client.send(r);
             if (r.op == Op::Migrate)
@@ -186,8 +207,13 @@ runSession(const LoadConfig &cfg, unsigned session_index)
             consumeResponse(client.next(), st, inflight, owned,
                             migrating);
     } catch (const FatalError &e) {
-        warn("loadgen session %u failed: %s", session_index,
-             e.what());
+        // Cap the per-session noise: hundreds of sessions against a
+        // dead socket all fail with the same message. The overflow
+        // count is reported once after the run.
+        unsigned nth = ++failures;
+        if (nth <= cfg.maxSessionWarnings)
+            warn("loadgen session %u failed: %s", session_index,
+                 e.what());
         st.failed = true;
     }
     return st;
@@ -202,15 +228,19 @@ runLoad(const LoadConfig &config)
 
     std::vector<SessionStats> stats(config.sessions);
     std::vector<std::thread> threads;
+    std::atomic<unsigned> failures{0};
     threads.reserve(config.sessions);
     for (unsigned s = 0; s < config.sessions; ++s)
-        threads.emplace_back([&config, &stats, s] {
+        threads.emplace_back([&config, &stats, &failures, s] {
             trace::TrackScope scope(
                 1000 + s, strfmt("loadgen session %u", s));
-            stats[s] = runSession(config, s);
+            stats[s] = runSession(config, s, failures);
         });
     for (std::thread &t : threads)
         t.join();
+    if (failures.load() > config.maxSessionWarnings)
+        warn("loadgen: %u more session failures suppressed",
+             failures.load() - config.maxSessionWarnings);
 
     LoadReport report;
     report.elapsedSec =
@@ -222,6 +252,11 @@ runLoad(const LoadConfig &config)
         report.oks += st.oks;
         report.queueFull += st.queueFull;
         report.otherErrors += st.otherErrors;
+        report.arrives += st.arrives;
+        report.departs += st.departs;
+        report.queries += st.queries;
+        report.steps += st.steps;
+        report.migrates += st.migrates;
         if (st.failed)
             ++report.failedSessions;
         lat.insert(lat.end(), st.latenciesUs.begin(),

@@ -68,6 +68,11 @@ struct LoadConfig
     std::uint32_t residenceMax = 32;
     /** Quanta per step request. */
     std::uint32_t stepQuanta = 1;
+    /** Per-session failure warnings are capped here: at hundreds of
+     *  sessions a dead socket would otherwise print hundreds of
+     *  identical lines. The count past the cap is reported once,
+     *  after the run. */
+    unsigned maxSessionWarnings = 8;
 };
 
 /** Aggregated outcome of one run (sums over all sessions). */
@@ -78,6 +83,14 @@ struct LoadReport
     std::uint64_t oks = 0;
     std::uint64_t queueFull = 0;
     std::uint64_t otherErrors = 0;
+    /** Op mix actually sent, summed over sessions (the drawn mix,
+     *  not the configured probabilities — departs and queries
+     *  require an owned tenant). */
+    std::uint64_t arrives = 0;
+    std::uint64_t departs = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t migrates = 0;
     /** Sessions that died on a connection/protocol error. */
     unsigned failedSessions = 0;
 

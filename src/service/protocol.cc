@@ -21,6 +21,7 @@ opName(Op op)
       case Op::Shards: return "shards";
       case Op::Migrate: return "migrate";
       case Op::RegionSnapshot: return "region_snapshot";
+      case Op::RegionEnergy: return "region_energy";
     }
     return "?";
 }
@@ -48,6 +49,8 @@ opFromName(std::string_view name)
         return Op::Migrate;
     if (name == "region_snapshot")
         return Op::RegionSnapshot;
+    if (name == "region_energy")
+        return Op::RegionEnergy;
     return std::nullopt;
 }
 

@@ -20,6 +20,7 @@
  *   {"id":N,"op":"drain"}
  *   {"id":N,"op":"shards"}
  *   {"id":N,"op":"region_snapshot"}
+ *   {"id":N,"op":"region_energy"}
  *   {"id":N,"op":"migrate","tenant":T}          — router picks
  *   {"id":N,"op":"migrate","tenant":T,"to":S}   — explicit shard
  *
@@ -81,6 +82,7 @@ enum class Op : std::uint8_t
     Shards,   ///< region shard count + per-shard occupancy
     Migrate,  ///< move a tenant to another shard (region only)
     RegionSnapshot, ///< per-shard snapshots + placement stats
+    RegionEnergy,   ///< per-shard energy ledgers + region totals
 };
 
 /** Wire name of an op ("ping", "arrive", ...). */

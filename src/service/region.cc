@@ -42,6 +42,7 @@ snapshotToJson(const cloud::TenantSnapshot &snap)
     v.set("held_banks", JsonValue(snap.heldCfg.banks));
     v.set("stall_cycles", JsonValue(snap.stallCycles));
     v.set("hops", JsonValue(snap.hops));
+    v.set("joules", JsonValue(snap.joules));
     return v;
 }
 
@@ -101,7 +102,8 @@ snapshotFromJson(const JsonValue &v)
         || !u32("held_slices", 1, 1u << 16, snap.heldCfg.slices)
         || !u32("held_banks", 1, 1u << 20, snap.heldCfg.banks)
         || !u64("stall_cycles", snap.stallCycles)
-        || !u32("hops", 1, ~0u, snap.hops))
+        || !u32("hops", 1, ~0u, snap.hops)
+        || !num("joules", snap.joules))
         return std::nullopt;
     auto ewma = v.getNumber("ewma_q");
     if (!ewma || !(*ewma == *ewma))
@@ -212,8 +214,35 @@ mergeSnapshotParts(std::uint64_t id,
     resp.set("migrated_in", JsonValue(sumUint(parts, "migrated_in")));
     resp.set("migrated_out",
              JsonValue(sumUint(parts, "migrated_out")));
+    resp.set("joules", JsonValue(sumNumber(parts, "joules")));
+    resp.set("energy_revenue",
+             JsonValue(sumNumber(parts, "energy_revenue")));
     resp.set("shards",
              JsonValue(static_cast<std::uint64_t>(parts.size())));
+    return resp;
+}
+
+JsonValue
+mergeEnergyParts(std::uint64_t id,
+                 const std::vector<JsonValue> &parts)
+{
+    JsonValue resp = mergedOk(id, parts);
+    resp.set("dissipated_joules",
+             JsonValue(sumNumber(parts, "dissipated_joules")));
+    resp.set("departed_joules",
+             JsonValue(sumNumber(parts, "departed_joules")));
+    resp.set("exported_joules",
+             JsonValue(sumNumber(parts, "exported_joules")));
+    resp.set("overhead_joules",
+             JsonValue(sumNumber(parts, "overhead_joules")));
+    resp.set("energy_revenue",
+             JsonValue(sumNumber(parts, "energy_revenue")));
+    resp.set("shards",
+             JsonValue(static_cast<std::uint64_t>(parts.size())));
+    JsonValue arr = JsonValue::array();
+    for (const JsonValue &p : parts)
+        arr.push(p);
+    resp.set("per_shard", std::move(arr));
     return resp;
 }
 
@@ -274,6 +303,8 @@ mergeDrainParts(std::uint64_t id, const std::vector<JsonValue> &parts)
     }
     resp.set("bills", std::move(bills));
     resp.set("revenue", JsonValue(revenue));
+    resp.set("energy_revenue",
+             JsonValue(sumNumber(parts, "energy_revenue")));
     resp.set("departed", JsonValue(departed));
     return resp;
 }
@@ -346,6 +377,8 @@ RegionCore::apply(const Request &req)
         return mergeRegionSnapshotParts(req.id, collectParts(req),
                                         router_.stats().routed,
                                         stats_);
+      case Op::RegionEnergy:
+        return mergeEnergyParts(req.id, collectParts(req));
       case Op::Drain: {
         JsonValue resp = drainReport();
         resp.set("id", JsonValue(req.id));

@@ -97,6 +97,11 @@ mergeRegionSnapshotParts(std::uint64_t id,
 JsonValue mergeDrainParts(std::uint64_t id,
                           const std::vector<JsonValue> &parts);
 
+/** region_energy: every joule ledger and the energy revenue summed
+ *  across shards, plus "per_shard":[partials]. */
+JsonValue mergeEnergyParts(std::uint64_t id,
+                           const std::vector<JsonValue> &parts);
+
 /**
  * The region engine. One provider + core per shard, router-driven
  * placement, in-process migration. Single-threaded.

@@ -548,6 +548,7 @@ ServiceServer::routeRequest(IoThread &io, Connection &conn,
       case Op::Drain:
       case Op::Shards:
       case Op::RegionSnapshot:
+      case Op::RegionEnergy:
         enqueueFanout(io, conn, req);
         return;
     }
@@ -927,6 +928,8 @@ ServiceServer::finalizeFanout(Fanout &fanout)
         return mergeRegionSnapshotParts(fanout.reqId,
                                         fanout.parts, routed, rs);
       }
+      case Op::RegionEnergy:
+        return mergeEnergyParts(fanout.reqId, fanout.parts);
       default:
         return errorResponse(fanout.reqId, errors::BadRequest,
                              "op cannot fan out");

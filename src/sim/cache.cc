@@ -26,6 +26,7 @@ SetAssocCache::SetAssocCache(std::uint64_t size,
         std::countr_zero(block_size));
     numSets_ = static_cast<std::uint32_t>(
         size / (static_cast<std::uint64_t>(block_size) * assoc));
+    setMask_ = std::has_single_bit(numSets_) ? numSets_ - 1 : 0;
     lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
 }
 
@@ -47,11 +48,13 @@ SetAssocCache::access(Addr addr, bool write)
     ++accesses_;
     ++useClock_;
     Addr block = addr >> blockShift_;
-    std::uint32_t set = static_cast<std::uint32_t>(block % numSets_);
+    std::uint32_t set = setOf(block);
 
-    // Hit path.
+    // Hit path: walk the set's ways directly (one base-pointer
+    // computation instead of a multiply per way).
+    Line *base = &lines_[static_cast<std::size_t>(set) * assoc_];
     for (std::uint32_t way = 0; way < assoc_; ++way) {
-        Line &line = lineAt(set, way);
+        Line &line = base[way];
         if (line.valid && line.tag == block) {
             line.lastUse = useClock_;
             line.dirty = line.dirty || write;
@@ -64,7 +67,7 @@ SetAssocCache::access(Addr addr, bool write)
     std::uint32_t victim = 0;
     std::uint64_t oldest = ~std::uint64_t(0);
     for (std::uint32_t way = 0; way < assoc_; ++way) {
-        Line &line = lineAt(set, way);
+        Line &line = base[way];
         if (!line.valid) {
             victim = way;
             oldest = 0;
@@ -76,7 +79,7 @@ SetAssocCache::access(Addr addr, bool write)
         }
     }
 
-    Line &line = lineAt(set, victim);
+    Line &line = base[victim];
     CacheAccess result{false, false, invalidAddr};
     if (line.valid && line.dirty) {
         ++writebacks_;
@@ -103,9 +106,10 @@ bool
 SetAssocCache::probe(Addr addr) const
 {
     Addr block = addr >> blockShift_;
-    std::uint32_t set = static_cast<std::uint32_t>(block % numSets_);
+    std::uint32_t set = setOf(block);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * assoc_];
     for (std::uint32_t way = 0; way < assoc_; ++way) {
-        const Line &line = lineAt(set, way);
+        const Line &line = base[way];
         if (line.valid && line.tag == block)
             return true;
     }

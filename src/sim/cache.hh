@@ -121,11 +121,22 @@ class SetAssocCache
     Line &lineAt(std::uint32_t set, std::uint32_t way);
     const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
 
+    /** Set index of a block address: a mask when numSets_ is a
+     *  power of two (every default configuration), else a modulo. */
+    std::uint32_t setOf(Addr block) const
+    {
+        if (setMask_ != 0)
+            return static_cast<std::uint32_t>(block) & setMask_;
+        return static_cast<std::uint32_t>(block % numSets_);
+    }
+
     std::uint64_t size_;
     std::uint32_t blockSize_;
     std::uint32_t blockShift_;
     std::uint32_t assoc_;
     std::uint32_t numSets_;
+    /** numSets_ - 1 when numSets_ is a power of two, else 0. */
+    std::uint32_t setMask_ = 0;
     std::vector<Line> lines_;
     std::uint64_t useClock_ = 0;
     std::uint64_t accesses_ = 0;

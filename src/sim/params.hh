@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "energy/energy.hh"
 
 namespace cash
 {
@@ -119,6 +120,7 @@ struct SimParams
     SliceParams slice;
     CacheParams cache;
     NetworkParams net;
+    EnergyParams energy;
     /** History window for dependence tracking (>= robSize * 8). */
     std::uint32_t depWindow = 1024;
 };

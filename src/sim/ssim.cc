@@ -99,8 +99,14 @@ SSim::readCounters(VCoreId id)
         cs.counters = vc.counters(m);
         worst_arrival = std::max(worst_arrival, cs.arrival);
         sample.slices.push_back(cs);
-        rinMessages_ += 2; // request + reply per Slice
     }
+    // Batched gather: one multicast query fans out along the RIN
+    // tree and the members' samples coalesce into one reply frame,
+    // so a whole-quantum read costs 2 messages regardless of the
+    // member count. Per-sample timestamps and the farthest-member
+    // arrival are unchanged — staleness is a wire property, the
+    // batching only collapses the message count.
+    rinMessages_ += 2;
     sample.arrival = worst_arrival;
     return sample;
 }
@@ -144,6 +150,41 @@ SSim::compact()
     CASH_METRIC_INC("fabric.compactions");
     CASH_METRIC_ADD("fabric.compact_moves", out.moved.size());
     return out;
+}
+
+std::optional<Cycle>
+SSim::setFreq(VCoreId id, std::uint32_t pstate)
+{
+    VirtualCore &vc = vcore(id);
+    CASH_METRIC_INC("fabric.freq_commands");
+    std::uint32_t target = pstate;
+    if (gate_) {
+        auto granted = gate_(
+            id, CommandRequest{vc.numSlices(), vc.numBanks(),
+                               static_cast<std::int32_t>(pstate)});
+        if (!granted || granted->pstate < 0) {
+            CASH_TRACE_INSTANT(trace::Category::Fabric, "deny_freq",
+                               vc.now(),
+                               {{"vcore", id},
+                                {"req_pstate", pstate}});
+            CASH_METRIC_INC("fabric.denied_freq");
+            return std::nullopt;
+        }
+        target = static_cast<std::uint32_t>(granted->pstate);
+    }
+    ++rinMessages_; // the SET_FREQ command itself
+    const std::uint32_t old_p = vc.pstate();
+    const Cycle t0 = vc.now();
+    Cycle stall = vc.setPState(target);
+    CASH_TRACE_SPAN(trace::Category::Fabric, "SET_FREQ", t0, stall,
+                    {{"vcore", id},
+                     {"from_pstate", old_p},
+                     {"to_pstate", target},
+                     {"stall", stall}});
+    if (stall > 0)
+        CASH_METRIC_SAMPLE("fabric.dvfs_stall",
+                           static_cast<double>(stall));
+    return stall;
 }
 
 std::optional<ReconfigCost>

@@ -55,12 +55,18 @@ struct VCoreSample
 
 /**
  * Requested Slice/bank counts of an EXPAND/SHRINK command, as seen
- * by a command gate.
+ * by a command gate. A SET_FREQ rides the same channel: it carries
+ * the vcore's current counts plus the requested P-state, so one
+ * gate arbitrates both knobs.
  */
 struct CommandRequest
 {
     std::uint32_t slices = 0;
     std::uint32_t banks = 0;
+    /** Requested DVFS P-state, or -1 for "no frequency change"
+     *  (EXPAND/SHRINK commands leave this at -1; a gate that echoes
+     *  the request back unchanged therefore grants the P-state). */
+    std::int32_t pstate = -1;
 };
 
 /**
@@ -149,6 +155,18 @@ class SSim
     std::optional<ReconfigCost>
     command(VCoreId id, std::uint32_t num_slices,
             std::uint32_t num_banks);
+
+    /**
+     * RIN: SET_FREQ a virtual core to a DVFS P-state. Routed
+     * through the command gate like EXPAND/SHRINK (the request
+     * carries the current resource counts plus the P-state; the
+     * gate may clamp or deny it). The transition stall is charged
+     * to the vcore's clock.
+     *
+     * @return the stall charged (0 when already at the P-state), or
+     *         nullopt if the gate denied the change
+     */
+    std::optional<Cycle> setFreq(VCoreId id, std::uint32_t pstate);
 
     /**
      * Install (or clear, with nullptr) the command gate. At most

@@ -32,7 +32,8 @@ VirtualCore::VirtualCore(const FabricGrid &grid,
       l2_(grid, params.cache, banks),
       rename_(params.slice,
               static_cast<std::uint32_t>(slices.size())),
-      hist_(params.depWindow)
+      hist_(params.depWindow),
+      energy_(params.energy)
 {
     if (slices.empty())
         fatal("a virtual core needs at least one Slice");
@@ -42,6 +43,7 @@ VirtualCore::VirtualCore(const FabricGrid &grid,
     for (SliceId sid : slices)
         slices_.push_back(std::make_unique<SliceCtx>(sid, params_));
     rebuildDistances();
+    recomputeDilation();
 }
 
 void
@@ -77,6 +79,96 @@ VirtualCore::accrueHoldings() const
     bankCycles_ += static_cast<std::uint64_t>(elapsed)
         * l2_.numBanks();
     holdingsAccruedAt_ = clock_;
+}
+
+void
+VirtualCore::accrueEnergy() const
+{
+    SliceCounters now = aggregateCounters();
+    SliceCounters delta;
+    delta.committedInsts =
+        now.committedInsts - lastCtrs_.committedInsts;
+    delta.l1dAccesses = now.l1dAccesses - lastCtrs_.l1dAccesses;
+    delta.l1iAccesses = now.l1iAccesses - lastCtrs_.l1iAccesses;
+    delta.l2Accesses = now.l2Accesses - lastCtrs_.l2Accesses;
+    delta.branches = now.branches - lastCtrs_.branches;
+    delta.branchMispredicts =
+        now.branchMispredicts - lastCtrs_.branchMispredicts;
+    delta.operandNetMsgs =
+        now.operandNetMsgs - lastCtrs_.operandNetMsgs;
+    energy_.accrueDynamic(delta, pstate_);
+    energy_.accrueLeakage(
+        clock_ - energyAccruedAt_,
+        static_cast<std::uint32_t>(slices_.size()), l2_.numBanks(),
+        pstate_);
+    lastCtrs_ = now;
+    energyAccruedAt_ = clock_;
+}
+
+double
+VirtualCore::energyJoules() const
+{
+    accrueEnergy();
+    return energy_.joules();
+}
+
+double
+VirtualCore::dynamicJoules() const
+{
+    accrueEnergy();
+    return energy_.dynamicJoules();
+}
+
+double
+VirtualCore::leakageJoules() const
+{
+    accrueEnergy();
+    return energy_.leakageJoules();
+}
+
+EnergyBreakdown
+VirtualCore::energyBreakdown() const
+{
+    accrueEnergy();
+    return energy_.breakdown();
+}
+
+void
+VirtualCore::recomputeDilation()
+{
+    freqDiv_ = pstateTable()[pstate_].divider;
+    dFrontendDepth_ = params_.slice.frontendDepth * freqDiv_;
+    dIntAluLat_ = params_.slice.intAluLat * freqDiv_;
+    dFpAluLat_ = params_.slice.fpAluLat * freqDiv_;
+    dMispredictRestart_ = params_.slice.mispredictRestart * freqDiv_;
+    dL1HitLat_ = params_.cache.l1HitLat * freqDiv_;
+}
+
+Cycle
+VirtualCore::setPState(std::uint32_t pstate)
+{
+    if (pstate >= kNumPStates)
+        fatal("SET_FREQ to unknown P-state %u", pstate);
+    if (pstate == pstate_)
+        return 0;
+
+    // Close the energy integral at the outgoing operating point;
+    // the counters accumulated so far switched at the old voltage.
+    accrueEnergy();
+
+    pstate_ = pstate;
+    recomputeDilation();
+
+    // Pipeline drain + PLL relock. Charged like a reconfiguration
+    // stall: the clock (and thus billing and leakage) advances, and
+    // the sampler's measured IPC is invalidated — the IPC level is
+    // a property of the operating point.
+    Cycle stall = params_.energy.dvfsStallCycles;
+    dvfsStall_ += stall;
+    advanceFloors(clock_ + stall);
+    if (sampler_)
+        sampler_->onReconfigure();
+    return stall;
 }
 
 std::uint64_t
@@ -116,6 +208,9 @@ VirtualCore::meta() const
     m.numBanks = l2_.numBanks();
     m.estimatedInsts = estimatedInsts_;
     m.ffCycles = ffCycles_;
+    m.pstate = pstate_;
+    m.dvfsStallCycles = dvfsStall_;
+    m.energyJoules = energyJoules();
     return m;
 }
 
@@ -193,7 +288,7 @@ VirtualCore::memAccess(std::uint32_t member, Addr addr, bool write,
         for (std::size_t i = 0; i < oc.sbBlocks.size(); ++i) {
             if (oc.sbBlocks[i] == block && oc.sbRing[i] > when) {
                 ++oc.ctrs.l1dAccesses;
-                return net + 1;
+                return net + freqDiv_;
             }
         }
     }
@@ -201,14 +296,17 @@ VirtualCore::memAccess(std::uint32_t member, Addr addr, bool write,
     ++oc.ctrs.l1dAccesses;
     CacheAccess l1 = oc.l1d.access(addr, write);
     if (l1.hit)
-        return net + params_.cache.l1HitLat;
+        return net + dL1HitLat_;
 
     ++oc.ctrs.l1dMisses;
     ++oc.ctrs.l2Accesses;
     L2Access l2 = l2_.access(oc.id, addr, write);
     if (!l2.hit)
         ++oc.ctrs.l2Misses;
-    return net + params_.cache.l1HitLat + l2.latency;
+    // The L1 lookup runs at the core clock; the L2/DRAM portion is
+    // in the reference domain and does not dilate — the root of the
+    // memory-bound IPC-per-Hz advantage DVFS exploits.
+    return net + dL1HitLat_ + l2.latency;
 }
 
 std::uint32_t
@@ -302,12 +400,12 @@ VirtualCore::processInst(const MicroOp &op)
         }
     }
     if (++fetchUsed_ >= fetch_bw) {
-        ++nextFetch_;
+        nextFetch_ += freqDiv_;
         fetchUsed_ = 0;
     }
 
     // ------ Dispatch: front-end depth + ROB/IQ (+LSQ) occupancy.
-    Cycle d = f + sp.frontendDepth;
+    Cycle d = f + dFrontendDepth_;
     d = std::max(d, sc.robRing[sc.robSeq % sc.robRing.size()]);
     d = std::max(d, sc.iqRing[sc.iqSeq % sc.iqRing.size()]);
     if (op.isMem())
@@ -331,7 +429,9 @@ VirtualCore::processInst(const MicroOp &op)
     }
 
     // ------ Issue: window exit + functional unit + memory ordering.
-    Cycle issue = std::max(d + 1, ready);
+    // Core-side steps span freqDiv_ reference cycles each (the core
+    // clock is the reference clock divided by the P-state divider).
+    Cycle issue = std::max(d + freqDiv_, ready);
     Cycle complete = issue;
     bool mispredicted = false;
 
@@ -340,15 +440,15 @@ VirtualCore::processInst(const MicroOp &op)
       case OpClass::FpAlu:
       case OpClass::Branch:
         issue = std::max(issue, sc.aluFree);
-        sc.aluFree = issue + 1;
+        sc.aluFree = issue + freqDiv_;
         complete = issue + (op.op == OpClass::FpAlu
-                            ? sp.fpAluLat : sp.intAluLat);
+                            ? dFpAluLat_ : dIntAluLat_);
         break;
       case OpClass::Load: {
         issue = std::max(issue, sc.lsuFree);
         issue = std::max(
             issue, sc.loadRing[sc.loadSeq % sc.loadRing.size()]);
-        sc.lsuFree = issue + 1;
+        sc.lsuFree = issue + freqDiv_;
         Cycle lat = memAccess(member, op.addr, false, issue);
         complete = issue + lat;
         sc.loadRing[sc.loadSeq % sc.loadRing.size()] = complete;
@@ -359,8 +459,8 @@ VirtualCore::processInst(const MicroOp &op)
         issue = std::max(issue, sc.lsuFree);
         issue = std::max(issue,
                          sc.sbRing[sc.sbSeq % sc.sbRing.size()]);
-        sc.lsuFree = issue + 1;
-        complete = issue + 1; // enters the store buffer
+        sc.lsuFree = issue + freqDiv_;
+        complete = issue + freqDiv_; // enters the store buffer
         break;
       case OpClass::Nop:
         complete = issue;
@@ -375,15 +475,16 @@ VirtualCore::processInst(const MicroOp &op)
             ++sc.ctrs.branchMispredicts;
             mispredicted = true;
             fetchRedirect_ = std::max(
-                fetchRedirect_, complete + sp.mispredictRestart);
+                fetchRedirect_, complete + dMispredictRestart_);
         } else if (op.taken && !bo.btbHit) {
             // Correct direction but unknown target: decode bubble.
-            fetchRedirect_ = std::max(fetchRedirect_, f + 2);
+            fetchRedirect_ =
+                std::max(fetchRedirect_, f + 2 * freqDiv_);
         }
     }
 
     // ------ Commit: program order, global commit bandwidth.
-    Cycle commit = std::max(complete + 1, lastCommit_);
+    Cycle commit = std::max(complete + freqDiv_, lastCommit_);
     std::uint32_t commit_bw = sp.commitWidth
         * static_cast<std::uint32_t>(slices_.size());
     if (commit > commitSlotCycle_) {
@@ -393,7 +494,7 @@ VirtualCore::processInst(const MicroOp &op)
         commit = commitSlotCycle_;
     }
     if (++commitSlotUsed_ >= commit_bw) {
-        ++commitSlotCycle_;
+        commitSlotCycle_ += freqDiv_;
         commitSlotUsed_ = 0;
     }
     lastCommit_ = commit;
@@ -693,10 +794,13 @@ VirtualCore::reconfigure(std::vector<SliceId> new_slices,
     if (new_slices.size() > 64)
         fatal("virtual cores support at most 64 Slices");
 
-    // Close the holdings integral at the outgoing membership; the
-    // stall cycles below accrue at the new one (the configuration
-    // the customer is billed for during the stall).
+    // Close the holdings and energy integrals at the outgoing
+    // membership; the stall cycles below accrue at the new one (the
+    // configuration the customer is billed for during the stall).
+    // The energy meter must close first because counters of
+    // non-surviving Slices are dropped with their contexts.
     accrueHoldings();
+    accrueEnergy();
 
     ReconfigCost cost;
     cost.commandLatency = command_latency;
@@ -761,6 +865,11 @@ VirtualCore::reconfigure(std::vector<SliceId> new_slices,
         rebuildDistances();
         steerCursor_ = 0;
     }
+
+    // Re-anchor the energy meter's counter snapshot: dropped member
+    // contexts took their counters with them, so the aggregate may
+    // have moved backward (their energy is already folded in above).
+    lastCtrs_ = aggregateCounters();
 
     // L2 membership change: hash-table remap + dirty flush.
     L2ReconfigCost l2cost = l2_.reconfigure(new_banks);

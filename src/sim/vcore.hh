@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "energy/energy.hh"
 #include "fabric/grid.hh"
 #include "fabric/resource.hh"
 #include "sim/branch_pred.hh"
@@ -67,6 +68,12 @@ struct VCoreMeta
     InstCount estimatedInsts = 0;
     /** Cycles covered by fast-forward (never exceeds clock). */
     Cycle ffCycles = 0;
+    /** Current DVFS operating point (0 = nominal frequency). */
+    std::uint32_t pstate = 0;
+    /** Reference cycles lost to SET_FREQ transitions so far. */
+    Cycle dvfsStallCycles = 0;
+    /** Total dissipated energy (dynamic + leakage), joules. */
+    double energyJoules = 0.0;
 };
 
 /**
@@ -130,6 +137,36 @@ class VirtualCore
     ReconfigCost reconfigure(std::vector<SliceId> new_slices,
                              std::vector<BankId> new_banks,
                              Cycle command_latency = 0);
+
+    /**
+     * Switch the core clock to a new DVFS operating point
+     * (0 <= pstate < kNumPStates). Core-side latencies dilate by the
+     * P-state's divider; memory-side latencies (L2, DRAM, networks)
+     * stay in reference cycles, so memory-bound code loses less
+     * throughput per downclock than compute-bound code. Charges a
+     * pipeline-drain + PLL-relock stall to the vcore clock and
+     * returns it (0 when the P-state is unchanged).
+     */
+    Cycle setPState(std::uint32_t pstate);
+
+    /** Current DVFS operating point. */
+    std::uint32_t pstate() const { return pstate_; }
+
+    /**
+     * Metered energy dissipated since construction, in joules. Like
+     * the holdings integrals, the meter closes lazily: counter
+     * deltas become voltage-scaled switching energy, and the clock
+     * window becomes leakage at the held configuration. Exact in
+     * sampled mode too — extrapolated quanta credit the same
+     * counters the meter reads.
+     */
+    double energyJoules() const;
+    /** The switching-energy component of energyJoules(). */
+    double dynamicJoules() const;
+    /** The leakage component of energyJoules(). */
+    double leakageJoules() const;
+    /** Where the joules went, by structure. */
+    EnergyBreakdown energyBreakdown() const;
 
     Cycle now() const { return clock_; }
     VCoreId id() const { return id_; }
@@ -251,6 +288,16 @@ class VirtualCore
     /** Fold clock progress into the holdings integrals. */
     void accrueHoldings() const;
 
+    /** Fold counter deltas and the elapsed clock window into the
+     *  energy meter at the current P-state and membership. Must run
+     *  before any membership or P-state change (the old window's
+     *  energy belongs to the old operating point). */
+    void accrueEnergy() const;
+
+    /** Refresh the dilated core-side latency constants from the
+     *  current P-state's divider. */
+    void recomputeDilation();
+
     const FabricGrid &grid_;
     SimParams params_;
     VCoreId id_;
@@ -273,6 +320,23 @@ class VirtualCore
     Cycle nextFetch_ = 0;
     std::uint32_t fetchUsed_ = 0;
     mutable std::uint32_t steerCursor_ = 0;
+
+    /** DVFS state: the divider of the current P-state, plus the
+     *  core-side latencies pre-multiplied by it so the per-inst hot
+     *  path pays no multiplies. */
+    std::uint32_t pstate_ = 0;
+    Cycle freqDiv_ = 1;
+    Cycle dFrontendDepth_ = 0;
+    Cycle dIntAluLat_ = 0;
+    Cycle dFpAluLat_ = 0;
+    Cycle dMispredictRestart_ = 0;
+    Cycle dL1HitLat_ = 0;
+    Cycle dvfsStall_ = 0;
+
+    /** Lazy energy meter (mirrors the holdings integral). */
+    mutable EnergyModel energy_;
+    mutable Cycle energyAccruedAt_ = 0;
+    mutable SliceCounters lastCtrs_;
 
     InstCount totalCommitted_ = 0;
     Cycle idleCycles_ = 0;

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * The energy subsystem: meter identities, conservation under random
+ * reconfiguration + DVFS sequences, transition-stall accounting,
+ * full-vs-sampled joule agreement, the billing algebra, and the
+ * energy-leak mutation catch (DESIGN.md sec 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/audit.hh"
+#include "check/invariant.hh"
+#include "cloud/provider.hh"
+#include "common/rng.hh"
+#include "energy/energy.hh"
+#include "sim/ssim.hh"
+#include "workload/trace_gen.hh"
+
+namespace cash
+{
+namespace
+{
+
+using cloud::CloudProvider;
+using cloud::FinalBill;
+using cloud::ProviderParams;
+using cloud::Provisioning;
+using cloud::TenantId;
+using cloud::TenantState;
+
+
+PhaseParams
+mixPhase()
+{
+    PhaseParams p;
+    p.name = "mix";
+    p.ilpMeanDist = 8;
+    p.memFrac = 0.3;
+    p.branchFrac = 0.1;
+    p.lengthInsts = 1'000'000;
+    return p;
+}
+
+/** Relative agreement of two energies, tolerant near zero. */
+void
+expectClose(double a, double b, double rel = 1e-9)
+{
+    EXPECT_NEAR(a, b, 1e-12 + rel * std::max(std::fabs(a),
+                                             std::fabs(b)));
+}
+
+// --- EnergyModel unit identities -------------------------------
+
+TEST(EnergyModel, TotalsDecomposeExactly)
+{
+    EnergyParams ep;
+    EnergyModel m(ep);
+    SliceCounters d;
+    d.committedInsts = 10'000;
+    d.l1dAccesses = 3'000;
+    d.l1iAccesses = 9'000;
+    d.l2Accesses = 400;
+    d.operandNetMsgs = 700;
+    d.branches = 1'200;
+    d.branchMispredicts = 60;
+    m.accrueDynamic(d, 0);
+    m.accrueLeakage(50'000, 2, 4, 0);
+
+    EXPECT_GT(m.dynamicJoules(), 0.0);
+    EXPECT_GT(m.leakageJoules(), 0.0);
+    expectClose(m.joules(), m.dynamicJoules() + m.leakageJoules());
+    expectClose(m.joules(), m.breakdown().total());
+}
+
+TEST(EnergyModel, DynamicEnergyScalesWithVoltageSquared)
+{
+    EnergyParams ep;
+    SliceCounters d;
+    d.committedInsts = 5'000;
+    d.l1dAccesses = 1'000;
+
+    EnergyModel nominal(ep), low(ep);
+    nominal.accrueDynamic(d, 0);
+    const std::uint32_t p = kNumPStates - 1;
+    low.accrueDynamic(d, p);
+    expectClose(low.dynamicJoules(),
+                nominal.dynamicJoules()
+                    * pstateTable()[p].dynScale(),
+                1e-9);
+    // The lowest operating point strictly saves switching energy.
+    EXPECT_LT(low.dynamicJoules(), nominal.dynamicJoules());
+}
+
+TEST(EnergyModel, BillingAlgebra)
+{
+    EnergyParams ep;
+    // One kWh costs exactly the configured price.
+    expectClose(ep.dollars(3.6e6), ep.pricePerKwh);
+    // Linearity: the line item is joules x price, nothing else.
+    expectClose(ep.dollars(7.25), 7.25 / 3.6e6 * ep.pricePerKwh);
+    EXPECT_EQ(ep.dollars(0.0), 0.0);
+}
+
+// --- Conservation under random reconfig + DVFS -----------------
+
+TEST(EnergyConservation, RandomReconfigAndSetFreqSequence)
+{
+    SSim sim;
+    auto id = *sim.createVCore(2, 4);
+    PhasedTraceSource src({mixPhase()}, 42, true, 0);
+    sim.vcore(id).bindSource(&src);
+
+    Rng rng(0xE4E26);
+    double last = 0.0;
+    for (int round = 0; round < 40; ++round) {
+        // Random walk over the joint action space; a denied or
+        // infeasible command simply keeps the current point.
+        if (rng.nextBool(0.5)) {
+            sim.setFreq(id, static_cast<std::uint32_t>(
+                                rng.nextBounded(kNumPStates)));
+        }
+        if (rng.nextBool(0.4)) {
+            auto s = 1 + static_cast<std::uint32_t>(
+                         rng.nextBounded(3));
+            auto b = 1 + static_cast<std::uint32_t>(
+                         rng.nextBounded(8));
+            sim.command(id, s, b);
+        }
+        sim.vcore(id).runUntil(sim.vcore(id).now() + 50'000);
+
+        const VirtualCore &vc = sim.vcore(id);
+        double total = vc.energyJoules();
+        // The meter only ever integrates forward.
+        EXPECT_GE(total, last) << "round " << round;
+        last = total;
+        // Decomposition identities hold at every instant.
+        expectClose(total,
+                    vc.dynamicJoules() + vc.leakageJoules(), 1e-9);
+        expectClose(total, vc.energyBreakdown().total(), 1e-9);
+    }
+    EXPECT_GT(last, 0.0);
+}
+
+TEST(EnergyConservation, ProviderLedgerUnderDvfsRuntimes)
+{
+    ProviderParams p;
+    p.fabric = FabricParams{1, 4, 8};
+    p.provisioning = Provisioning::FineGrain;
+    p.seed = 99;
+    p.arrivalProb = 0.6;
+    p.meanResidenceRounds = 10.0;
+    p.runtime.dvfs = true;
+    CloudProvider prov(p);
+    for (int round = 0; round < 24; ++round) {
+        prov.step();
+        // auditProvider ends in auditEnergy: the dissipated ledger
+        // must decompose into active books + departed + exported
+        // joules after every step.
+        ASSERT_NO_THROW(auditProvider(prov))
+            << "round " << round;
+    }
+    EXPECT_GT(prov.stats().dissipatedJoules, 0.0);
+    EXPECT_GE(prov.stats().overheadJoules, 0.0);
+
+    // External SET_FREQ requests (the service layer's path) keep
+    // the books intact too.
+    for (TenantId t = 0; t < prov.tenants().size(); ++t) {
+        if (prov.tenants()[t]->state == TenantState::Active) {
+            prov.injectSetFreq(t, 2);
+            break;
+        }
+    }
+    prov.step();
+    ASSERT_NO_THROW(auditProvider(prov));
+}
+
+// --- DVFS transition-stall accounting --------------------------
+
+TEST(Dvfs, TransitionStallChargedOncePerChange)
+{
+    SSim sim;
+    auto id = *sim.createVCore(1, 2);
+    PhasedTraceSource src({mixPhase()}, 7, true, 0);
+    sim.vcore(id).bindSource(&src);
+
+    const Cycle stall = sim.params().energy.dvfsStallCycles;
+    ASSERT_GT(stall, 0u);
+
+    auto first = sim.setFreq(id, 2);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, stall);
+    EXPECT_EQ(sim.vcore(id).pstate(), 2u);
+    EXPECT_EQ(sim.vcore(id).meta().dvfsStallCycles, stall);
+
+    // Re-requesting the held P-state is free: no PLL relock.
+    auto same = sim.setFreq(id, 2);
+    ASSERT_TRUE(same.has_value());
+    EXPECT_EQ(*same, 0u);
+    EXPECT_EQ(sim.vcore(id).meta().dvfsStallCycles, stall);
+
+    auto back = sim.setFreq(id, 0);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, stall);
+    EXPECT_EQ(sim.vcore(id).meta().dvfsStallCycles, 2 * stall);
+
+    // The stall is modeled as held time, not a clock jump: the
+    // core still runs and commits afterwards.
+    Cycle c0 = sim.vcore(id).now();
+    sim.vcore(id).runUntil(c0 + 100'000);
+    EXPECT_GT(sim.vcore(id).meta().totalCommitted, 0u);
+}
+
+// --- Full vs sampled -------------------------------------------
+
+TEST(EnergySampled, StaticPeakTwinRunJoulesAgreeWithinOnePercent)
+{
+    auto run = [](SimMode mode) {
+        ProviderParams p;
+        p.fabric = FabricParams{1, 4, 8};
+        p.provisioning = Provisioning::StaticPeak;
+        p.seed = 77;
+        p.arrivalProb = 0.6;
+        p.meanResidenceRounds = 12.0;
+        p.simMode = mode;
+        CloudProvider prov(p);
+        prov.run(48);
+        auditProvider(prov);
+        return prov.stats().dissipatedJoules;
+    };
+    double full = run(SimMode::Full);
+    double sampled = run(SimMode::Sampled);
+    ASSERT_GT(full, 0.0);
+    // The sampler spreads extrapolated counters across the
+    // fast-forward window, so the meter integrates the same
+    // activity the detailed model would have produced, within the
+    // sampling error bound.
+    EXPECT_NEAR(sampled, full, 0.01 * full);
+}
+
+// --- Billing algebra at the provider ---------------------------
+
+TEST(EnergyBilling, FinalBillEnergyLineIsJoulesTimesPrice)
+{
+    ProviderParams p;
+    p.fabric = FabricParams{1, 4, 8};
+    p.provisioning = Provisioning::FineGrain;
+    p.seed = 5;
+    p.arrivalProb = 0.7;
+    p.meanResidenceRounds = 8.0;
+    p.runtime.dvfs = true;
+    CloudProvider prov(p);
+    prov.run(20);
+
+    double revenue_before = prov.energyRevenue();
+    std::vector<FinalBill> bills = prov.drain();
+    ASSERT_FALSE(bills.empty());
+    double sum = 0.0;
+    for (const FinalBill &b : bills) {
+        EXPECT_GE(b.joules, 0.0);
+        expectClose(b.energyBill, p.sim.energy.dollars(b.joules));
+        sum += b.energyBill;
+    }
+    // Departed tenants' energy revenue was folded at departure;
+    // drain closes the books for the rest. The pre-drain revenue
+    // view must already account for everyone.
+    expectClose(prov.energyRevenue(), revenue_before, 1e-6);
+    EXPECT_GT(sum, 0.0);
+}
+
+// --- Mutation: the audit catches a leaked energy ledger --------
+
+TEST(EnergyMutation, LeakedDepartureJoulesAreCaught)
+{
+    if (!invariantsEnabled)
+        GTEST_SKIP() << "requires -DCASH_CHECK_INVARIANTS=ON";
+
+    ProviderParams p;
+    p.fabric = FabricParams{1, 4, 8};
+    p.provisioning = Provisioning::FineGrain;
+    p.arrivalProb = 0.0;
+    CloudProvider prov(p);
+    TenantId a = prov.injectArrival(0, 8);
+    ASSERT_EQ(prov.tenants()[a]->state, TenantState::Active);
+    // Accrue some joules before the faulty departure.
+    prov.step();
+    ASSERT_NO_THROW(auditProvider(prov));
+
+    setInjectedFault(Fault::EnergyLeak);
+    EXPECT_TRUE(prov.injectDeparture(a));
+    setInjectedFault(Fault::None);
+
+    // The departed tenant's joules were never folded into the
+    // departed ledger: dissipated no longer decomposes.
+    EXPECT_THROW(auditProvider(prov), InvariantError);
+}
+
+} // namespace
+} // namespace cash

@@ -91,8 +91,9 @@ TEST(SSim, RinMessagesCounted)
     auto id = *sim.createVCore(3, 1);
     std::uint64_t before = sim.rinMessages();
     sim.readCounters(id);
-    // Request + reply per member Slice.
-    EXPECT_EQ(sim.rinMessages(), before + 6);
+    // Batched gather: one multicast request + one coalesced reply
+    // frame, regardless of the member count.
+    EXPECT_EQ(sim.rinMessages(), before + 2);
     PhasedTraceSource src({mixPhase()}, 7, true, 0);
     sim.vcore(id).bindSource(&src);
     sim.vcore(id).runUntil(10'000);

@@ -156,10 +156,14 @@ TEST(ThreadPoolStress, ConcurrentWaiters)
     ThreadPool pool(4);
     for (int round = 0; round < 20; ++round) {
         std::atomic<int> count{0};
+        // Every 50th task chains a nested submission — decided by
+        // the task's own index, not a count.load() snapshot, which
+        // could miss the multiple of 50 when two increments
+        // interleave between the ++ and the load.
         for (int i = 0; i < 200; ++i)
-            pool.submit([&count, &pool] {
+            pool.submit([&count, &pool, i] {
                 ++count;
-                if (count.load() % 50 == 0)
+                if (i % 50 == 49)
                     pool.submit([&count] { ++count; });
             });
         std::vector<std::thread> waiters;

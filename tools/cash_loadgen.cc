@@ -132,6 +132,15 @@ main(int argc, char **argv)
                         rep.otherErrors),
                     static_cast<unsigned long long>(rep.dropped()),
                     rep.failedSessions);
+        // One aggregated op-mix line for the whole run (the drawn
+        // mix, not the configured probabilities).
+        std::printf("loadgen ops: arrive=%llu depart=%llu "
+                    "query=%llu step=%llu migrate=%llu\n",
+                    static_cast<unsigned long long>(rep.arrives),
+                    static_cast<unsigned long long>(rep.departs),
+                    static_cast<unsigned long long>(rep.queries),
+                    static_cast<unsigned long long>(rep.steps),
+                    static_cast<unsigned long long>(rep.migrates));
         // Timing is host-dependent: stderr only.
         inform("loadgen: %.2f s wall, %.0f req/s; latency us "
                "p50=%.0f p90=%.0f max=%.0f mean=%.0f (%llu "

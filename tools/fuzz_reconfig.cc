@@ -77,6 +77,7 @@ enum class OpKind : std::uint8_t
     CloudArrive,
     CloudDepart,
     CloudStep,
+    CloudSetFreq, ///< SET_FREQ on a live tenant's vcore via the gate
     // Service-layer ops: wire frames through decode→apply.
     SvcArrive,
     SvcDepart,
@@ -95,6 +96,7 @@ enum class OpKind : std::uint8_t
     RgnStep,
     RgnMigrate,
     RgnSnapshot, ///< region_snapshot or shards, by op.a parity
+    RgnEnergy,   ///< region_energy: summed per-shard joule ledgers
     RgnDrain,
 };
 
@@ -138,6 +140,9 @@ struct Op
             return strfmt("depart  slot=%u", slot);
           case OpKind::CloudStep:
             return "step";
+          case OpKind::CloudSetFreq:
+            return strfmt("setfreq slot=%u pstate=%u", slot,
+                          a % kNumPStates);
           case OpKind::SvcArrive:
             return strfmt("svc-arrive   slot=%u class=%u "
                           "residence=%u", slot, a, b);
@@ -172,6 +177,8 @@ struct Op
             return strfmt("rgn-migrate  slot=%u", slot);
           case OpKind::RgnSnapshot:
             return a % 2 ? "rgn-region-snapshot" : "rgn-shards";
+          case OpKind::RgnEnergy:
+            return "rgn-region-energy";
           case OpKind::RgnDrain:
             return "rgn-drain";
         }
@@ -252,13 +259,15 @@ genCloudOps(std::uint64_t seed, std::uint32_t count)
     ops.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         Op op;
-        std::uint64_t pick = rng.nextBounded(10);
+        std::uint64_t pick = rng.nextBounded(12);
         if (pick < 4)
             op.kind = OpKind::CloudArrive;
         else if (pick < 7)
             op.kind = OpKind::CloudStep;
-        else
+        else if (pick < 10)
             op.kind = OpKind::CloudDepart;
+        else
+            op.kind = OpKind::CloudSetFreq;
         op.slot = static_cast<std::uint32_t>(rng.nextBounded(kSlots));
         op.a = static_cast<std::uint32_t>(rng.nextBounded(16));
         op.b = 1 + static_cast<std::uint32_t>(rng.nextBounded(12));
@@ -315,7 +324,7 @@ genRegionOps(std::uint64_t seed, std::uint32_t count)
     ops.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         Op op;
-        std::uint64_t pick = rng.nextBounded(20);
+        std::uint64_t pick = rng.nextBounded(22);
         if (pick < 6)
             op.kind = OpKind::RgnArrive;
         else if (pick < 9)
@@ -326,8 +335,10 @@ genRegionOps(std::uint64_t seed, std::uint32_t count)
             op.kind = OpKind::RgnStep;
         else if (pick < 18)
             op.kind = OpKind::RgnMigrate;
-        else
+        else if (pick < 20)
             op.kind = OpKind::RgnSnapshot;
+        else
+            op.kind = OpKind::RgnEnergy;
         // At most one drain per sequence, near the end (arrivals
         // after a drain are correctly refused — see genServiceOps).
         if (pick == 14 && i + 4 > count)
@@ -517,6 +528,10 @@ replayCloud(const std::vector<Op> &ops, std::uint64_t seed)
     params.arrivalProb = 0.0; // arrivals only through the ops
     params.quantum = 50'000;  // short rounds keep replays cheap
     params.seed = seed;
+    // Joint (tiles x frequency) runtimes: every CloudStep can issue
+    // SET_FREQ through the command gate, so the energy audit sees
+    // voltage-scaled accrual interleaved with reconfiguration.
+    params.runtime.dvfs = true;
     if (g_sampled) {
         params.simMode = SimMode::Sampled;
         params.sampler = fuzzSamplerParams();
@@ -563,6 +578,14 @@ replayCloud(const std::vector<Op> &ops, std::uint64_t seed)
               case OpKind::CloudStep:
                 provider.step();
                 break;
+              case OpKind::CloudSetFreq:
+                // External SET_FREQ on a live tenant's vcore,
+                // routed through the provider's command gate like
+                // any runtime-issued frequency change.
+                if (slots[op.slot])
+                    provider.injectSetFreq(*slots[op.slot],
+                                           op.a % kNumPStates);
+                break;
               default:
                 break;
             }
@@ -600,6 +623,7 @@ replayService(const std::vector<Op> &ops, std::uint64_t seed)
     params.arrivalProb = 0.0;
     params.quantum = 50'000;
     params.seed = seed;
+    params.runtime.dvfs = true; // see replayCloud
     if (g_sampled) {
         params.simMode = SimMode::Sampled;
         params.sampler = fuzzSamplerParams();
@@ -766,6 +790,7 @@ replayRegion(const std::vector<Op> &ops, std::uint64_t seed)
     params.arrivalProb = 0.0;
     params.quantum = 50'000;
     params.seed = seed;
+    params.runtime.dvfs = true; // see replayCloud
     if (g_sampled) {
         params.simMode = SimMode::Sampled;
         params.sampler = fuzzSamplerParams();
@@ -857,6 +882,13 @@ replayRegion(const std::vector<Op> &ops, std::uint64_t seed)
                                   : service::Op::Shards;
                 region.apply(req);
                 break;
+              case OpKind::RgnEnergy: {
+                req.op = service::Op::RegionEnergy;
+                service::JsonValue resp = region.apply(req);
+                if (!resp.getBool("ok").value_or(false))
+                    return Failure{i, "region_energy answered !ok"};
+                break;
+              }
               case OpKind::RgnDrain: {
                 req.op = service::Op::Drain;
                 service::JsonValue resp = region.apply(req);
